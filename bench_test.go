@@ -1,0 +1,330 @@
+// Benchmarks regenerating the paper's evaluation, one per figure column
+// (see DESIGN.md §4 for the experiment index). Each benchmark measures the
+// full simulation of the most expensive strategy (MAPS) on the swept
+// workload and reports its revenue, plus the revenue of the strongest
+// unified-price baseline (BaseP), as benchmark metrics. Populations are
+// scaled down (benchScale) so iterations stay in the tens of milliseconds;
+// run `go run ./cmd/experiments -exp all` for paper-scale tables.
+package spatialcrowd_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/match"
+	"spatialcrowd/internal/pworld"
+	"spatialcrowd/internal/sim"
+	"spatialcrowd/internal/workload"
+)
+
+// benchScale divides the paper's population sizes for benchmark iterations.
+const benchScale = 40
+
+func scaled(n int) int {
+	if n/benchScale < 1 {
+		return 1
+	}
+	return n / benchScale
+}
+
+// benchOracle adapts a valuation model for calibration.
+type benchOracle struct {
+	model market.ValuationModel
+	rng   *rand.Rand
+}
+
+func (o *benchOracle) Probe(cell int, price float64) bool {
+	return price <= o.model.Dist(cell).Sample(o.rng)
+}
+
+// benchWorkload runs the five-strategy comparison on the given instance:
+// MAPS inside the timed loop, baselines once for the reported metrics.
+func benchWorkload(b *testing.B, in *market.Instance, model market.ValuationModel) {
+	b.Helper()
+	params := core.DefaultParams()
+	basep, err := core.NewBaseP(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := &benchOracle{model: model, rng: rand.New(rand.NewSource(1))}
+	if err := basep.Calibrate(oracle, in.Grid.NumCells(), 300); err != nil {
+		b.Fatal(err)
+	}
+	pb := basep.BasePrice()
+
+	baseRes, err := sim.Run(in, basep, sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var mapsRevenue float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewMAPS(params, pb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		basep.WarmStart(m.CellStats)
+		res, err := sim.Run(in, m, sim.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mapsRevenue = res.Revenue
+	}
+	b.StopTimer()
+	b.ReportMetric(mapsRevenue, "maps-revenue")
+	b.ReportMetric(baseRes.Revenue, "basep-revenue")
+}
+
+func benchSynthetic(b *testing.B, mutate func(*workload.SyntheticConfig)) {
+	b.Helper()
+	cfg := workload.SyntheticConfig{
+		Workers:  scaled(5000),
+		Requests: scaled(20000),
+		Seed:     42,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	in, model, err := workload.Synthetic(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorkload(b, in, model)
+}
+
+// BenchmarkFig6Workers is E1: revenue/time/memory vs |W| (Fig. 6 a/e/i).
+func BenchmarkFig6Workers(b *testing.B) {
+	for _, w := range []int{1250, 5000, 10000} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			benchSynthetic(b, func(c *workload.SyntheticConfig) { c.Workers = scaled(w) })
+		})
+	}
+}
+
+// BenchmarkFig6Requests is E2: vs |R| (Fig. 6 b/f/j).
+func BenchmarkFig6Requests(b *testing.B) {
+	for _, r := range []int{5000, 20000, 40000} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			benchSynthetic(b, func(c *workload.SyntheticConfig) { c.Requests = scaled(r) })
+		})
+	}
+}
+
+// BenchmarkFig6TemporalMu is E3: vs temporal mean (Fig. 6 c/g/k).
+func BenchmarkFig6TemporalMu(b *testing.B) {
+	for _, mu := range []float64{0.1, 0.5, 0.9} {
+		b.Run(fmt.Sprintf("mu=%g", mu), func(b *testing.B) {
+			benchSynthetic(b, func(c *workload.SyntheticConfig) { c.TemporalMu = mu })
+		})
+	}
+}
+
+// BenchmarkFig6SpatialMean is E4: vs spatial mean (Fig. 6 d/h/l).
+func BenchmarkFig6SpatialMean(b *testing.B) {
+	for _, m := range []float64{0.1, 0.5, 0.9} {
+		b.Run(fmt.Sprintf("mean=%g", m), func(b *testing.B) {
+			benchSynthetic(b, func(c *workload.SyntheticConfig) { c.SpatialMean = m })
+		})
+	}
+}
+
+// BenchmarkFig7DemandMu is E5: vs demand mean (Fig. 7 a/e/i).
+func BenchmarkFig7DemandMu(b *testing.B) {
+	for _, mu := range []float64{1.0, 2.0, 3.0} {
+		b.Run(fmt.Sprintf("mu=%g", mu), func(b *testing.B) {
+			benchSynthetic(b, func(c *workload.SyntheticConfig) { c.DemandMu = mu })
+		})
+	}
+}
+
+// BenchmarkFig7DemandSigma is E6: vs demand sigma (Fig. 7 b/f/j).
+func BenchmarkFig7DemandSigma(b *testing.B) {
+	for _, s := range []float64{0.5, 1.0, 2.5} {
+		b.Run(fmt.Sprintf("sigma=%g", s), func(b *testing.B) {
+			benchSynthetic(b, func(c *workload.SyntheticConfig) { c.DemandSigma = s })
+		})
+	}
+}
+
+// BenchmarkFig7Periods is E7: vs T (Fig. 7 c/g/k).
+func BenchmarkFig7Periods(b *testing.B) {
+	for _, t := range []int{200, 400, 1000} {
+		b.Run(fmt.Sprintf("T=%d", t), func(b *testing.B) {
+			benchSynthetic(b, func(c *workload.SyntheticConfig) { c.Periods = t })
+		})
+	}
+}
+
+// BenchmarkFig7Grids is E8: vs G (Fig. 7 d/h/l).
+func BenchmarkFig7Grids(b *testing.B) {
+	for _, side := range []int{5, 10, 25} {
+		b.Run(fmt.Sprintf("G=%d", side*side), func(b *testing.B) {
+			benchSynthetic(b, func(c *workload.SyntheticConfig) { c.GridSide = side })
+		})
+	}
+}
+
+// BenchmarkFig8Radius is E9: vs worker radius (Fig. 8 a/e/i).
+func BenchmarkFig8Radius(b *testing.B) {
+	for _, r := range []float64{5, 10, 25} {
+		b.Run(fmt.Sprintf("aw=%g", r), func(b *testing.B) {
+			benchSynthetic(b, func(c *workload.SyntheticConfig) { c.Radius = r })
+		})
+	}
+}
+
+// BenchmarkFig8Scalability is E10: |W| = |R| growth (Fig. 8 b/f/j).
+func BenchmarkFig8Scalability(b *testing.B) {
+	for _, n := range []int{100000, 300000, 500000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			benchSynthetic(b, func(c *workload.SyntheticConfig) {
+				c.Workers = scaled(n)
+				c.Requests = scaled(n)
+			})
+		})
+	}
+}
+
+func benchBeijing(b *testing.B, variant workload.BeijingVariant) {
+	b.Helper()
+	for _, d := range []int{5, 15, 25} {
+		b.Run(fmt.Sprintf("dw=%d", d), func(b *testing.B) {
+			in, model, err := workload.BeijingLike(workload.BeijingConfig{
+				Variant: variant, WorkerDuration: d, Scale: benchScale, Seed: 42,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchWorkload(b, in, model)
+		})
+	}
+}
+
+// BenchmarkFig8Beijing1 is E11: Beijing-like rush dataset (Fig. 8 c/g/k).
+func BenchmarkFig8Beijing1(b *testing.B) { benchBeijing(b, workload.BeijingRush) }
+
+// BenchmarkFig8Beijing2 is E12: Beijing-like night dataset (Fig. 8 d/h/l).
+func BenchmarkFig8Beijing2(b *testing.B) { benchBeijing(b, workload.BeijingNight) }
+
+// BenchmarkFig10ExpRate is E13: exponential demand (Fig. 10).
+func BenchmarkFig10ExpRate(b *testing.B) {
+	for _, a := range []float64{0.5, 1.0, 1.5} {
+		b.Run(fmt.Sprintf("alpha=%g", a), func(b *testing.B) {
+			benchSynthetic(b, func(c *workload.SyntheticConfig) {
+				c.Demand = workload.DemandExponential
+				c.ExpRate = a
+			})
+		})
+	}
+}
+
+// --- Micro-benchmarks of the algorithmic building blocks ---
+
+// BenchmarkMaxWeightMatching measures the revenue-defining matching on a
+// mid-sized accepted subgraph (Definition 5).
+func BenchmarkMaxWeightMatching(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	const nt, nw = 500, 200
+	g := match.NewGraph(nt, nw)
+	weights := make([]float64, nt)
+	for l := 0; l < nt; l++ {
+		weights[l] = rng.Float64() * 100
+		for r := 0; r < nw; r++ {
+			if rng.Float64() < 0.05 {
+				g.AddEdge(l, r)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.MaxWeightByLeft(g, weights)
+	}
+}
+
+// BenchmarkMAPSPricesOnePeriod isolates Algorithm 2 on one period's batch.
+func BenchmarkMAPSPricesOnePeriod(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	grid := geo.SquareGrid(100, 10)
+	const nt, nw = 200, 60
+	tasks := make([]market.Task, nt)
+	for i := range tasks {
+		o := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		d := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		tasks[i] = market.Task{ID: i, Origin: o, Dest: d, Distance: o.Dist(d)}
+	}
+	workers := make([]market.Worker, nw)
+	for i := range workers {
+		workers[i] = market.Worker{ID: i,
+			Loc:    geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+			Radius: 10}
+	}
+	graph := market.BuildBipartite(tasks, workers)
+	ctx := core.BuildContext(grid, 0, tasks, workers, graph)
+	m, err := core.NewMAPS(core.DefaultParams(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for cell := range ctx.Cells {
+		cs := m.CellStats(cell)
+		for _, p := range cs.Ladder() {
+			cs.Seed(p, 500, int(500*(1-p/6)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Prices(ctx)
+	}
+}
+
+// BenchmarkBipartiteBuild measures indexed graph construction, the hot path
+// of every simulated period.
+func BenchmarkBipartiteBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	in := &market.Instance{Grid: geo.SquareGrid(100, 10), Periods: 1}
+	const nt, nw = 500, 2000
+	tasks := make([]market.Task, nt)
+	for i := range tasks {
+		tasks[i] = market.Task{ID: i, Origin: geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}}
+	}
+	workers := make([]market.Worker, nw)
+	for i := range workers {
+		workers[i] = market.Worker{ID: i,
+			Loc:    geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+			Radius: 10}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		market.BuildBipartiteIndexed(in, tasks, workers)
+	}
+}
+
+// BenchmarkPossibleWorldExact measures the exact expected-revenue
+// enumeration at its practical limit.
+func BenchmarkPossibleWorldExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	const nt, nw = 14, 6
+	g := match.NewGraph(nt, nw)
+	probs := make([]float64, nt)
+	weights := make([]float64, nt)
+	for l := 0; l < nt; l++ {
+		probs[l] = rng.Float64()
+		weights[l] = rng.Float64() * 10
+		for r := 0; r < nw; r++ {
+			if rng.Float64() < 0.4 {
+				g.AddEdge(l, r)
+			}
+		}
+	}
+	w := &pworld.World{Graph: g, AcceptProb: probs, Weight: weights}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pworld.ExpectedRevenueExact(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

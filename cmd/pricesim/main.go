@@ -1,0 +1,147 @@
+// Command pricesim runs one pricing simulation and prints a summary. It is
+// the fastest way to poke at the system: pick a workload, pick a strategy,
+// see revenue and service statistics.
+//
+// Usage:
+//
+//	pricesim -strategy maps
+//	pricesim -strategy all -workers 2000 -requests 10000 -periods 200
+//	pricesim -workload beijing-rush -strategy maps -duration 15 -scale 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spatialcrowd"
+)
+
+func main() {
+	var (
+		strategy = flag.String("strategy", "all", "maps | basep | sdr | sde | cappeducb | all")
+		wl       = flag.String("workload", "synthetic", "synthetic | beijing-rush | beijing-night")
+		workers  = flag.Int("workers", 5000, "synthetic worker count |W|")
+		requests = flag.Int("requests", 20000, "synthetic request count |R|")
+		periods  = flag.Int("periods", 400, "synthetic period count T")
+		gridSide = flag.Int("grid", 10, "synthetic grid side (G = side^2)")
+		radius   = flag.Float64("radius", 10, "synthetic worker radius a_w")
+		duration = flag.Int("duration", 10, "beijing worker duration delta_w")
+		scale    = flag.Int("scale", 1, "population divisor")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		probes   = flag.Int("probes", 0, "calibration probes per price (0 = full Hoeffding)")
+	)
+	flag.Parse()
+
+	var (
+		instance *spatialcrowd.Instance
+		model    spatialcrowd.ValuationModel
+		err      error
+	)
+	switch strings.ToLower(*wl) {
+	case "synthetic":
+		cfg := spatialcrowd.SyntheticConfig{
+			Workers:  scaleDown(*workers, *scale),
+			Requests: scaleDown(*requests, *scale),
+			Periods:  *periods,
+			GridSide: *gridSide,
+			Radius:   *radius,
+			Seed:     *seed,
+		}
+		instance, model, err = spatialcrowd.Synthetic(cfg)
+	case "beijing-rush":
+		instance, model, err = spatialcrowd.BeijingLike(spatialcrowd.BeijingConfig{
+			Variant: spatialcrowd.BeijingRush, WorkerDuration: *duration, Scale: *scale, Seed: *seed,
+		})
+	case "beijing-night":
+		instance, model, err = spatialcrowd.BeijingLike(spatialcrowd.BeijingConfig{
+			Variant: spatialcrowd.BeijingNight, WorkerDuration: *duration, Scale: *scale, Seed: *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload: %s  |W|=%d |R|=%d T=%d G=%d\n",
+		*wl, len(instance.Workers), len(instance.Tasks), instance.Periods, instance.Grid.NumCells())
+
+	params := spatialcrowd.DefaultParams()
+	base, err := spatialcrowd.NewBaseP(params)
+	fail(err)
+	fail(base.Calibrate(spatialcrowd.OracleFromModel(model, *seed+1), instance.Grid.NumCells(), *probes))
+	pb := base.BasePrice()
+	fmt.Printf("calibrated base price p_b = %.4f (%d probes)\n\n", pb, base.ProbeCount())
+
+	strategies, err := buildStrategies(*strategy, params, pb, base)
+	fail(err)
+
+	fmt.Printf("%-10s %12s %9s %9s %9s %12s %10s\n",
+		"strategy", "revenue", "offered", "accepted", "served", "time", "peak heap")
+	for _, s := range strategies {
+		res, err := spatialcrowd.Run(instance, s, spatialcrowd.DefaultSimConfig())
+		fail(err)
+		fmt.Printf("%-10s %12.1f %9d %9d %9d %12v %8.1fMB\n",
+			res.Strategy, res.Revenue, res.Offered, res.Accepted, res.Served,
+			res.StrategyTime.Round(1000), res.PeakHeapMB)
+	}
+}
+
+func buildStrategies(which string, params spatialcrowd.Params, pb float64, base *spatialcrowd.BaseP) ([]spatialcrowd.Strategy, error) {
+	mk := map[string]func() (spatialcrowd.Strategy, error){
+		"maps": func() (spatialcrowd.Strategy, error) {
+			m, err := spatialcrowd.NewMAPS(params, pb)
+			if err == nil {
+				base.WarmStart(m.CellStats)
+			}
+			return m, err
+		},
+		"basep": func() (spatialcrowd.Strategy, error) { return base, nil },
+		"sdr":   func() (spatialcrowd.Strategy, error) { return spatialcrowd.NewSDR(params, pb) },
+		"sde":   func() (spatialcrowd.Strategy, error) { return spatialcrowd.NewSDE(params, pb) },
+		"cappeducb": func() (spatialcrowd.Strategy, error) {
+			c, err := spatialcrowd.NewCappedUCB(params, pb)
+			if err == nil {
+				base.WarmStart(c.CellStats)
+			}
+			return c, err
+		},
+	}
+	names := []string{strings.ToLower(which)}
+	if strings.EqualFold(which, "all") {
+		names = []string{"maps", "basep", "sdr", "sde", "cappeducb"}
+	}
+	out := make([]spatialcrowd.Strategy, 0, len(names))
+	for _, n := range names {
+		f, ok := mk[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown strategy %q", n)
+		}
+		s, err := f()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func scaleDown(n, s int) int {
+	if s <= 1 {
+		return n
+	}
+	if n/s < 1 {
+		return 1
+	}
+	return n / s
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"spatialcrowd/internal/stats"
+)
+
+// BaseP is the base pricing strategy of Section 3 (Algorithm 1): it probes a
+// geometric ladder of candidate prices against recent requesters in every
+// grid, estimates the per-grid Myerson reserve price as
+// argmax p * Shat^g(p), and prices every task at the arithmetic mean of the
+// per-grid estimates — the base price p_b.
+//
+// Calibrate must run before the strategy is used; the zero base price
+// otherwise falls back to the ladder midpoint.
+type BaseP struct {
+	P Params
+
+	basePrice float64
+	reserves  []float64 // estimated p_m^g per calibrated grid
+	probes    int       // total oracle probes spent during calibration
+	samples   [][]PriceSample
+	ready     bool
+}
+
+// PriceSample records the calibration outcomes of one candidate price in one
+// grid: Algorithm 1's (p, Shat(p)) pair with its raw counts. Downstream
+// learners (MAPS, CappedUCB) warm-start their statistics from these instead
+// of discarding the platform's observation history.
+type PriceSample struct {
+	Price   float64
+	Tried   int
+	Accepts int
+}
+
+// NewBaseP returns an uncalibrated base pricing strategy.
+func NewBaseP(p Params) (*BaseP, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &BaseP{P: p}, nil
+}
+
+// Name implements Strategy.
+func (b *BaseP) Name() string { return "BaseP" }
+
+// Calibrate runs Algorithm 1: for each grid cell 0..numCells-1, it offers
+// every ladder price p to h(p) fresh requesters via the oracle, records the
+// empirical acceptance ratio, picks the revenue-maximizing candidate as the
+// grid's Myerson reserve estimate, and finally averages the estimates into
+// the base price. Ties break toward the smaller price (higher acceptance),
+// as the paper prescribes.
+//
+// budgetPerPrice caps h(p) when positive; the Hoeffding bound h(p) =
+// ceil((2p^2/eps^2) ln(2k/delta)) can reach thousands of probes per price,
+// which is faithful but slow for very fine grids.
+func (b *BaseP) Calibrate(oracle ProbeOracle, numCells int, budgetPerPrice int) error {
+	if oracle == nil || numCells <= 0 {
+		return fmt.Errorf("core: BaseP.Calibrate needs an oracle and numCells > 0, got %v cells", numCells)
+	}
+	ladder, err := stats.PriceLadder(b.P.PMin, b.P.PMax, b.P.Alpha)
+	if err != nil {
+		return err
+	}
+	k := stats.LadderSize(b.P.PMin, b.P.PMax, b.P.Alpha)
+	b.reserves = make([]float64, numCells)
+	b.samples = make([][]PriceSample, numCells)
+	b.probes = 0
+	sum := 0.0
+	for cell := 0; cell < numCells; cell++ {
+		bestPrice, bestRev := ladder[0], -1.0
+		for _, p := range ladder {
+			h := stats.HoeffdingSamples(p, b.P.Eps, k, b.P.Delta)
+			if budgetPerPrice > 0 && h > budgetPerPrice {
+				h = budgetPerPrice
+			}
+			accepts := 0
+			for i := 0; i < h; i++ {
+				if oracle.Probe(cell, p) {
+					accepts++
+				}
+			}
+			b.probes += h
+			b.samples[cell] = append(b.samples[cell], PriceSample{Price: p, Tried: h, Accepts: accepts})
+			shat := float64(accepts) / float64(h)
+			// Strict improvement only: ties keep the earlier (smaller) price.
+			if rev := p * shat; rev > bestRev {
+				bestPrice, bestRev = p, rev
+			}
+		}
+		b.reserves[cell] = bestPrice
+		sum += bestPrice
+	}
+	b.basePrice = b.P.Clamp(sum / float64(numCells))
+	b.ready = true
+	return nil
+}
+
+// SetBasePrice installs a precomputed base price, bypassing calibration.
+// MAPS and the heuristics use it to share one calibration across strategies.
+func (b *BaseP) SetBasePrice(pb float64) {
+	b.basePrice = b.P.Clamp(pb)
+	b.ready = true
+}
+
+// BasePrice returns p_b, the single unit price used for every grid. Before
+// calibration it falls back to the geometric midpoint of [PMin, PMax].
+func (b *BaseP) BasePrice() float64 {
+	if !b.ready {
+		return b.P.Clamp((b.P.PMin + b.P.PMax) / 2)
+	}
+	return b.basePrice
+}
+
+// Reserves returns the estimated per-grid Myerson reserve prices from the
+// last calibration (nil before calibration).
+func (b *BaseP) Reserves() []float64 { return b.reserves }
+
+// ProbeCount returns the oracle probes spent by the last calibration.
+func (b *BaseP) ProbeCount() int { return b.probes }
+
+// Samples returns the calibration observations of one grid (nil before
+// calibration or for out-of-range cells).
+func (b *BaseP) Samples(cell int) []PriceSample {
+	if cell < 0 || cell >= len(b.samples) {
+		return nil
+	}
+	return b.samples[cell]
+}
+
+// WarmStart copies the calibration observations of every grid into a UCB
+// statistics store (one per cell, created via the factory). MAPS and
+// CappedUCB call this so online learning continues from the data base
+// pricing already paid for rather than from zero.
+func (b *BaseP) WarmStart(cellStats func(cell int) *CellStats) {
+	for cell := range b.samples {
+		cs := cellStats(cell)
+		for _, s := range b.samples[cell] {
+			cs.Seed(s.Price, s.Tried, s.Accepts)
+		}
+	}
+}
+
+// Prices implements Strategy: the same base price for every task.
+func (b *BaseP) Prices(ctx *PeriodContext) []float64 {
+	out := make([]float64, len(ctx.Tasks))
+	pb := b.BasePrice()
+	for i := range out {
+		out[i] = pb
+	}
+	return out
+}
+
+// Observe implements Strategy. Base pricing is static after calibration.
+func (b *BaseP) Observe(*PeriodContext, []float64, []bool) {}

@@ -1,0 +1,93 @@
+package core
+
+import "spatialcrowd/internal/stats"
+
+// CappedUCB is the per-grid independent pricing baseline of Section 5.1,
+// after Babaioff et al.'s dynamic pricing with limited supply: every grid is
+// treated as an isolated market with |W^tg| units of supply, priced at
+//
+//	argmax_p min(|R^tg| * p * S^g(p), |W^tg| * p)
+//
+// with every d_r taken as 1 — Eq. (1) with n^tg pinned to the local worker
+// count. Acceptance ratios are learned with the same UCB machinery as MAPS,
+// but no supply is shared across grids, which is exactly the weakness the
+// paper's evaluation exposes.
+type CappedUCB struct {
+	P Params
+
+	basePrice float64
+	ladder    []float64
+	cells     map[int]*CellStats
+
+	// counts per cell kept for the memory-profile parity with the paper
+	// ("CappedUCB needs to store more information such as the number of
+	// tasks and workers in each grid").
+	taskCount   map[int]int
+	workerCount map[int]int
+}
+
+// NewCappedUCB builds the baseline around a base price fallback.
+func NewCappedUCB(p Params, basePrice float64) (*CappedUCB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ladder, err := stats.PriceLadder(p.PMin, p.PMax, p.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &CappedUCB{
+		P:           p,
+		basePrice:   p.Clamp(basePrice),
+		ladder:      ladder,
+		cells:       make(map[int]*CellStats),
+		taskCount:   make(map[int]int),
+		workerCount: make(map[int]int),
+	}, nil
+}
+
+// Name implements Strategy.
+func (c *CappedUCB) Name() string { return "CappedUCB" }
+
+// CellStats returns (creating on demand) the learning state of a cell.
+func (c *CappedUCB) CellStats(cell int) *CellStats { return c.cellStats(cell) }
+
+// cellStats returns (creating on demand) the learning state of a cell.
+func (c *CappedUCB) cellStats(cell int) *CellStats {
+	cs, ok := c.cells[cell]
+	if !ok {
+		cs = NewCellStats(c.ladder)
+		c.cells[cell] = cs
+	}
+	return cs
+}
+
+// Prices implements Strategy.
+func (c *CappedUCB) Prices(ctx *PeriodContext) []float64 {
+	workers := countWorkersByCell(ctx)
+	out := make([]float64, len(ctx.Tasks))
+	for cell, n := range workers {
+		c.workerCount[cell] = n
+	}
+	for cell, tasks := range ctx.Cells {
+		c.taskCount[cell] = len(tasks)
+		cs := c.cellStats(cell)
+		price := c.basePrice
+		if cs.Total() > 0 && len(tasks) > 0 {
+			// D/C with every d_r = 1: |W^tg| / |R^tg|.
+			ratio := float64(workers[cell]) / float64(len(tasks))
+			pos, _ := cs.BestIndex(ratio)
+			price = c.ladder[pos]
+		}
+		for _, ti := range tasks {
+			out[ti] = price
+		}
+	}
+	return out
+}
+
+// Observe implements Strategy: per-grid UCB updates, as in MAPS.
+func (c *CappedUCB) Observe(ctx *PeriodContext, prices []float64, accepted []bool) {
+	for i, tv := range ctx.Tasks {
+		c.cellStats(tv.Cell).Observe(prices[i], accepted[i])
+	}
+}

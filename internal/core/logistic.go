@@ -1,0 +1,118 @@
+package core
+
+import "math"
+
+// LogisticDemand is a parametric alternative to the per-rung UCB estimator:
+// it fits the acceptance curve of one grid as a logistic function of price,
+//
+//	S(p) = 1 / (1 + exp(a + b*p)),   b >= 0,
+//
+// by online gradient descent on the log-loss of accept/reject outcomes.
+// Related work (Section 6.2) notes our problem "adopts the parametric ones,
+// which admit the parameters in the structure of the demand function" —
+// this type makes that alternative concrete and comparable (ablation A6):
+// a parametric fit shares strength across prices (one observation at any
+// price informs the whole curve) at the cost of bias when the true demand
+// is not logistic.
+//
+// The zero value is not ready; use NewLogisticDemand.
+type LogisticDemand struct {
+	a, b float64 // curve parameters; acceptance falls as a + b*p grows
+	lr   float64 // learning rate
+	n    int
+}
+
+// NewLogisticDemand starts from a gently decreasing prior centered at mid.
+func NewLogisticDemand(mid float64) *LogisticDemand {
+	// Prior: S(mid) = 0.5 with slope b = 1.
+	return &LogisticDemand{a: -mid, b: 1, lr: 0.05}
+}
+
+// Observe folds one accept/reject outcome at price p into the fit.
+func (l *LogisticDemand) Observe(p float64, accepted bool) {
+	l.n++
+	pred := l.Accept(p)
+	y := 0.0
+	if accepted {
+		y = 1
+	}
+	// d(logloss)/da = (pred - y), d/db = (pred - y) * p, for
+	// S = sigma(-(a + b p)).
+	g := pred - y
+	l.a -= l.lr * (-g)     // note S uses -(a+bp): gradient flips sign
+	l.b -= l.lr * (-g * p) //
+	if l.b < 0 {
+		l.b = 0 // acceptance must be non-increasing in price
+	}
+	// Decay the learning rate slowly for stability.
+	if l.n%500 == 0 && l.lr > 0.005 {
+		l.lr *= 0.9
+	}
+}
+
+// Accept returns the fitted S(p).
+func (l *LogisticDemand) Accept(p float64) float64 {
+	return 1 / (1 + math.Exp(l.a+l.b*p))
+}
+
+// N returns the number of observations.
+func (l *LogisticDemand) N() int { return l.n }
+
+// ParametricMAPS is a MAPS variant whose per-grid pricing maximizes
+// min(p*S_fit(p), (D/C)*p) over the candidate ladder using the logistic fit
+// instead of the UCB index. It exists to quantify the value of the paper's
+// nonparametric UCB choice (ablation A6); it shares all supply-distribution
+// machinery with MAPS by embedding.
+type ParametricMAPS struct {
+	*MAPS
+	fits map[int]*LogisticDemand
+}
+
+// NewParametricMAPS wraps a fresh MAPS.
+func NewParametricMAPS(p Params, basePrice float64) (*ParametricMAPS, error) {
+	m, err := NewMAPS(p, basePrice)
+	if err != nil {
+		return nil, err
+	}
+	pm := &ParametricMAPS{MAPS: m, fits: make(map[int]*LogisticDemand)}
+	return pm, nil
+}
+
+// Name implements Strategy.
+func (pm *ParametricMAPS) Name() string { return "MAPS-logit" }
+
+// fit returns (creating on demand) the logistic fit of a cell.
+func (pm *ParametricMAPS) fit(cell int) *LogisticDemand {
+	f, ok := pm.fits[cell]
+	if !ok {
+		f = NewLogisticDemand((pm.P.PMin + pm.P.PMax) / 2)
+		pm.fits[cell] = f
+	}
+	return f
+}
+
+// Prices implements Strategy: before delegating to MAPS's supply loop, it
+// overwrites each touched cell's UCB statistics with pseudo-counts from the
+// logistic fit, so Algorithm 3's maximizer consumes the parametric curve.
+func (pm *ParametricMAPS) Prices(ctx *PeriodContext) []float64 {
+	for cell := range ctx.Cells {
+		f := pm.fit(cell)
+		if f.N() == 0 {
+			continue
+		}
+		cs := NewCellStats(pm.ladder)
+		const pseudo = 10000
+		for _, p := range pm.ladder {
+			cs.Seed(p, pseudo, int(pseudo*f.Accept(p)))
+		}
+		pm.cells[cell] = cs
+	}
+	return pm.MAPS.Prices(ctx)
+}
+
+// Observe implements Strategy: feed outcomes to the logistic fits.
+func (pm *ParametricMAPS) Observe(ctx *PeriodContext, prices []float64, accepted []bool) {
+	for i, tv := range ctx.Tasks {
+		pm.fit(tv.Cell).Observe(prices[i], accepted[i])
+	}
+}

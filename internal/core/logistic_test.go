@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialcrowd/internal/stats"
+)
+
+func TestLogisticDemandFitsLogisticTruth(t *testing.T) {
+	// True curve: S(p) = sigma(-(a + b p)) with a = -4, b = 2
+	// => S(1) ~ 0.88, S(2) = 0.5, S(3) ~ 0.12.
+	truth := func(p float64) float64 { return 1 / (1 + math.Exp(-4+2*p)) }
+	f := NewLogisticDemand(2.5)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30000; i++ {
+		p := 1 + 4*rng.Float64()
+		f.Observe(p, rng.Float64() < truth(p))
+	}
+	for _, p := range []float64{1, 2, 3, 4} {
+		if got := f.Accept(p); math.Abs(got-truth(p)) > 0.08 {
+			t.Errorf("S(%v) = %v, want ~%v", p, got, truth(p))
+		}
+	}
+	if f.N() != 30000 {
+		t.Errorf("N = %d", f.N())
+	}
+}
+
+func TestLogisticDemandMonotoneNonIncreasing(t *testing.T) {
+	f := NewLogisticDemand(3)
+	rng := rand.New(rand.NewSource(2))
+	// Even under adversarially increasing acceptance observations, the
+	// b >= 0 projection keeps the fitted curve non-increasing in price.
+	for i := 0; i < 5000; i++ {
+		p := 1 + 4*rng.Float64()
+		f.Observe(p, p > 3) // higher prices "accept" more
+	}
+	prev := f.Accept(1)
+	for p := 1.0; p <= 5; p += 0.1 {
+		cur := f.Accept(p)
+		if cur > prev+1e-9 {
+			t.Fatalf("fitted curve increased at p=%v", p)
+		}
+		prev = cur
+	}
+}
+
+func TestLogisticDemandAgainstTruncNormalTruth(t *testing.T) {
+	// Misspecified truth (truncated normal): the logistic fit should still
+	// track the curve's general level at interior prices.
+	d := stats.TruncNormal{Mu: 2, Sigma: 1, Lo: 1, Hi: 5}
+	f := NewLogisticDemand(2.5)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40000; i++ {
+		p := 1 + 4*rng.Float64()
+		f.Observe(p, p <= d.Sample(rng))
+	}
+	for _, p := range []float64{1.5, 2, 2.5, 3} {
+		if got, want := f.Accept(p), stats.Accept(d, p); math.Abs(got-want) > 0.15 {
+			t.Errorf("S(%v) = %v, want ~%v (misspecification tolerance)", p, got, want)
+		}
+	}
+}
+
+func TestParametricMAPSEndToEnd(t *testing.T) {
+	ctx := exampleContext(t)
+	pm, err := NewParametricMAPS(Params{PMin: 1, PMax: 3, Alpha: 0.5, Eps: 0.2, Delta: 0.01}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Name() != "MAPS-logit" {
+		t.Errorf("name %q", pm.Name())
+	}
+	table := map[float64]float64{1: 0.9, 1.5: 0.85, 2.25: 0.75, 3: 0.5}
+	accept := func(p float64) float64 {
+		best, bd := 0.9, math.Inf(1)
+		for tp, s := range table {
+			if d := math.Abs(tp - p); d < bd {
+				bd, best = d, s
+			}
+		}
+		return best
+	}
+	rng := rand.New(rand.NewSource(4))
+	for round := 0; round < 2000; round++ {
+		prices := pm.Prices(ctx)
+		acc := make([]bool, len(prices))
+		for i, p := range prices {
+			acc[i] = rng.Float64() < accept(p)
+		}
+		pm.Observe(ctx, prices, acc)
+	}
+	prices := pm.Prices(ctx)
+	for i, p := range prices {
+		if p < 1 || p > 3 {
+			t.Fatalf("task %d priced %v out of bounds", i, p)
+		}
+	}
+	// Same grid, same price (Definition 1) must survive the wrapper.
+	if prices[0] != prices[1] {
+		t.Errorf("cell 8 split prices: %v vs %v", prices[0], prices[1])
+	}
+}

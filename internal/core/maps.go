@@ -1,0 +1,287 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"spatialcrowd/internal/stats"
+)
+
+// MAPS is the matching-based dynamic pricing strategy of Section 4
+// (Algorithms 2 and 3). Each period it:
+//
+//  1. builds the task–worker bipartite graph (supplied via the context),
+//  2. greedily distributes the dependent supply: a max-heap over grids
+//     repeatedly admits one more worker to the grid with the largest
+//     marginal increase Δ^g of the approximate expected revenue
+//     L^g(n,p) = min(Σ d_r·p·S(p), Σ_{top n} d_r·p), validating every
+//     admission with an augmenting path in the pre-matching M′,
+//  3. prices each grid with the UCB index of Section 4.2.2 over the
+//     candidate ladder, so demand is learned online from accept/reject
+//     feedback with change detection.
+//
+// Grids without tasks are priced at the base price p_b.
+type MAPS struct {
+	P Params
+
+	basePrice float64
+	ladder    []float64
+	cells     map[int]*CellStats
+
+	// NoMatchingValidation disables the augmenting-path check when admitting
+	// supply (ablation A2 in DESIGN.md): every grid may claim up to |R^tg|
+	// workers regardless of the bipartite structure, as if supply were
+	// independent across grids. Real deployments must leave this false.
+	NoMatchingValidation bool
+
+	// Smoothing in [0, 1) blends each grid's price toward its neighbors'
+	// average after the main pricing pass (Section 4.2.3's spatial smoothing
+	// note). 0 disables smoothing.
+	Smoothing float64
+
+	// LastSupply exposes the n^{tg} chosen in the most recent Prices call
+	// (cell -> worker count); experiment ablations read it.
+	LastSupply map[int]int
+	// LastPrices exposes the final per-grid prices of the last Prices call.
+	LastPrices map[int]float64
+}
+
+// NewMAPS builds a MAPS strategy around a base price (typically
+// BaseP.BasePrice() after calibration, as Algorithm 2 prescribes).
+func NewMAPS(p Params, basePrice float64) (*MAPS, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ladder, err := stats.PriceLadder(p.PMin, p.PMax, p.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &MAPS{
+		P:         p,
+		basePrice: p.Clamp(basePrice),
+		ladder:    ladder,
+		cells:     make(map[int]*CellStats),
+	}, nil
+}
+
+// Name implements Strategy.
+func (m *MAPS) Name() string { return "MAPS" }
+
+// GridPrices implements GridPricer with the last period's per-grid prices.
+func (m *MAPS) GridPrices() map[int]float64 { return m.LastPrices }
+
+// BasePrice returns the p_b used for task-free grids and initialization.
+func (m *MAPS) BasePrice() float64 { return m.basePrice }
+
+// CellStats returns (creating on demand) the learning state of a cell.
+func (m *MAPS) CellStats(cell int) *CellStats {
+	cs, ok := m.cells[cell]
+	if !ok {
+		cs = NewCellStats(m.ladder)
+		m.cells[cell] = cs
+	}
+	return cs
+}
+
+// SetLadder replaces the candidate price set, e.g. with an empirically
+// tabulated one like Table 1 of the paper. It resets all learned statistics.
+func (m *MAPS) SetLadder(ladder []float64) {
+	m.ladder = append([]float64(nil), ladder...)
+	m.cells = make(map[int]*CellStats)
+}
+
+// heapEntry is the tuple ((g, n_new, p_new), Δ^g) of Algorithm 2.
+type heapEntry struct {
+	cell  int
+	nNew  int
+	pNew  float64
+	delta float64 // +Inf on the initialization round
+}
+
+// deltaHeap is the max-heap H keyed by Δ^g.
+type deltaHeap []heapEntry
+
+func (h deltaHeap) Len() int            { return len(h) }
+func (h deltaHeap) Less(i, j int) bool  { return h[i].delta > h[j].delta }
+func (h deltaHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *deltaHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
+func (h *deltaHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// cellRound is MAPS's per-period working state for one grid cell.
+type cellRound struct {
+	cellID    int
+	tasks     []int   // task indices, distance-descending (ctx.Cells order)
+	sumDist   float64 // C = Σ_r d_r over the cell's tasks
+	prefix    []float64
+	n         int     // committed supply n^{tg}
+	price     float64 // current tentative price
+	lval      float64 // L^g at the committed (n, price)
+	finalized bool
+}
+
+// topDistSum returns D = Σ of the top-n distances.
+func (cr *cellRound) topDistSum(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= len(cr.prefix) {
+		return cr.prefix[len(cr.prefix)-1]
+	}
+	return cr.prefix[n-1]
+}
+
+// Prices implements Strategy by running Algorithm 2.
+func (m *MAPS) Prices(ctx *PeriodContext) []float64 {
+	prices := make([]float64, len(ctx.Tasks))
+	m.LastSupply = make(map[int]int, len(ctx.Cells))
+	m.LastPrices = make(map[int]float64, len(ctx.Cells))
+	if len(ctx.Tasks) == 0 {
+		return prices
+	}
+
+	// Pre-matching M′ over the period's bipartite graph (line 1–2).
+	pre := newPreMatcher(ctx)
+
+	rounds := make(map[int]*cellRound, len(ctx.Cells))
+	h := &deltaHeap{}
+	// Lines 3–4: one entry per grid with Δ = ∞ so every grid is evaluated
+	// once before any admission.
+	for cell, tasks := range ctx.Cells {
+		cr := &cellRound{cellID: cell, tasks: tasks, price: m.basePrice}
+		cr.prefix = make([]float64, len(tasks))
+		run := 0.0
+		for i, ti := range tasks {
+			d := ctx.Tasks[ti].Distance
+			run += d
+			cr.prefix[i] = run
+		}
+		cr.sumDist = run
+		rounds[cell] = cr
+		heap.Push(h, heapEntry{cell: cell, nNew: 0, pNew: m.basePrice, delta: math.Inf(1)})
+	}
+
+	// Lines 5–21: the greedy supply-distribution loop.
+	for h.Len() > 0 {
+		e := heap.Pop(h).(heapEntry)
+		cr := rounds[e.cell]
+		if cr.finalized {
+			continue
+		}
+		if !math.IsInf(e.delta, 1) && e.delta > 0 {
+			// Lines 8–10: admit the proposed worker — find an augmenting
+			// path for an unassigned task of this grid.
+			if m.NoMatchingValidation || pre.augmentOne(e.cell, cr) {
+				cr.n = e.nNew
+				cr.price = e.pNew
+				cr.lval = m.lValue(cr, cr.n, cr.price)
+			}
+			// If the augmentation went stale (another grid took the worker
+			// since the proposal), fall through: the re-proposal below will
+			// discover infeasibility and retire the grid with Δ = 0.
+		}
+		if e.delta == 0 {
+			// Lines 11–14: final price for this grid, clamped to the cap.
+			cr.price = m.P.Clamp(e.pNew)
+			cr.finalized = true
+			continue
+		}
+		// Lines 16–21: propose one more worker for this grid.
+		feasible := len(cr.tasks) > 0
+		if feasible && !m.NoMatchingValidation {
+			feasible = pre.canAugment(e.cell, cr)
+		} else if feasible && m.NoMatchingValidation {
+			feasible = cr.n < len(cr.tasks)
+		}
+		if !feasible {
+			price := cr.price
+			if cr.n == 0 && len(cr.tasks) > 0 {
+				// Starved grid: no supply could be validated. Retire it at
+				// its one-worker aspirational price, which sits high on the
+				// revenue curve (Section 4.2.3's note that MAPS prices
+				// under-supplied regions up). Pricing starved grids at the
+				// base price instead floods the market with cheap accepted
+				// tasks that divert workers from the premium grids in the
+				// realized assignment.
+				price, _ = m.maximizer(cr, 1)
+			}
+			heap.Push(h, heapEntry{cell: e.cell, nNew: cr.n, pNew: price, delta: 0})
+			continue
+		}
+		nNext := cr.n + 1
+		pNext, lNext := m.maximizer(cr, nNext)
+		delta := lNext - cr.lval
+		if delta <= 1e-12 {
+			heap.Push(h, heapEntry{cell: e.cell, nNew: cr.n, pNew: pNext, delta: 0})
+			continue
+		}
+		heap.Push(h, heapEntry{cell: e.cell, nNew: nNext, pNew: pNext, delta: delta})
+	}
+
+	// Emit per-task prices; task-free grids never appear in ctx.Cells and
+	// implicitly keep the base price.
+	for cell, cr := range rounds {
+		m.LastSupply[cell] = cr.n
+		m.LastPrices[cell] = m.P.Clamp(cr.price)
+	}
+	if m.Smoothing > 0 {
+		m.LastPrices = SmoothPrices(ctx.Grid, m.LastPrices, m.Smoothing)
+	}
+	for cell, cr := range rounds {
+		p := m.LastPrices[cell]
+		for _, ti := range cr.tasks {
+			prices[ti] = p
+		}
+	}
+	return prices
+}
+
+// maximizer is Algorithm 3: scan the ladder from pmax down and return the
+// price with the largest UCB index, along with the resulting estimate of
+// L^g(n, p) (the index scaled back by C).
+func (m *MAPS) maximizer(cr *cellRound, n int) (price, lval float64) {
+	cs := m.cellStatsFor(cr)
+	if cr.sumDist <= 0 || cs.Total() == 0 {
+		// No demand mass or no observations yet: stay at the base price, the
+		// initial input Algorithm 2 receives from base pricing.
+		return m.basePrice, 0
+	}
+	ratio := cr.topDistSum(n) / cr.sumDist // D/C
+	pos, idx := cs.BestIndex(ratio)
+	if math.IsInf(idx, -1) || idx < 0 {
+		return m.basePrice, 0
+	}
+	return cs.Ladder()[pos], idx * cr.sumDist
+}
+
+// lValue evaluates the committed L^g(n, p) with the current statistics.
+func (m *MAPS) lValue(cr *cellRound, n int, p float64) float64 {
+	cs := m.cellStatsFor(cr)
+	demand := cr.sumDist * p * cs.MeanAt(p)
+	supply := cr.topDistSum(n) * p
+	return math.Min(demand, supply)
+}
+
+// cellStatsFor maps a working round back to its persistent statistics.
+func (m *MAPS) cellStatsFor(cr *cellRound) *CellStats {
+	// rounds are keyed by cell in Prices; stash the cell on first use.
+	return m.CellStats(cr.cellID)
+}
+
+// Observe implements Strategy: feed every requester decision into the cell's
+// UCB statistics and change detector.
+func (m *MAPS) Observe(ctx *PeriodContext, prices []float64, accepted []bool) {
+	if len(prices) != len(ctx.Tasks) || len(accepted) != len(ctx.Tasks) {
+		panic(fmt.Sprintf("core: Observe with %d prices / %d outcomes for %d tasks",
+			len(prices), len(accepted), len(ctx.Tasks)))
+	}
+	for i, tv := range ctx.Tasks {
+		m.CellStats(tv.Cell).Observe(prices[i], accepted[i])
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The persistence format: learned demand statistics survive process
+// restarts, so a platform can redeploy its pricing service without paying
+// the calibration and exploration cost again. The change-detection windows
+// are deliberately not persisted — after a restart the market may have
+// moved, so the detector restarts its reference from fresh observations.
+
+// cellSnapshot is the serialized learning state of one grid cell.
+type cellSnapshot struct {
+	Cell   int         `json:"cell"`
+	Total  int         `json:"total"`
+	Prices []priceSnap `json:"prices"`
+}
+
+type priceSnap struct {
+	Price   float64 `json:"price"`
+	Tried   int     `json:"tried"`
+	Accepts int     `json:"accepts"`
+}
+
+// mapsSnapshot is the serialized state of a MAPS strategy.
+type mapsSnapshot struct {
+	Version   int            `json:"version"`
+	BasePrice float64        `json:"base_price"`
+	Ladder    []float64      `json:"ladder"`
+	Smoothing float64        `json:"smoothing"`
+	Cells     []cellSnapshot `json:"cells"`
+}
+
+const snapshotVersion = 1
+
+// Snapshot exports a cell's statistics (price rungs with their counts).
+func (cs *CellStats) snapshot(cell int) cellSnapshot {
+	snap := cellSnapshot{Cell: cell, Total: cs.total}
+	for i, p := range cs.ladder {
+		st := cs.stat[i]
+		if st.tried == 0 {
+			continue
+		}
+		snap.Prices = append(snap.Prices, priceSnap{Price: p, Tried: st.tried, Accepts: st.accepts})
+	}
+	return snap
+}
+
+// SaveState serializes the strategy's learned statistics as JSON.
+func (m *MAPS) SaveState(w io.Writer) error {
+	snap := mapsSnapshot{
+		Version:   snapshotVersion,
+		BasePrice: m.basePrice,
+		Ladder:    m.ladder,
+		Smoothing: m.Smoothing,
+	}
+	// Deterministic order for stable output.
+	cells := make([]int, 0, len(m.cells))
+	for c := range m.cells {
+		cells = append(cells, c)
+	}
+	sortInts(cells)
+	for _, c := range cells {
+		snap.Cells = append(snap.Cells, m.cells[c].snapshot(c))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// LoadState restores a strategy's learned statistics from SaveState output.
+// The current ladder and cells are replaced wholesale.
+func (m *MAPS) LoadState(r io.Reader) error {
+	var snap mapsSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("core: decoding MAPS state: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("core: unsupported MAPS state version %d", snap.Version)
+	}
+	if len(snap.Ladder) == 0 {
+		return fmt.Errorf("core: MAPS state has an empty price ladder")
+	}
+	for i := 1; i < len(snap.Ladder); i++ {
+		if snap.Ladder[i] <= snap.Ladder[i-1] {
+			return fmt.Errorf("core: MAPS state ladder is not increasing at %d", i)
+		}
+	}
+	m.basePrice = m.P.Clamp(snap.BasePrice)
+	m.Smoothing = snap.Smoothing
+	m.SetLadder(snap.Ladder)
+	for _, c := range snap.Cells {
+		if c.Cell < 0 {
+			return fmt.Errorf("core: MAPS state has negative cell %d", c.Cell)
+		}
+		cs := m.CellStats(c.Cell)
+		seeded := 0
+		for _, p := range c.Prices {
+			if p.Tried < 0 || p.Accepts < 0 || p.Accepts > p.Tried {
+				return fmt.Errorf("core: MAPS state cell %d has invalid counts %+v", c.Cell, p)
+			}
+			cs.Seed(p.Price, p.Tried, p.Accepts)
+			seeded += p.Tried
+		}
+		// Seed() accumulated per-price totals; align the cell total with the
+		// recorded N (probes may have been observed at prices later removed
+		// from the ladder).
+		if c.Total > seeded {
+			cs.total += c.Total - seeded
+		}
+	}
+	return nil
+}
+
+// sortInts is a minimal insertion sort; cell counts are small and this
+// avoids importing sort for one call site in a hot-free path.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

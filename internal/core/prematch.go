@@ -1,0 +1,44 @@
+package core
+
+import "spatialcrowd/internal/match"
+
+// preMatcher maintains MAPS's pre-matching M′ (Algorithm 2): an incremental
+// matching over the period's bipartite graph used purely to validate that a
+// grid can absorb one more unit of supply without violating the range
+// constraints or double-booking a worker.
+type preMatcher struct {
+	inc *match.Incremental
+}
+
+// newPreMatcher wraps the period's graph.
+func newPreMatcher(ctx *PeriodContext) *preMatcher {
+	return &preMatcher{inc: match.NewIncremental(ctx.Graph)}
+}
+
+// unassigned collects the cell's tasks that are not yet in M′, preserving the
+// distance-descending order so the supply curve consumes the largest
+// distances first.
+func (pm *preMatcher) unassigned(cr *cellRound) []int {
+	out := make([]int, 0, len(cr.tasks))
+	for _, ti := range cr.tasks {
+		if !pm.inc.Matched(ti) {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+// augmentOne commits one more of the cell's tasks into M′ via an augmenting
+// path (Algorithm 2, line 10). It reports whether a path existed.
+func (pm *preMatcher) augmentOne(cell int, cr *cellRound) bool {
+	return pm.inc.TryAugmentAny(pm.unassigned(cr)) >= 0
+}
+
+// canAugment reports whether some unassigned task of the cell admits an
+// augmenting path, without mutating M′ (Algorithm 2, line 16).
+func (pm *preMatcher) canAugment(cell int, cr *cellRound) bool {
+	return pm.inc.CanAugmentAny(pm.unassigned(cr))
+}
+
+// matching exposes M′ for tests.
+func (pm *preMatcher) matching() *match.Matching { return pm.inc.Matching() }

@@ -1,0 +1,59 @@
+package core
+
+import "spatialcrowd/internal/geo"
+
+// SmoothPrices applies one pass of spatial price smoothing: each grid's
+// price moves toward the average price of its (up to 8) neighboring grids,
+// weighted by w in [0, 1). This implements the practical note of
+// Section 4.2.3 — "Spatial smoothing can also be integrated to reduce the
+// gap of unit prices among neighbouring grids" — which platforms use to
+// avoid cliff-edge surges across street boundaries.
+//
+// Grids absent from prices (no tasks this period) do not contribute to
+// their neighbors' averages. The result is a new map; the input is not
+// modified.
+func SmoothPrices(grid geo.Grid, prices map[int]float64, w float64) map[int]float64 {
+	out := make(map[int]float64, len(prices))
+	if w <= 0 {
+		for c, p := range prices {
+			out[c] = p
+		}
+		return out
+	}
+	if w >= 1 {
+		w = 0.999
+	}
+	for cell, p := range prices {
+		sum, n := 0.0, 0
+		for _, nb := range grid.Neighbors(cell) {
+			if np, ok := prices[nb]; ok {
+				sum += np
+				n++
+			}
+		}
+		if n == 0 {
+			out[cell] = p
+			continue
+		}
+		out[cell] = (1-w)*p + w*sum/float64(n)
+	}
+	return out
+}
+
+// PriceGap measures the maximum absolute price difference between any two
+// neighboring priced grids — the quantity smoothing is meant to shrink.
+func PriceGap(grid geo.Grid, prices map[int]float64) float64 {
+	gap := 0.0
+	for cell, p := range prices {
+		for _, nb := range grid.Neighbors(cell) {
+			if np, ok := prices[nb]; ok {
+				if d := p - np; d > gap {
+					gap = d
+				} else if -d > gap {
+					gap = -d
+				}
+			}
+		}
+	}
+	return gap
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spatialcrowd/internal/geo"
+)
+
+func TestSmoothPricesReducesGap(t *testing.T) {
+	grid := geo.SquareGrid(30, 3)
+	prices := map[int]float64{
+		0: 1, 1: 1, 2: 1,
+		3: 1, 4: 5, 5: 1, // spike in the middle
+		6: 1, 7: 1, 8: 1,
+	}
+	before := PriceGap(grid, prices)
+	smoothed := SmoothPrices(grid, prices, 0.5)
+	after := PriceGap(grid, smoothed)
+	if after >= before {
+		t.Fatalf("gap %v did not shrink (was %v)", after, before)
+	}
+	// The spike moved toward its neighbors' mean: (1-w)*5 + w*1 = 3.
+	if math.Abs(smoothed[4]-3) > 1e-9 {
+		t.Errorf("spike smoothed to %v, want 3", smoothed[4])
+	}
+	// Total order preserved: spike still the max.
+	for c, p := range smoothed {
+		if c != 4 && p > smoothed[4] {
+			t.Errorf("cell %d (%v) exceeds the smoothed spike (%v)", c, p, smoothed[4])
+		}
+	}
+}
+
+func TestSmoothPricesEdgeCases(t *testing.T) {
+	grid := geo.SquareGrid(30, 3)
+	// w = 0: identity.
+	prices := map[int]float64{0: 2, 4: 3}
+	out := SmoothPrices(grid, prices, 0)
+	if out[0] != 2 || out[4] != 3 {
+		t.Error("w=0 must be the identity")
+	}
+	// Isolated cell (no priced neighbors): unchanged.
+	out = SmoothPrices(grid, map[int]float64{0: 2.5}, 0.8)
+	if out[0] != 2.5 {
+		t.Errorf("isolated cell changed to %v", out[0])
+	}
+	// w >= 1 is clamped, not panicking.
+	out = SmoothPrices(grid, map[int]float64{0: 2, 1: 4}, 1.5)
+	if out[0] <= 2 || out[0] >= 4 {
+		t.Errorf("clamped smoothing produced %v", out[0])
+	}
+	// Input map is not mutated.
+	in := map[int]float64{0: 2, 1: 4}
+	SmoothPrices(grid, in, 0.5)
+	if in[0] != 2 || in[1] != 4 {
+		t.Error("input mutated")
+	}
+}
+
+func TestSmoothingRepeatedConvergesToConsensus(t *testing.T) {
+	grid := geo.SquareGrid(40, 4)
+	rng := rand.New(rand.NewSource(3))
+	prices := map[int]float64{}
+	for c := 0; c < grid.NumCells(); c++ {
+		prices[c] = 1 + 4*rng.Float64()
+	}
+	for i := 0; i < 400; i++ {
+		prices = SmoothPrices(grid, prices, 0.5)
+	}
+	if gap := PriceGap(grid, prices); gap > 0.05 {
+		t.Errorf("repeated smoothing left gap %v", gap)
+	}
+}
+
+func TestMAPSWithSmoothingStillOnePricePerCell(t *testing.T) {
+	ctx := exampleContext(t)
+	m, _ := NewMAPS(Params{PMin: 1, PMax: 3, Alpha: 0.5, Eps: 0.2, Delta: 0.01}, 2)
+	m.SetLadder([]float64{1, 2, 3})
+	m.Smoothing = 0.3
+	for _, cell := range []int{8, 10} {
+		cs := m.CellStats(cell)
+		cs.Seed(1, 100000, 90000)
+		cs.Seed(2, 100000, 80000)
+		cs.Seed(3, 100000, 50000)
+	}
+	prices := m.Prices(ctx)
+	if prices[0] != prices[1] {
+		t.Errorf("cell 8 tasks priced differently: %v vs %v", prices[0], prices[1])
+	}
+	// Cells 8 and 10 are not neighbors on the 4x4 grid, so smoothing with no
+	// priced neighbors leaves the Example 5 prices intact.
+	if prices[0] != 3 || prices[2] != 2 {
+		t.Errorf("non-adjacent grids should keep {3,2}, got %v", prices)
+	}
+}
+
+func TestMAPSSaveLoadRoundTrip(t *testing.T) {
+	m1, _ := NewMAPS(DefaultParams(), 2.2)
+	m1.Smoothing = 0.25
+	rng := rand.New(rand.NewSource(5))
+	for cell := 0; cell < 6; cell++ {
+		cs := m1.CellStats(cell)
+		for _, p := range cs.Ladder() {
+			tried := 50 + rng.Intn(500)
+			cs.Seed(p, tried, rng.Intn(tried+1))
+		}
+	}
+	var buf bytes.Buffer
+	if err := m1.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, _ := NewMAPS(DefaultParams(), 1.0)
+	if err := m2.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if m2.BasePrice() != m1.BasePrice() || m2.Smoothing != m1.Smoothing {
+		t.Errorf("scalar state differs: pb %v/%v smoothing %v/%v",
+			m2.BasePrice(), m1.BasePrice(), m2.Smoothing, m1.Smoothing)
+	}
+	for cell := 0; cell < 6; cell++ {
+		a, b := m1.CellStats(cell), m2.CellStats(cell)
+		if a.Total() != b.Total() {
+			t.Fatalf("cell %d total %d vs %d", cell, a.Total(), b.Total())
+		}
+		for _, p := range a.Ladder() {
+			if a.TriedAt(p) != b.TriedAt(p) || math.Abs(a.MeanAt(p)-b.MeanAt(p)) > 1e-12 {
+				t.Fatalf("cell %d price %v: stats differ", cell, p)
+			}
+		}
+	}
+	// Save the restored copy: must be byte-identical (deterministic order).
+	var buf2 bytes.Buffer
+	if err := m2.SaveState(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("round-tripped snapshot differs")
+	}
+}
+
+func TestMAPSLoadStateRejectsGarbage(t *testing.T) {
+	m, _ := NewMAPS(DefaultParams(), 2)
+	cases := []string{
+		"not json",
+		`{"version":99,"ladder":[1,2]}`,
+		`{"version":1,"ladder":[]}`,
+		`{"version":1,"ladder":[2,1]}`,
+		`{"version":1,"ladder":[1,2],"cells":[{"cell":-1}]}`,
+		`{"version":1,"ladder":[1,2],"cells":[{"cell":0,"prices":[{"price":1,"tried":2,"accepts":5}]}]}`,
+	}
+	for i, c := range cases {
+		if err := m.LoadState(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should be rejected", i)
+		}
+	}
+}
+
+func TestMAPSLoadedStatePricesLikeOriginal(t *testing.T) {
+	// A restored strategy must make the same pricing decisions.
+	ctx := exampleContext(t)
+	m1, _ := NewMAPS(Params{PMin: 1, PMax: 3, Alpha: 0.5, Eps: 0.2, Delta: 0.01}, 2)
+	m1.SetLadder([]float64{1, 2, 3})
+	for _, cell := range []int{8, 10} {
+		cs := m1.CellStats(cell)
+		cs.Seed(1, 100000, 90000)
+		cs.Seed(2, 100000, 80000)
+		cs.Seed(3, 100000, 50000)
+	}
+	var buf bytes.Buffer
+	if err := m1.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := NewMAPS(Params{PMin: 1, PMax: 3, Alpha: 0.5, Eps: 0.2, Delta: 0.01}, 1)
+	if err := m2.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p1 := m1.Prices(ctx)
+	p2 := m2.Prices(ctx)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("restored strategy disagrees at task %d: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package core implements the paper's pricing strategies: the base pricing
+// algorithm with Myerson-reserve estimation (Algorithm 1), the MAPS
+// matching-based dynamic pricing strategy (Algorithms 2–3), and the three
+// comparison baselines of Section 5 (SDR, SDE, CappedUCB).
+//
+// Strategies see only public market information — task origins, destinations,
+// distances and worker positions — plus the accept/reject feedback of past
+// offers. Private valuations never cross this API.
+package core
+
+import (
+	"fmt"
+
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/match"
+)
+
+// TaskView is the strategy-visible projection of a task: everything except
+// the requester's private valuation.
+type TaskView struct {
+	ID       int
+	Origin   geo.Point
+	Dest     geo.Point
+	Distance float64
+	Cell     int
+}
+
+// PeriodContext carries one time period's market state to a strategy.
+type PeriodContext struct {
+	Period  int
+	Grid    geo.Grid
+	Tasks   []TaskView      // this period's issued tasks
+	Workers []market.Worker // this period's available workers
+	Graph   *match.Graph    // bipartite graph: Tasks x Workers (range constraint)
+	Cells   map[int][]int   // cell -> task indices, sorted by distance descending
+}
+
+// Strategy prices one period's tasks and learns from the outcome.
+type Strategy interface {
+	// Name identifies the strategy in experiment tables.
+	Name() string
+	// Prices returns one unit price per task in ctx.Tasks. Implementations
+	// must give tasks of the same grid cell the same price (Definition 1).
+	Prices(ctx *PeriodContext) []float64
+	// Observe reports the requesters' decisions for the prices returned by
+	// the immediately preceding Prices call on the same context.
+	Observe(ctx *PeriodContext, prices []float64, accepted []bool)
+}
+
+// GridPricer is implemented by strategies that expose their most recent
+// per-grid prices (cell -> unit price). The simulator's worker-repositioning
+// extension uses it: the paper notes that higher prices in under-supplied
+// regions "will motivate more drivers to move to these regions"
+// (Section 4.2.3, practical note (i)).
+type GridPricer interface {
+	// GridPrices returns the latest per-grid unit prices.
+	GridPrices() map[int]float64
+}
+
+// ProbeOracle answers base pricing's calibration probes: offer `price` to
+// one fresh requester whose task originates in `cell` and report acceptance.
+// In the simulator this draws from the hidden valuation model, standing in
+// for "requesters who recently have issued tasks" (Algorithm 1, line 6).
+type ProbeOracle interface {
+	Probe(cell int, price float64) bool
+}
+
+// Params bundles the pricing knobs shared by every strategy.
+type Params struct {
+	PMin  float64 // lower bound of candidate prices
+	PMax  float64 // upper bound of candidate prices
+	Alpha float64 // ladder multiplier: successive candidates differ by (1+Alpha)
+	Eps   float64 // base pricing sampling accuracy (Theorem 2)
+	Delta float64 // base pricing failure probability (Theorem 2)
+}
+
+// DefaultParams mirrors the paper's experimental configuration: valuations
+// live in [1, 5], alpha = 0.5 (Example 4), and the standard (0.2, 0.01)
+// accuracy pair.
+func DefaultParams() Params {
+	return Params{PMin: 1, PMax: 5, Alpha: 0.5, Eps: 0.2, Delta: 0.01}
+}
+
+// Validate reports the first invalid field.
+func (p Params) Validate() error {
+	if p.PMin <= 0 || p.PMax < p.PMin {
+		return fmt.Errorf("core: need 0 < PMin <= PMax, got [%v,%v]", p.PMin, p.PMax)
+	}
+	if p.Alpha <= 0 {
+		return fmt.Errorf("core: need Alpha > 0, got %v", p.Alpha)
+	}
+	if p.Eps <= 0 {
+		return fmt.Errorf("core: need Eps > 0, got %v", p.Eps)
+	}
+	if p.Delta <= 0 || p.Delta >= 1 {
+		return fmt.Errorf("core: need Delta in (0,1), got %v", p.Delta)
+	}
+	return nil
+}
+
+// Clamp restricts a price to [PMin, PMax], the bounded-price cap the paper
+// recommends as a practical note in Section 4.2.3.
+func (p Params) Clamp(price float64) float64 {
+	if price < p.PMin {
+		return p.PMin
+	}
+	if price > p.PMax {
+		return p.PMax
+	}
+	return price
+}
+
+// BuildContext assembles a PeriodContext from raw market data: it projects
+// tasks to TaskViews, builds the range-constraint bipartite graph, and
+// groups tasks per grid cell with distances sorted descending.
+func BuildContext(grid geo.Grid, period int, tasks []market.Task, workers []market.Worker, graph *match.Graph) *PeriodContext {
+	views := make([]TaskView, len(tasks))
+	cells := make(map[int][]int)
+	for i, t := range tasks {
+		cell := grid.CellOf(t.Origin)
+		views[i] = TaskView{
+			ID: t.ID, Origin: t.Origin, Dest: t.Dest,
+			Distance: t.Distance, Cell: cell,
+		}
+		cells[cell] = append(cells[cell], i)
+	}
+	for _, idx := range cells {
+		sortByDistanceDesc(views, idx)
+	}
+	return &PeriodContext{
+		Period: period, Grid: grid, Tasks: views, Workers: workers,
+		Graph: graph, Cells: cells,
+	}
+}
+
+// sortByDistanceDesc sorts idx (task indices) by views' distance descending;
+// insertion sort keeps it allocation-free for the typically short per-cell
+// lists.
+func sortByDistanceDesc(views []TaskView, idx []int) {
+	for i := 1; i < len(idx); i++ {
+		j := i
+		for j > 0 && views[idx[j-1]].Distance < views[idx[j]].Distance {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			j--
+		}
+	}
+}

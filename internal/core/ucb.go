@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+
+	"spatialcrowd/internal/stats"
+)
+
+// priceStat tracks observations of one candidate price in one grid cell.
+type priceStat struct {
+	tried   int // N(p): offers made at this price
+	accepts int // accepted offers
+
+	// Sliding change-detection window (Section 4.2.2): outcomes since the
+	// last reset, compared against the acceptance ratio frozen at the
+	// window's start.
+	winTrials  int
+	winAccepts int
+	winRef     float64 // Shat(p) at window start
+	winRefSet  bool
+}
+
+// mean returns the sample acceptance ratio Shat(p); 0 before any trial.
+func (ps *priceStat) mean() float64 {
+	if ps.tried == 0 {
+		return 0
+	}
+	return float64(ps.accepts) / float64(ps.tried)
+}
+
+// CellStats is the per-grid UCB learning state of MAPS: for every candidate
+// price on the ladder it keeps N(p) and the empirical acceptance ratio, the
+// total requester count N, and a deviation-based change detector that resets
+// a price's statistics when the market moves (Section 4.2.2).
+type CellStats struct {
+	ladder []float64
+	stat   []priceStat
+	total  int // N: requesters observed in this cell so far
+
+	// ChangeWindow is the number of outcomes between change checks.
+	ChangeWindow int
+	// Changes counts detected demand shifts (exposed for diagnostics).
+	Changes int
+}
+
+// NewCellStats builds learning state over the given candidate ladder.
+func NewCellStats(ladder []float64) *CellStats {
+	return &CellStats{
+		ladder:       ladder,
+		stat:         make([]priceStat, len(ladder)),
+		ChangeWindow: 64,
+	}
+}
+
+// Ladder returns the candidate prices.
+func (cs *CellStats) Ladder() []float64 { return cs.ladder }
+
+// Total returns N, the number of requesters observed in the cell.
+func (cs *CellStats) Total() int { return cs.total }
+
+// ladderIndex returns the index of the ladder price nearest to p.
+func (cs *CellStats) ladderIndex(p float64) int {
+	best, bestDiff := 0, math.Inf(1)
+	for i, lp := range cs.ladder {
+		if d := math.Abs(lp - p); d < bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	return best
+}
+
+// Observe folds one requester decision at price p into the statistics and
+// runs the change detector. When the detector flags a statistically
+// significant deviation (outside mean +/- 2 sd, Section 4.2.2) the price's
+// history is discarded so the estimate re-learns the new market.
+func (cs *CellStats) Observe(p float64, accepted bool) {
+	cs.total++
+	ps := &cs.stat[cs.ladderIndex(p)]
+	ps.tried++
+	if accepted {
+		ps.accepts++
+	}
+
+	if !ps.winRefSet {
+		// Freeze the reference ratio once enough mass exists.
+		if ps.tried >= cs.ChangeWindow {
+			ps.winRef = ps.mean()
+			ps.winRefSet = true
+			ps.winTrials, ps.winAccepts = 0, 0
+		}
+		return
+	}
+	ps.winTrials++
+	if accepted {
+		ps.winAccepts++
+	}
+	if ps.winTrials >= cs.ChangeWindow {
+		if stats.BinomialDeviation(ps.winAccepts, ps.winTrials, ps.winRef) {
+			// Demand changed: drop history, keep only the fresh window.
+			cs.Changes++
+			ps.tried = ps.winTrials
+			ps.accepts = ps.winAccepts
+			ps.winRefSet = false
+		} else {
+			ps.winRef = ps.mean()
+		}
+		ps.winTrials, ps.winAccepts = 0, 0
+	}
+}
+
+// Seed installs `trials` observations with `accepts` acceptances for the
+// ladder price nearest p, bypassing the change detector. Tests and the
+// oracle-demand ablation use it to start from a known acceptance table.
+func (cs *CellStats) Seed(p float64, trials, accepts int) {
+	ps := &cs.stat[cs.ladderIndex(p)]
+	ps.tried += trials
+	ps.accepts += accepts
+	cs.total += trials
+}
+
+// MeanAt returns Shat(p) for the ladder price nearest p.
+func (cs *CellStats) MeanAt(p float64) float64 {
+	return cs.stat[cs.ladderIndex(p)].mean()
+}
+
+// TriedAt returns N(p) for the ladder price nearest p.
+func (cs *CellStats) TriedAt(p float64) int {
+	return cs.stat[cs.ladderIndex(p)].tried
+}
+
+// Index computes the UCB index of Section 4.2.2 for ladder entry i given the
+// supply/demand line slope ratio supplyOverDemand = D/C:
+//
+//	I(p) = min(p*Shat(p) + p*sqrt(2 ln N / N(p)), (D/C)*p)
+//
+// An unexplored price (N(p) = 0 with N > 0) has an unbounded confidence term,
+// so its index is the supply cap alone — optimism that forces exploration.
+func (cs *CellStats) Index(i int, supplyOverDemand float64) float64 {
+	p := cs.ladder[i]
+	cap := supplyOverDemand * p
+	ucb := p*cs.stat[i].mean() + stats.UCBRadius(p, cs.total, cs.stat[i].tried)
+	return math.Min(ucb, cap)
+}
+
+// BestIndex scans the ladder from the highest price down (Algorithm 3,
+// lines 4–9) and returns the ladder position and value of the maximum index.
+// Ties favour the larger price because the scan is strictly descending and
+// only strict improvements replace the incumbent — mirroring Algorithm 3's
+// "if I_new < min(...)" update order.
+func (cs *CellStats) BestIndex(supplyOverDemand float64) (pos int, value float64) {
+	pos, value = len(cs.ladder)-1, math.Inf(-1)
+	for i := len(cs.ladder) - 1; i >= 0; i-- {
+		if v := cs.Index(i, supplyOverDemand); v > value {
+			pos, value = i, v
+		}
+	}
+	return pos, value
+}

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Metric selects which panel row of a figure to print.
+type Metric int
+
+const (
+	// MetricRevenue is the total platform revenue.
+	MetricRevenue Metric = iota
+	// MetricTime is the strategy running time in seconds.
+	MetricTime
+	// MetricMemory is the peak sampled heap in MB.
+	MetricMemory
+)
+
+// name returns the metric's display name.
+func (m Metric) name() string {
+	switch m {
+	case MetricTime:
+		return "Time(secs)"
+	case MetricMemory:
+		return "Memory(MB)"
+	default:
+		return "Revenue"
+	}
+}
+
+// value extracts the metric from a point for one strategy.
+func (s *Series) value(p Point, strat string, m Metric) float64 {
+	res, ok := p.Results[strat]
+	if !ok {
+		return 0
+	}
+	switch m {
+	case MetricTime:
+		return res.StrategyTime.Seconds()
+	case MetricMemory:
+		return res.PeakHeapMB
+	default:
+		return res.Revenue
+	}
+}
+
+// WriteTable renders one metric of the series as an aligned ASCII table in
+// the orientation the paper plots: one row per strategy, one column per
+// parameter value.
+func (s *Series) WriteTable(w io.Writer, m Metric) {
+	fmt.Fprintf(w, "%s — %s\n", s.Title, m.name())
+	cols := make([]string, 0, len(s.Points)+1)
+	cols = append(cols, s.Param)
+	for _, p := range s.Points {
+		cols = append(cols, p.Label)
+	}
+	widths := make([]int, len(cols))
+	rows := [][]string{cols}
+	for _, strat := range StrategyOrder {
+		row := make([]string, 0, len(cols))
+		row = append(row, strat)
+		for _, p := range s.Points {
+			row = append(row, fmt.Sprintf("%.4g", s.value(p, strat, m)))
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}
+
+// WriteAll renders all three metric tables of the series.
+func (s *Series) WriteAll(w io.Writer) {
+	for _, m := range []Metric{MetricRevenue, MetricTime, MetricMemory} {
+		s.WriteTable(w, m)
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV emits the series in long form:
+// experiment,param,tick,strategy,revenue,time_secs,memory_mb,offered,accepted,served.
+func (s *Series) WriteCSV(w io.Writer, header bool) {
+	if header {
+		fmt.Fprintln(w, "experiment,param,tick,strategy,revenue,time_secs,memory_mb,offered,accepted,served")
+	}
+	for _, p := range s.Points {
+		for _, strat := range StrategyOrder {
+			res, ok := p.Results[strat]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%s,%s,%s,%s,%.6g,%.6g,%.6g,%d,%d,%d\n",
+				s.ID, s.Param, p.Label, strat,
+				res.Revenue, res.StrategyTime.Seconds(), res.PeakHeapMB,
+				res.Offered, res.Accepted, res.Served)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package geo provides the planar geometry primitives used throughout the
+// spatial-crowdsourcing pricing system: points, rectangles, distance metrics,
+// and the uniform grid partition of Definition 1 in the paper.
+//
+// All coordinates are float64 in an application-defined unit (the synthetic
+// experiments use a 100x100 square; the Beijing-like workload uses degrees
+// with an equirectangular kilometre conversion).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// SqDist returns the squared Euclidean distance between p and q. It avoids
+// the square root for pure comparisons such as range-constraint checks.
+func (p Point) SqDist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns the translation of p by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Scale returns p scaled componentwise by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4g,%.4g)", p.X, p.Y) }
+
+// InRange reports whether p lies within the closed disk of radius r around
+// center. This is the worker range constraint of Definition 4: a worker at
+// center with radius r can serve a task whose origin is p.
+func (p Point) InRange(center Point, r float64) bool {
+	return p.SqDist(center) <= r*r
+}
+
+// Rect is an axis-aligned rectangle [MinX,MaxX] x [MinY,MaxY].
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanned by two corner points in any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Square returns the square [0,side] x [0,side].
+func Square(side float64) Rect {
+	return Rect{Min: Point{0, 0}, Max: Point{side, side}}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether p lies inside r (closed on all sides).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns the nearest point to p inside r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(r.Min.X, math.Min(r.Max.X, p.X)),
+		Y: math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y)),
+	}
+}
+
+// Center returns the center of r.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string { return fmt.Sprintf("[%v %v]", r.Min, r.Max) }

@@ -1,0 +1,119 @@
+package hardness
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a 3-CNF formula in (a tolerant subset of) the DIMACS CNF
+// format: comment lines start with 'c', an optional problem line
+// "p cnf <vars> <clauses>", then whitespace-separated literals with each
+// clause terminated by 0. Clauses with fewer than three literals are padded
+// by repeating the last literal (logically equivalent); clauses with more
+// than three literals are rejected, since the Theorem 1 reduction is stated
+// for 3-SAT.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var (
+		f                     Formula
+		current               []Literal
+		declVars, declClauses = -1, -1
+	)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("hardness: line %d: malformed problem line %q", line, text)
+			}
+			var err1, err2 error
+			declVars, err1 = strconv.Atoi(fields[2])
+			declClauses, err2 = strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || declVars <= 0 || declClauses <= 0 {
+				return nil, fmt.Errorf("hardness: line %d: bad problem counts %q", line, text)
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(text) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("hardness: line %d: bad literal %q", line, tok)
+			}
+			if v == 0 {
+				cl, err := padClause(current, line)
+				if err != nil {
+					return nil, err
+				}
+				f.Clauses = append(f.Clauses, cl)
+				current = current[:0]
+				continue
+			}
+			current = append(current, Literal(v))
+			if lv := Literal(v).Var(); lv > f.NumVars {
+				f.NumVars = lv
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hardness: reading DIMACS: %w", err)
+	}
+	if len(current) > 0 {
+		cl, err := padClause(current, line)
+		if err != nil {
+			return nil, err
+		}
+		f.Clauses = append(f.Clauses, cl)
+	}
+	if declVars > f.NumVars {
+		f.NumVars = declVars
+	}
+	if declClauses >= 0 && declClauses != len(f.Clauses) {
+		return nil, fmt.Errorf("hardness: problem line declares %d clauses, found %d",
+			declClauses, len(f.Clauses))
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// padClause normalizes a parsed clause to exactly three literals.
+func padClause(lits []Literal, line int) (Clause, error) {
+	switch len(lits) {
+	case 0:
+		return Clause{}, fmt.Errorf("hardness: line %d: empty clause (unsatisfiable by convention, not supported)", line)
+	case 1:
+		return Clause{lits[0], lits[0], lits[0]}, nil
+	case 2:
+		return Clause{lits[0], lits[1], lits[1]}, nil
+	case 3:
+		return Clause{lits[0], lits[1], lits[2]}, nil
+	default:
+		return Clause{}, fmt.Errorf("hardness: line %d: clause with %d literals; the Theorem 1 reduction is for 3-SAT", line, len(lits))
+	}
+}
+
+// WriteDIMACS emits the formula in DIMACS CNF format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		if _, err := fmt.Fprintf(w, "%d %d %d 0\n", c[0], c[1], c[2]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

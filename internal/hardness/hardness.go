@@ -1,0 +1,223 @@
+// Package hardness makes the paper's NP-hardness proof (Theorem 1,
+// Appendix A) executable: it implements the polynomial-time reduction from
+// 3-SAT to the decision version of the Global Dynamic Pricing problem and a
+// tiny exact solver, so the equivalence "formula satisfiable ⇔ optimal
+// revenue = m" can be verified mechanically on small formulas.
+//
+// The reduction, following the appendix: for each clause C_i there is one
+// worker w_i; for each literal of C_i there is one requester whose task only
+// w_i can serve. A positive literal's requester has deterministic valuation
+// 1 and distance 1; a negative literal's has valuation 2 and distance 0.5.
+// All requesters of the same variable (its positive and negative literals
+// across all clauses) share one grid, so the platform must offer them one
+// common price: price 1 ⇒ the variable is true (positive literals accept and
+// pay 1x1; negative literals accept too but yield 0.5 — suboptimal), price 2
+// ⇒ the variable is false (only negative literals accept, paying 2x0.5 = 1).
+// Each worker can earn exactly 1 iff its clause has a satisfied literal, so
+// the maximum revenue is m iff the formula is satisfiable.
+package hardness
+
+import (
+	"fmt"
+)
+
+// Literal is a 3-SAT literal: a 1-based variable index, negative for a
+// negated variable (DIMACS convention; 0 is invalid).
+type Literal int
+
+// Var returns the 1-based variable index.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether the literal is un-negated.
+func (l Literal) Positive() bool { return l > 0 }
+
+// Clause is a disjunction of exactly three literals.
+type Clause [3]Literal
+
+// Formula is a 3-CNF formula.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate rejects malformed formulas.
+func (f *Formula) Validate() error {
+	if f.NumVars <= 0 {
+		return fmt.Errorf("hardness: formula needs at least one variable")
+	}
+	if len(f.Clauses) == 0 {
+		return fmt.Errorf("hardness: formula needs at least one clause")
+	}
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			if l == 0 {
+				return fmt.Errorf("hardness: clause %d has a zero literal", ci)
+			}
+			if l.Var() > f.NumVars {
+				return fmt.Errorf("hardness: clause %d references variable %d > %d",
+					ci, l.Var(), f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// Satisfiable decides the formula by exhaustive assignment enumeration —
+// exponential, for reduction verification on small formulas only.
+// It returns a satisfying assignment (1-based; index 0 unused) when one
+// exists.
+func (f *Formula) Satisfiable() (bool, []bool) {
+	if f.NumVars > 24 {
+		panic("hardness: brute-force SAT beyond 24 variables")
+	}
+	assign := make([]bool, f.NumVars+1)
+	for mask := 0; mask < 1<<uint(f.NumVars); mask++ {
+		for v := 1; v <= f.NumVars; v++ {
+			assign[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if f.evaluate(assign) {
+			out := make([]bool, len(assign))
+			copy(out, assign)
+			return true, out
+		}
+	}
+	return false, nil
+}
+
+// evaluate checks the formula under an assignment.
+func (f *Formula) evaluate(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assign[l.Var()] == l.Positive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// GDPInstance is the pricing instance the reduction produces. Requesters
+// have deterministic valuations (the acceptance "distribution" is a point
+// mass), so revenue has no expectation and the decision question is exact.
+type GDPInstance struct {
+	// NumGrids is one grid per variable; requester r belongs to grid
+	// Grid[r].
+	NumGrids int
+	// Requesters, one per literal occurrence, in clause-major order.
+	Valuation []float64 // 1 for positive literals, 2 for negative
+	Distance  []float64 // 1 for positive literals, 0.5 for negative
+	Grid      []int     // variable (0-based) of the literal
+	// Worker w can serve requester r iff CanServe[r] == w; exactly the
+	// clause's worker. One worker per clause.
+	NumWorkers int
+	WorkerOf   []int // clause (= worker) index of each requester
+}
+
+// Reduce maps a 3-SAT formula to a GDP instance in polynomial time.
+func Reduce(f *Formula) (*GDPInstance, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	in := &GDPInstance{
+		NumGrids:   f.NumVars,
+		NumWorkers: len(f.Clauses),
+	}
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			if l.Positive() {
+				in.Valuation = append(in.Valuation, 1)
+				in.Distance = append(in.Distance, 1)
+			} else {
+				in.Valuation = append(in.Valuation, 2)
+				in.Distance = append(in.Distance, 0.5)
+			}
+			in.Grid = append(in.Grid, l.Var()-1)
+			in.WorkerOf = append(in.WorkerOf, ci)
+		}
+	}
+	return in, nil
+}
+
+// MaxRevenue computes the optimal total revenue of the reduced instance by
+// enumerating all per-grid price assignments from {1, 2} and, for each,
+// computing the realized revenue: every worker serves the best accepting
+// requester among its clause's literals. Exponential in NumGrids; reduction
+// verification only.
+func (in *GDPInstance) MaxRevenue() (float64, []float64) {
+	if in.NumGrids > 24 {
+		panic("hardness: price enumeration beyond 24 grids")
+	}
+	bestRev := -1.0
+	var bestPrices []float64
+	prices := make([]float64, in.NumGrids)
+	for mask := 0; mask < 1<<uint(in.NumGrids); mask++ {
+		for g := range prices {
+			if mask&(1<<uint(g)) != 0 {
+				prices[g] = 2
+			} else {
+				prices[g] = 1
+			}
+		}
+		rev := in.revenue(prices)
+		if rev > bestRev {
+			bestRev = rev
+			bestPrices = append([]float64(nil), prices...)
+		}
+	}
+	return bestRev, bestPrices
+}
+
+// revenue computes total revenue under per-grid prices: each worker serves
+// its highest-paying accepting requester (requesters accept iff
+// price <= valuation).
+func (in *GDPInstance) revenue(prices []float64) float64 {
+	bestPerWorker := make([]float64, in.NumWorkers)
+	for r := range in.Valuation {
+		p := prices[in.Grid[r]]
+		if p > in.Valuation[r] {
+			continue // rejected
+		}
+		if rev := p * in.Distance[r]; rev > bestPerWorker[in.WorkerOf[r]] {
+			bestPerWorker[in.WorkerOf[r]] = rev
+		}
+	}
+	total := 0.0
+	for _, v := range bestPerWorker {
+		total += v
+	}
+	return total
+}
+
+// VerifyReduction checks the Theorem 1 equivalence on one formula:
+// satisfiable ⇔ max revenue == number of clauses. It returns an error
+// describing any violation.
+func VerifyReduction(f *Formula) error {
+	in, err := Reduce(f)
+	if err != nil {
+		return err
+	}
+	sat, _ := f.Satisfiable()
+	rev, _ := in.MaxRevenue()
+	m := float64(len(f.Clauses))
+	const eps = 1e-9
+	if sat && rev < m-eps {
+		return fmt.Errorf("hardness: satisfiable formula but max revenue %v < m = %v", rev, m)
+	}
+	if !sat && rev >= m-eps {
+		return fmt.Errorf("hardness: unsatisfiable formula but max revenue %v >= m = %v", rev, m)
+	}
+	if rev > m+eps {
+		return fmt.Errorf("hardness: revenue %v exceeds the m = %v ceiling", rev, m)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package hardness
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLiteral(t *testing.T) {
+	if Literal(3).Var() != 3 || !Literal(3).Positive() {
+		t.Error("positive literal wrong")
+	}
+	if Literal(-5).Var() != 5 || Literal(-5).Positive() {
+		t.Error("negative literal wrong")
+	}
+}
+
+func TestFormulaValidate(t *testing.T) {
+	good := &Formula{NumVars: 2, Clauses: []Clause{{1, -2, 1}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Formula{
+		{NumVars: 0, Clauses: []Clause{{1, 1, 1}}},
+		{NumVars: 2},
+		{NumVars: 2, Clauses: []Clause{{1, 0, 2}}},
+		{NumVars: 2, Clauses: []Clause{{1, 3, 2}}},
+	}
+	for i, f := range cases {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestSatisfiableKnownFormulas(t *testing.T) {
+	tests := []struct {
+		name string
+		f    *Formula
+		want bool
+	}{
+		{
+			"trivially satisfiable",
+			&Formula{NumVars: 3, Clauses: []Clause{{1, 2, 3}}},
+			true,
+		},
+		{
+			"forced contradiction",
+			// (x1 v x1 v x1) ∧ (~x1 v ~x1 v ~x1)
+			&Formula{NumVars: 1, Clauses: []Clause{{1, 1, 1}, {-1, -1, -1}}},
+			false,
+		},
+		{
+			"classic pigeonhole-ish unsat",
+			// All eight sign patterns over three variables: unsatisfiable.
+			&Formula{NumVars: 3, Clauses: []Clause{
+				{1, 2, 3}, {1, 2, -3}, {1, -2, 3}, {1, -2, -3},
+				{-1, 2, 3}, {-1, 2, -3}, {-1, -2, 3}, {-1, -2, -3},
+			}},
+			false,
+		},
+		{
+			"implication chain",
+			// (~x1 v x2 v x2) ∧ (~x2 v x3 v x3) ∧ (x1 v x1 v x1) ∧ (x3 v x3 v x3)
+			&Formula{NumVars: 3, Clauses: []Clause{
+				{-1, 2, 2}, {-2, 3, 3}, {1, 1, 1}, {3, 3, 3},
+			}},
+			true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, assign := tt.f.Satisfiable()
+			if got != tt.want {
+				t.Fatalf("Satisfiable = %v, want %v", got, tt.want)
+			}
+			if got && !tt.f.evaluate(assign) {
+				t.Error("returned assignment does not satisfy the formula")
+			}
+		})
+	}
+}
+
+func TestReduceStructure(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{{1, -2, 2}}}
+	in, err := Reduce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumGrids != 2 || in.NumWorkers != 1 || len(in.Valuation) != 3 {
+		t.Fatalf("reduced shape wrong: %+v", in)
+	}
+	// Positive literal: valuation 1 distance 1; negative: valuation 2
+	// distance 0.5.
+	if in.Valuation[0] != 1 || in.Distance[0] != 1 {
+		t.Error("positive literal encoding wrong")
+	}
+	if in.Valuation[1] != 2 || in.Distance[1] != 0.5 {
+		t.Error("negative literal encoding wrong")
+	}
+	if in.Grid[0] != 0 || in.Grid[1] != 1 || in.Grid[2] != 1 {
+		t.Errorf("grid mapping %v", in.Grid)
+	}
+}
+
+func TestTheorem1EquivalenceKnownCases(t *testing.T) {
+	formulas := []*Formula{
+		{NumVars: 3, Clauses: []Clause{{1, 2, 3}}},
+		{NumVars: 1, Clauses: []Clause{{1, 1, 1}, {-1, -1, -1}}},
+		{NumVars: 3, Clauses: []Clause{
+			{1, 2, 3}, {1, 2, -3}, {1, -2, 3}, {1, -2, -3},
+			{-1, 2, 3}, {-1, 2, -3}, {-1, -2, 3}, {-1, -2, -3},
+		}},
+		{NumVars: 3, Clauses: []Clause{{-1, 2, 2}, {-2, 3, 3}, {1, 1, 1}, {3, 3, 3}}},
+		{NumVars: 2, Clauses: []Clause{{1, -2, 1}, {-1, 2, -1}}},
+	}
+	for i, f := range formulas {
+		if err := VerifyReduction(f); err != nil {
+			t.Errorf("formula %d: %v", i, err)
+		}
+	}
+}
+
+func TestTheorem1EquivalenceRandomFormulas(t *testing.T) {
+	// Property check of the reduction over random small 3-CNF formulas,
+	// spanning both satisfiable and unsatisfiable instances (clause/variable
+	// ratio around the ~4.26 phase transition).
+	rng := rand.New(rand.NewSource(99))
+	satCount, unsatCount := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		nv := 2 + rng.Intn(5)
+		nc := 1 + rng.Intn(5*nv)
+		f := &Formula{NumVars: nv}
+		for c := 0; c < nc; c++ {
+			var cl Clause
+			for k := 0; k < 3; k++ {
+				v := 1 + rng.Intn(nv)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl[k] = Literal(v)
+			}
+			f.Clauses = append(f.Clauses, cl)
+		}
+		if sat, _ := f.Satisfiable(); sat {
+			satCount++
+		} else {
+			unsatCount++
+		}
+		if err := VerifyReduction(f); err != nil {
+			t.Fatalf("trial %d: %v (formula %+v)", trial, err, f)
+		}
+	}
+	if satCount == 0 || unsatCount == 0 {
+		t.Errorf("random suite covered only one side: %d sat, %d unsat", satCount, unsatCount)
+	}
+}
+
+func TestMaxRevenuePricesDecodeAssignment(t *testing.T) {
+	// For a satisfiable formula, the optimal prices decode a satisfying
+	// assignment: price 1 on a grid ⇔ variable true.
+	f := &Formula{NumVars: 3, Clauses: []Clause{{-1, 2, 2}, {-2, 3, 3}, {1, 1, 1}, {3, 3, 3}}}
+	in, err := Reduce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, prices := in.MaxRevenue()
+	if rev != float64(len(f.Clauses)) {
+		t.Fatalf("revenue %v, want %d", rev, len(f.Clauses))
+	}
+	assign := make([]bool, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		assign[v] = prices[v-1] == 1
+	}
+	if !f.evaluate(assign) {
+		t.Errorf("decoded assignment %v does not satisfy the formula", assign[1:])
+	}
+}
+
+func TestBruteForceGuards(t *testing.T) {
+	big := &Formula{NumVars: 30, Clauses: []Clause{{1, 2, 3}}}
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized SAT brute force should panic")
+		}
+	}()
+	big.Satisfiable()
+}
+
+func TestParseDIMACS(t *testing.T) {
+	input := `c a comment
+p cnf 3 2
+1 -2 3 0
+-1 2 0
+`
+	f, err := ParseDIMACS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Fatalf("parsed %d vars %d clauses", f.NumVars, len(f.Clauses))
+	}
+	if f.Clauses[0] != (Clause{1, -2, 3}) {
+		t.Errorf("clause 0 = %v", f.Clauses[0])
+	}
+	// 2-literal clause padded by repeating the last literal.
+	if f.Clauses[1] != (Clause{-1, 2, 2}) {
+		t.Errorf("clause 1 = %v", f.Clauses[1])
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad problem line": "p cnf x 2\n1 2 3 0\n",
+		"bad literal":      "1 two 3 0\n",
+		"empty clause":     "0\n",
+		"4-literal clause": "1 2 3 4 0\n",
+		"clause count lie": "p cnf 3 5\n1 2 3 0\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+				t.Error("want parse error")
+			}
+		})
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	f := &Formula{NumVars: 4, Clauses: []Clause{{1, -2, 3}, {-4, 2, 1}}}
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+		t.Fatalf("round trip shape: %d/%d", g.NumVars, len(g.Clauses))
+	}
+	for i := range f.Clauses {
+		if f.Clauses[i] != g.Clauses[i] {
+			t.Errorf("clause %d: %v vs %v", i, f.Clauses[i], g.Clauses[i])
+		}
+	}
+}
+
+func TestParseDIMACSTrailingClauseWithoutZero(t *testing.T) {
+	f, err := ParseDIMACS(strings.NewReader("1 2 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 1 {
+		t.Fatalf("clauses = %d", len(f.Clauses))
+	}
+}

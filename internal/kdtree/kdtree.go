@@ -1,0 +1,220 @@
+// Package kdtree implements a static 2-d tree over points with integer
+// payloads, supporting nearest-neighbor, k-nearest, and radius queries. The
+// market package uses it as a worker index for bipartite-graph construction
+// when worker radii vary too widely for the uniform grid index to prune
+// well; it is also generally useful to library users building dispatch
+// tooling (e.g. "closest idle courier" lookups).
+package kdtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"spatialcrowd/internal/geo"
+)
+
+// Tree is an immutable 2-d tree with an implicit layout: the node of the
+// subarray [lo, hi) is its median position, with children in [lo, mid) and
+// [mid+1, hi), alternating split axes by depth. The zero value is an empty
+// tree.
+type Tree struct {
+	pts []geo.Point // stored in tree order
+	ids []int       // payload per point, parallel to pts
+}
+
+// Build constructs a tree over the given points; ids[i] is returned from
+// queries instead of raw indices (pass nil to use positions 0..n-1).
+func Build(points []geo.Point, ids []int) *Tree {
+	n := len(points)
+	t := &Tree{
+		pts: append([]geo.Point(nil), points...),
+		ids: make([]int, n),
+	}
+	if ids == nil {
+		for i := range t.ids {
+			t.ids[i] = i
+		}
+	} else {
+		copy(t.ids, ids)
+	}
+	if n == 0 {
+		return t
+	}
+	t.build(0, n, 0)
+	return t
+}
+
+// build recursively median-splits pts[lo:hi] on the given axis. The
+// subrange is fully sorted on the axis (simpler than quickselect; Build is
+// a one-time cost and n log^2 n total is fine at the sizes involved), which
+// places the median at the pivot position.
+func (t *Tree) build(lo, hi, axis int) {
+	if hi-lo <= 1 {
+		return
+	}
+	sort.Sort(byAxis{t: t, lo: lo, axis: axis, n: hi - lo})
+	mid := (lo + hi) / 2
+	t.build(lo, mid, 1-axis)
+	t.build(mid+1, hi, 1-axis)
+}
+
+type byAxis struct {
+	t    *Tree
+	lo   int
+	axis int
+	n    int
+}
+
+func (b byAxis) Len() int { return b.n }
+func (b byAxis) Less(i, j int) bool {
+	pi, pj := b.t.pts[b.lo+i], b.t.pts[b.lo+j]
+	if b.axis == 0 {
+		return pi.X < pj.X
+	}
+	return pi.Y < pj.Y
+}
+func (b byAxis) Swap(i, j int) {
+	b.t.pts[b.lo+i], b.t.pts[b.lo+j] = b.t.pts[b.lo+j], b.t.pts[b.lo+i]
+	b.t.ids[b.lo+i], b.t.ids[b.lo+j] = b.t.ids[b.lo+j], b.t.ids[b.lo+i]
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Nearest returns the payload id and distance of the point closest to q.
+// It returns (-1, +Inf) on an empty tree.
+func (t *Tree) Nearest(q geo.Point) (int, float64) {
+	if len(t.pts) == 0 {
+		return -1, math.Inf(1)
+	}
+	bestID, bestD2 := -1, math.Inf(1)
+	t.nearest(0, len(t.pts), 0, q, &bestID, &bestD2)
+	return bestID, math.Sqrt(bestD2)
+}
+
+func (t *Tree) nearest(lo, hi, axis int, q geo.Point, bestID *int, bestD2 *float64) {
+	if hi <= lo {
+		return
+	}
+	mid := (lo + hi) / 2
+	p := t.pts[mid]
+	if d2 := p.SqDist(q); d2 < *bestD2 {
+		*bestD2 = d2
+		*bestID = t.ids[mid]
+	}
+	var qa, pa float64
+	if axis == 0 {
+		qa, pa = q.X, p.X
+	} else {
+		qa, pa = q.Y, p.Y
+	}
+	nearLo, nearHi, farLo, farHi := lo, mid, mid+1, hi
+	if qa > pa {
+		nearLo, nearHi, farLo, farHi = mid+1, hi, lo, mid
+	}
+	t.nearest(nearLo, nearHi, 1-axis, q, bestID, bestD2)
+	if diff := qa - pa; diff*diff < *bestD2 {
+		t.nearest(farLo, farHi, 1-axis, q, bestID, bestD2)
+	}
+}
+
+// KNearest returns the payload ids of the k points closest to q, ordered by
+// increasing distance. Fewer than k points are returned when the tree is
+// smaller than k.
+func (t *Tree) KNearest(q geo.Point, k int) []int {
+	if k <= 0 || len(t.pts) == 0 {
+		return nil
+	}
+	h := &maxHeap{}
+	t.knearest(0, len(t.pts), 0, q, k, h)
+	out := make([]int, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(heapItem).id
+	}
+	return out
+}
+
+func (t *Tree) knearest(lo, hi, axis int, q geo.Point, k int, h *maxHeap) {
+	if hi <= lo {
+		return
+	}
+	mid := (lo + hi) / 2
+	p := t.pts[mid]
+	d2 := p.SqDist(q)
+	if h.Len() < k {
+		heap.Push(h, heapItem{d2: d2, id: t.ids[mid]})
+	} else if d2 < (*h)[0].d2 {
+		heap.Pop(h)
+		heap.Push(h, heapItem{d2: d2, id: t.ids[mid]})
+	}
+	var qa, pa float64
+	if axis == 0 {
+		qa, pa = q.X, p.X
+	} else {
+		qa, pa = q.Y, p.Y
+	}
+	nearLo, nearHi, farLo, farHi := lo, mid, mid+1, hi
+	if qa > pa {
+		nearLo, nearHi, farLo, farHi = mid+1, hi, lo, mid
+	}
+	t.knearest(nearLo, nearHi, 1-axis, q, k, h)
+	diff := qa - pa
+	if h.Len() < k || diff*diff < (*h)[0].d2 {
+		t.knearest(farLo, farHi, 1-axis, q, k, h)
+	}
+}
+
+// InRadius returns the payload ids of all points within the closed disk of
+// radius r around q, in no particular order.
+func (t *Tree) InRadius(q geo.Point, r float64) []int {
+	if len(t.pts) == 0 || r < 0 {
+		return nil
+	}
+	var out []int
+	t.inRadius(0, len(t.pts), 0, q, r*r, &out)
+	return out
+}
+
+func (t *Tree) inRadius(lo, hi, axis int, q geo.Point, r2 float64, out *[]int) {
+	if hi <= lo {
+		return
+	}
+	mid := (lo + hi) / 2
+	p := t.pts[mid]
+	if p.SqDist(q) <= r2 {
+		*out = append(*out, t.ids[mid])
+	}
+	var qa, pa float64
+	if axis == 0 {
+		qa, pa = q.X, p.X
+	} else {
+		qa, pa = q.Y, p.Y
+	}
+	diff := qa - pa
+	if diff <= 0 || diff*diff <= r2 {
+		t.inRadius(lo, mid, 1-axis, q, r2, out)
+	}
+	if diff >= 0 || diff*diff <= r2 {
+		t.inRadius(mid+1, hi, 1-axis, q, r2, out)
+	}
+}
+
+type heapItem struct {
+	d2 float64
+	id int
+}
+
+type maxHeap []heapItem
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].d2 > h[j].d2 }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,171 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialcrowd/internal/geo"
+)
+
+func randomPoints(rng *rand.Rand, n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	return pts
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil, nil)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has points")
+	}
+	if id, d := tr.Nearest(geo.Point{}); id != -1 || !math.IsInf(d, 1) {
+		t.Errorf("Nearest on empty = %d/%v", id, d)
+	}
+	if got := tr.KNearest(geo.Point{}, 3); got != nil {
+		t.Errorf("KNearest on empty = %v", got)
+	}
+	if got := tr.InRadius(geo.Point{}, 5); got != nil {
+		t.Errorf("InRadius on empty = %v", got)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	tr := Build([]geo.Point{{X: 3, Y: 4}}, []int{42})
+	id, d := tr.Nearest(geo.Point{})
+	if id != 42 || math.Abs(d-5) > 1e-12 {
+		t.Errorf("Nearest = %d/%v, want 42/5", id, d)
+	}
+}
+
+func TestNearestVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		pts := randomPoints(rng, n)
+		tr := Build(pts, nil)
+		for q := 0; q < 20; q++ {
+			query := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			bestI, bestD := -1, math.Inf(1)
+			for i, p := range pts {
+				if d := p.Dist(query); d < bestD {
+					bestI, bestD = i, d
+				}
+			}
+			gotI, gotD := tr.Nearest(query)
+			if math.Abs(gotD-bestD) > 1e-9 {
+				t.Fatalf("trial %d: nearest dist %v, brute %v", trial, gotD, bestD)
+			}
+			// Distances tie rarely with random floats; ids must then match.
+			if gotI != bestI && math.Abs(pts[gotI].Dist(query)-bestD) > 1e-9 {
+				t.Fatalf("trial %d: wrong nearest id", trial)
+			}
+		}
+	}
+}
+
+func TestKNearestVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := randomPoints(rng, n)
+		tr := Build(pts, nil)
+		for _, k := range []int{1, 3, 7, n, n + 5} {
+			query := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			got := tr.KNearest(query, k)
+			wantLen := k
+			if wantLen > n {
+				wantLen = n
+			}
+			if len(got) != wantLen {
+				t.Fatalf("k=%d: returned %d ids", k, len(got))
+			}
+			// Brute-force the same k.
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool {
+				return pts[idx[a]].SqDist(query) < pts[idx[b]].SqDist(query)
+			})
+			for i := range got {
+				gd := pts[got[i]].Dist(query)
+				wd := pts[idx[i]].Dist(query)
+				if math.Abs(gd-wd) > 1e-9 {
+					t.Fatalf("k=%d position %d: dist %v vs brute %v", k, i, gd, wd)
+				}
+			}
+			// Ordered by increasing distance.
+			for i := 1; i < len(got); i++ {
+				if pts[got[i-1]].SqDist(query) > pts[got[i]].SqDist(query)+1e-12 {
+					t.Fatalf("KNearest not sorted at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestInRadiusVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(300)
+		pts := randomPoints(rng, n)
+		tr := Build(pts, nil)
+		query := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		r := rng.Float64() * 40
+		got := map[int]bool{}
+		for _, id := range tr.InRadius(query, r) {
+			if got[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			got[id] = true
+		}
+		for i, p := range pts {
+			want := p.Dist(query) <= r
+			if got[i] != want {
+				t.Fatalf("trial %d: point %d in-radius %v, tree says %v", trial, i, want, got[i])
+			}
+		}
+	}
+}
+
+func TestCustomIDs(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	tr := Build(pts, []int{100, 200})
+	id, _ := tr.Nearest(geo.Point{X: 9, Y: 0})
+	if id != 200 {
+		t.Errorf("Nearest id = %d, want 200", id)
+	}
+	ids := tr.InRadius(geo.Point{X: 0, Y: 0}, 1)
+	if len(ids) != 1 || ids[0] != 100 {
+		t.Errorf("InRadius ids = %v", ids)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([]geo.Point, 20)
+	for i := range pts {
+		pts[i] = geo.Point{X: 5, Y: 5}
+	}
+	tr := Build(pts, nil)
+	if got := tr.InRadius(geo.Point{X: 5, Y: 5}, 0); len(got) != 20 {
+		t.Errorf("found %d of 20 duplicates", len(got))
+	}
+	if got := tr.KNearest(geo.Point{X: 5, Y: 5}, 7); len(got) != 7 {
+		t.Errorf("KNearest returned %d", len(got))
+	}
+}
+
+func TestBuildDoesNotAliasInput(t *testing.T) {
+	pts := randomPoints(rand.New(rand.NewSource(4)), 50)
+	orig := append([]geo.Point(nil), pts...)
+	Build(pts, nil)
+	for i := range pts {
+		if pts[i] != orig[i] {
+			t.Fatal("Build mutated the caller's slice")
+		}
+	}
+}

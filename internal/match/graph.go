@@ -1,0 +1,142 @@
+// Package match implements the bipartite-graph machinery of the paper:
+// the task–worker graph B^t of Section 2.2, maximum-cardinality matching
+// (Hopcroft–Karp), exact maximum-weight bipartite matching (the revenue of
+// Definition 5), and the incremental single-augmentation matcher MAPS uses
+// to validate worker additions (Algorithm 2, line 10).
+//
+// Left vertices are tasks and right vertices are workers throughout, but the
+// package is agnostic to that interpretation.
+package match
+
+import "fmt"
+
+// Graph is a bipartite graph with nLeft left vertices and nRight right
+// vertices, stored as left adjacency lists. The zero value is an empty graph
+// with no vertices; use NewGraph for sized construction.
+type Graph struct {
+	nLeft, nRight int
+	adj           [][]int // adj[l] = right neighbors of left vertex l
+	edges         int
+}
+
+// NewGraph returns an empty bipartite graph with the given side sizes.
+// It panics on negative sizes (a programming error, not runtime input).
+func NewGraph(nLeft, nRight int) *Graph {
+	if nLeft < 0 || nRight < 0 {
+		panic(fmt.Sprintf("match: negative graph size %dx%d", nLeft, nRight))
+	}
+	return &Graph{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
+}
+
+// NLeft returns the number of left vertices.
+func (g *Graph) NLeft() int { return g.nLeft }
+
+// NRight returns the number of right vertices.
+func (g *Graph) NRight() int { return g.nRight }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddEdge inserts the edge (l, r). Duplicate edges are allowed but useless;
+// callers are expected to add each pair once. It panics on out-of-range
+// endpoints.
+func (g *Graph) AddEdge(l, r int) {
+	if l < 0 || l >= g.nLeft || r < 0 || r >= g.nRight {
+		panic(fmt.Sprintf("match: edge (%d,%d) out of range %dx%d", l, r, g.nLeft, g.nRight))
+	}
+	g.adj[l] = append(g.adj[l], r)
+	g.edges++
+}
+
+// Adj returns the right neighbors of left vertex l. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Adj(l int) []int { return g.adj[l] }
+
+// HasEdge reports whether the edge (l, r) exists. O(deg(l)).
+func (g *Graph) HasEdge(l, r int) bool {
+	if l < 0 || l >= g.nLeft {
+		return false
+	}
+	for _, x := range g.adj[l] {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// InducedLeft returns the subgraph on the given subset of left vertices
+// (with the same right side), along with the mapping from new left index to
+// original left index. The revenue computation uses it to restrict B^t to
+// the tasks that accepted their price.
+func (g *Graph) InducedLeft(keep []int) (*Graph, []int) {
+	sub := NewGraph(len(keep), g.nRight)
+	origin := make([]int, len(keep))
+	for i, l := range keep {
+		origin[i] = l
+		for _, r := range g.adj[l] {
+			sub.AddEdge(i, r)
+		}
+	}
+	return sub, origin
+}
+
+// Matching is a pairing between left and right vertices. LeftTo[l] is the
+// right partner of l or -1; RightTo[r] is the left partner of r or -1.
+type Matching struct {
+	LeftTo  []int
+	RightTo []int
+}
+
+// NewMatching returns an empty matching for a graph with the given sizes.
+func NewMatching(nLeft, nRight int) *Matching {
+	m := &Matching{LeftTo: make([]int, nLeft), RightTo: make([]int, nRight)}
+	for i := range m.LeftTo {
+		m.LeftTo[i] = -1
+	}
+	for i := range m.RightTo {
+		m.RightTo[i] = -1
+	}
+	return m
+}
+
+// Size returns the number of matched pairs.
+func (m *Matching) Size() int {
+	n := 0
+	for _, r := range m.LeftTo {
+		if r >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the matching invariants against g: every matched pair is
+// an edge of g and the two directions agree. It returns a descriptive error
+// on the first violation found.
+func (m *Matching) Validate(g *Graph) error {
+	if len(m.LeftTo) != g.NLeft() || len(m.RightTo) != g.NRight() {
+		return fmt.Errorf("match: matching sized %dx%d vs graph %dx%d",
+			len(m.LeftTo), len(m.RightTo), g.NLeft(), g.NRight())
+	}
+	for l, r := range m.LeftTo {
+		if r < 0 {
+			continue
+		}
+		if r >= g.NRight() {
+			return fmt.Errorf("match: left %d matched to out-of-range right %d", l, r)
+		}
+		if m.RightTo[r] != l {
+			return fmt.Errorf("match: asymmetric pair l=%d r=%d (RightTo=%d)", l, r, m.RightTo[r])
+		}
+		if !g.HasEdge(l, r) {
+			return fmt.Errorf("match: pair (%d,%d) is not an edge", l, r)
+		}
+	}
+	for r, l := range m.RightTo {
+		if l >= 0 && (l >= g.NLeft() || m.LeftTo[l] != r) {
+			return fmt.Errorf("match: asymmetric pair r=%d l=%d", r, l)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package match
+
+// MaxCardinality computes a maximum-cardinality matching of g with the
+// Hopcroft–Karp algorithm in O(E * sqrt(V)). It is used for questions that
+// only need sizes, e.g. "at most two tasks can be served" in Example 1, and
+// as a fast feasibility check in tests.
+func MaxCardinality(g *Graph) *Matching {
+	m := NewMatching(g.NLeft(), g.NRight())
+	if g.NLeft() == 0 || g.NRight() == 0 {
+		return m
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, g.NLeft())
+	queue := make([]int, 0, g.NLeft())
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < g.NLeft(); l++ {
+			if m.LeftTo[l] < 0 {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, r := range g.Adj(l) {
+				nl := m.RightTo[r]
+				if nl < 0 {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range g.Adj(l) {
+			nl := m.RightTo[r]
+			if nl < 0 || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				m.LeftTo[l] = r
+				m.RightTo[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	for bfs() {
+		for l := 0; l < g.NLeft(); l++ {
+			if m.LeftTo[l] < 0 {
+				dfs(l)
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,116 @@
+package match
+
+// Incremental maintains a matching under one-at-a-time left-vertex
+// augmentations using Kuhn's algorithm. MAPS keeps one Incremental as the
+// pre-matching M' of Algorithm 2: each time a grid wants one more unit of
+// supply, it asks whether some still-unassigned task of that grid admits an
+// augmenting path, and commits the flip if so (line 10).
+type Incremental struct {
+	g       *Graph
+	m       *Matching
+	visited []int // stamp-based visited marks for right vertices
+	stamp   int
+}
+
+// NewIncremental returns an incremental matcher over g with an empty
+// matching.
+func NewIncremental(g *Graph) *Incremental {
+	return &Incremental{
+		g:       g,
+		m:       NewMatching(g.NLeft(), g.NRight()),
+		visited: make([]int, g.NRight()),
+	}
+}
+
+// Matching exposes the current matching. Callers must treat it as read-only;
+// mutating it corrupts the augmentation state.
+func (in *Incremental) Matching() *Matching { return in.m }
+
+// Matched reports whether left vertex l is currently matched.
+func (in *Incremental) Matched(l int) bool { return in.m.LeftTo[l] >= 0 }
+
+// Size returns the current matching size.
+func (in *Incremental) Size() int { return in.m.Size() }
+
+// TryAugment attempts to add left vertex l to the matching by finding an
+// augmenting path from l. It returns true and flips the path if found; the
+// matching is unchanged otherwise. Already-matched vertices return false.
+// Complexity O(E) per call.
+func (in *Incremental) TryAugment(l int) bool {
+	if l < 0 || l >= in.g.NLeft() || in.Matched(l) {
+		return false
+	}
+	in.stamp++
+	return in.dfs(l)
+}
+
+// TryAugmentAny attempts TryAugment on each candidate in order and returns
+// the first left vertex that was successfully matched, or -1. MAPS calls it
+// with the unassigned tasks of one grid.
+func (in *Incremental) TryAugmentAny(candidates []int) int {
+	for _, l := range candidates {
+		if in.TryAugment(l) {
+			return l
+		}
+	}
+	return -1
+}
+
+// CanAugmentAny reports whether at least one candidate admits an augmenting
+// path without committing any change. MAPS uses it for the "is there an
+// augmenting path for any unassigned r in R^tg" test of Algorithm 2 line 16.
+func (in *Incremental) CanAugmentAny(candidates []int) bool {
+	for _, l := range candidates {
+		if l < 0 || l >= in.g.NLeft() || in.Matched(l) {
+			continue
+		}
+		in.stamp++
+		if in.probe(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// dfs searches for an augmenting path from l and flips it when found.
+func (in *Incremental) dfs(l int) bool {
+	for _, r := range in.g.Adj(l) {
+		if in.visited[r] == in.stamp {
+			continue
+		}
+		in.visited[r] = in.stamp
+		if in.m.RightTo[r] < 0 || in.dfs(in.m.RightTo[r]) {
+			in.m.LeftTo[l] = r
+			in.m.RightTo[r] = l
+			return true
+		}
+	}
+	return false
+}
+
+// probe is dfs without committing the flip.
+func (in *Incremental) probe(l int) bool {
+	for _, r := range in.g.Adj(l) {
+		if in.visited[r] == in.stamp {
+			continue
+		}
+		in.visited[r] = in.stamp
+		if in.m.RightTo[r] < 0 || in.probe(in.m.RightTo[r]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Release unmatches left vertex l if matched, freeing its worker. The
+// simulator uses it when a priced task is ultimately rejected by its
+// requester, returning the provisional supply to the pool.
+func (in *Incremental) Release(l int) {
+	if l < 0 || l >= in.g.NLeft() {
+		return
+	}
+	if r := in.m.LeftTo[l]; r >= 0 {
+		in.m.LeftTo[l] = -1
+		in.m.RightTo[r] = -1
+	}
+}

@@ -1,0 +1,229 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialcrowd/internal/geo"
+)
+
+// lineNetwork builds 0 -1- 1 -1- 2 -1- 3 on the x axis.
+func lineNetwork() *Network {
+	nw := New()
+	for i := 0; i < 4; i++ {
+		nw.AddNode(geo.Point{X: float64(i), Y: 0})
+	}
+	for i := 0; i < 3; i++ {
+		nw.AddRoad(NodeID(i), NodeID(i+1))
+	}
+	return nw
+}
+
+func TestShortestPathLine(t *testing.T) {
+	nw := lineNetwork()
+	d, path := nw.ShortestPath(0, 3)
+	if d != 3 {
+		t.Fatalf("distance = %v, want 3", d)
+	}
+	want := []NodeID{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	// Self path.
+	d, path = nw.ShortestPath(2, 2)
+	if d != 0 || len(path) != 1 || path[0] != 2 {
+		t.Errorf("self path: d=%v path=%v", d, path)
+	}
+}
+
+func TestShortestPathPrefersDetourOverLongEdge(t *testing.T) {
+	// Triangle: direct edge 0-2 costs 10, the detour via 1 costs 2.
+	nw := New()
+	a := nw.AddNode(geo.Point{X: 0, Y: 0})
+	b := nw.AddNode(geo.Point{X: 1, Y: 0})
+	c := nw.AddNode(geo.Point{X: 2, Y: 0})
+	nw.AddEdge(a, c, 10)
+	nw.AddEdge(a, b, 1)
+	nw.AddEdge(b, c, 1)
+	d, path := nw.ShortestPath(a, c)
+	if d != 2 || len(path) != 3 {
+		t.Fatalf("d=%v path=%v, want detour", d, path)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	nw := New()
+	a := nw.AddNode(geo.Point{X: 0, Y: 0})
+	b := nw.AddNode(geo.Point{X: 5, Y: 5})
+	d, path := nw.ShortestPath(a, b)
+	if !math.IsInf(d, 1) || path != nil {
+		t.Errorf("disconnected: d=%v path=%v", d, path)
+	}
+	// Directed edge: reachable one way only.
+	nw.AddEdge(a, b, 1)
+	if d, _ := nw.ShortestPath(a, b); d != 1 {
+		t.Errorf("forward d=%v", d)
+	}
+	if d, _ := nw.ShortestPath(b, a); !math.IsInf(d, 1) {
+		t.Errorf("backward should be unreachable, d=%v", d)
+	}
+}
+
+func TestAStarMatchesDijkstra(t *testing.T) {
+	nw, err := GridCity(GridCityConfig{
+		Region: geo.Square(100), Cols: 12, Rows: 12, Jitter: 0.3, DropProb: 0.1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		a := NodeID(rng.Intn(nw.NumNodes()))
+		b := NodeID(rng.Intn(nw.NumNodes()))
+		d1, _ := nw.ShortestPath(a, b)
+		d2, _ := nw.AStar(a, b)
+		if math.IsInf(d1, 1) != math.IsInf(d2, 1) {
+			t.Fatalf("reachability disagreement %v vs %v", d1, d2)
+		}
+		if !math.IsInf(d1, 1) && math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("A* %v != Dijkstra %v for %d->%d", d2, d1, a, b)
+		}
+	}
+}
+
+func TestPathEdgesExistAndSumToDistance(t *testing.T) {
+	nw, err := GridCity(GridCityConfig{
+		Region: geo.Square(50), Cols: 8, Rows: 8, Jitter: 0.2, DropProb: 0.05, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		a := NodeID(rng.Intn(nw.NumNodes()))
+		b := NodeID(rng.Intn(nw.NumNodes()))
+		d, path := nw.AStar(a, b)
+		if math.IsInf(d, 1) {
+			continue
+		}
+		sum := 0.0
+		for i := 1; i < len(path); i++ {
+			w := math.Inf(1)
+			for _, e := range nw.adj[path[i-1]] {
+				if e.to == path[i] && e.w < w {
+					w = e.w
+				}
+			}
+			if math.IsInf(w, 1) {
+				t.Fatalf("path uses non-edge %d->%d", path[i-1], path[i])
+			}
+			sum += w
+		}
+		if math.Abs(sum-d) > 1e-9 {
+			t.Fatalf("path weighs %v, reported %v", sum, d)
+		}
+	}
+}
+
+func TestRoadDistanceAtLeastEuclidean(t *testing.T) {
+	// With edges weighted by Euclidean length, network distance between two
+	// nodes can never beat the straight line.
+	nw, err := GridCity(GridCityConfig{
+		Region: geo.Square(100), Cols: 10, Rows: 10, Jitter: 0.4, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 200; trial++ {
+		a := NodeID(rng.Intn(nw.NumNodes()))
+		b := NodeID(rng.Intn(nw.NumNodes()))
+		d, _ := nw.AStar(a, b)
+		if math.IsInf(d, 1) {
+			continue
+		}
+		if euclid := nw.Coord(a).Dist(nw.Coord(b)); d < euclid-1e-9 {
+			t.Fatalf("road distance %v < euclidean %v", d, euclid)
+		}
+	}
+}
+
+func TestPerfectGridIsManhattan(t *testing.T) {
+	// No jitter, no drops: network distance between intersections equals the
+	// Manhattan distance.
+	nw, err := GridCity(GridCityConfig{Region: geo.Square(90), Cols: 10, Rows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := nw.ShortestPath(0, NodeID(10*10-1)) // corner to corner
+	if math.Abs(d-180) > 1e-9 {
+		t.Errorf("corner-to-corner = %v, want 180 (Manhattan)", d)
+	}
+}
+
+func TestNearestAndPointDistance(t *testing.T) {
+	nw := lineNetwork()
+	if n := nw.Nearest(geo.Point{X: 2.2, Y: 1}); n != 2 {
+		t.Errorf("Nearest = %d, want 2", n)
+	}
+	// Distance includes the walks to/from the network.
+	d := nw.Distance(geo.Point{X: 0, Y: 1}, geo.Point{X: 3, Y: -1})
+	if math.Abs(d-(1+3+1)) > 1e-9 {
+		t.Errorf("point distance = %v, want 5", d)
+	}
+	// Empty network: fall back to Euclidean.
+	empty := New()
+	if d := empty.Distance(geo.Point{X: 0, Y: 0}, geo.Point{X: 3, Y: 4}); d != 5 {
+		t.Errorf("empty network distance = %v, want 5", d)
+	}
+}
+
+func TestDistanceFallsBackWhenDisconnected(t *testing.T) {
+	nw := New()
+	nw.AddNode(geo.Point{X: 0, Y: 0})
+	nw.AddNode(geo.Point{X: 100, Y: 0})
+	d := nw.Distance(geo.Point{X: 1, Y: 0}, geo.Point{X: 99, Y: 0})
+	if d != 98 {
+		t.Errorf("fallback distance = %v, want 98 (euclidean)", d)
+	}
+}
+
+func TestGridCityErrors(t *testing.T) {
+	if _, err := GridCity(GridCityConfig{Region: geo.Square(10), Cols: 1, Rows: 5}); err == nil {
+		t.Error("1-column city should error")
+	}
+	if _, err := GridCity(GridCityConfig{Region: geo.Rect{}, Cols: 3, Rows: 3}); err == nil {
+		t.Error("empty region should error")
+	}
+	if _, err := GridCity(GridCityConfig{Region: geo.Square(10), Cols: 3, Rows: 3, DropProb: 1}); err == nil {
+		t.Error("DropProb 1 should error")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	nw := New()
+	nw.AddNode(geo.Point{})
+	t.Run("out of range", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		nw.AddEdge(0, 5, 1)
+	})
+	t.Run("negative weight", func(t *testing.T) {
+		nw.AddNode(geo.Point{X: 1})
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		nw.AddEdge(0, 1, -2)
+	})
+}

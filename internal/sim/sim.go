@@ -1,0 +1,272 @@
+// Package sim drives the end-to-end pricing simulation of Section 5: for
+// each time period it shows the issued tasks and available workers to a
+// pricing strategy, reveals the requesters' accept/reject decisions against
+// their private valuations, assigns workers to accepting tasks with a
+// maximum-weight bipartite matching, accrues platform revenue, and tracks
+// the running-time and memory metrics the paper's figures report.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/match"
+	"spatialcrowd/internal/stats"
+)
+
+// Config controls one simulation run.
+type Config struct {
+	Params core.Params
+	// MemoryEvery samples runtime heap statistics every k periods (0
+	// disables sampling; 1 samples every period). Sampling is a
+	// stop-the-world operation, so large-scale runs use a coarse cadence.
+	MemoryEvery int
+	// Trace records a per-period time series (PeriodStats) and online price
+	// quantiles in the result. Off by default: the series costs O(T) memory.
+	Trace bool
+	// RepositionSpeed, when positive and the strategy exposes per-grid
+	// prices (core.GridPricer), moves each idle worker this many distance
+	// units per period toward the highest-priced grid among its current and
+	// neighboring cells — the supply response the paper's practical note (i)
+	// anticipates ("higher unit price ... will motivate more drivers to move
+	// to these regions"). 0 disables repositioning.
+	RepositionSpeed float64
+}
+
+// PeriodStats is one period's slice of the simulation trace.
+type PeriodStats struct {
+	Period    int
+	Tasks     int
+	Workers   int // workers available at pricing time
+	Accepted  int
+	Served    int
+	Revenue   float64
+	MeanPrice float64 // average offered unit price over the period's tasks
+}
+
+// DefaultConfig returns the configuration used by the experiment harness.
+func DefaultConfig() Config {
+	return Config{Params: core.DefaultParams(), MemoryEvery: 16}
+}
+
+// Result aggregates one run's outcome.
+type Result struct {
+	Strategy string
+	// Revenue is the total platform revenue: sum of d_r * p_r over all
+	// served tasks across all periods (Definition 5 summed over t).
+	Revenue float64
+	// Offered / Accepted / Served count tasks priced, tasks whose requester
+	// accepted, and tasks actually assigned a worker.
+	Offered  int
+	Accepted int
+	Served   int
+	// StrategyTime is the wall time spent inside the strategy (Prices +
+	// Observe) over all periods — the paper's "running time" panels, which
+	// exclude the platform's own assignment step shared by all strategies.
+	StrategyTime time.Duration
+	// MatchingTime is the platform-side assignment matching time.
+	MatchingTime time.Duration
+	// PeakHeapMB is the maximum sampled heap occupancy during the run.
+	PeakHeapMB float64
+	// Trace is the per-period time series (only when Config.Trace is set).
+	Trace []PeriodStats
+	// PriceMedian and PriceP90 are online quantile estimates of the offered
+	// unit prices (only when Config.Trace is set; NaN with no offers).
+	PriceMedian float64
+	PriceP90    float64
+}
+
+// Run simulates the instance under the given strategy. The instance must
+// carry pre-assigned private valuations (see workload generators). Workers
+// persist across periods until they are either consumed by an assignment or
+// their availability duration lapses; tasks expire at the end of their
+// period, as in the paper's batch mode.
+func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	if strat == nil {
+		return Result{}, fmt.Errorf("sim: nil strategy")
+	}
+	res := Result{Strategy: strat.Name()}
+
+	var medianQ, p90Q *stats.PSquare
+	if cfg.Trace {
+		res.Trace = make([]PeriodStats, 0, in.Periods)
+		medianQ, _ = stats.NewPSquare(0.5)
+		p90Q, _ = stats.NewPSquare(0.9)
+	}
+
+	tasksByPeriod := in.TasksByPeriod()
+	arrivals := in.WorkersByStart()
+
+	// The active pool holds workers that have arrived, are unconsumed, and
+	// whose duration has not lapsed.
+	active := make([]market.Worker, 0, 1024)
+
+	var ms runtime.MemStats
+	sampleMem := func(period int) {
+		if cfg.MemoryEvery <= 0 || period%cfg.MemoryEvery != 0 {
+			return
+		}
+		runtime.ReadMemStats(&ms)
+		if mb := float64(ms.HeapAlloc) / (1 << 20); mb > res.PeakHeapMB {
+			res.PeakHeapMB = mb
+		}
+	}
+
+	for t := 0; t < in.Periods; t++ {
+		// Admit new arrivals, evict expired workers.
+		active = append(active, arrivals[t]...)
+		live := active[:0]
+		for _, w := range active {
+			if w.ActiveAt(t) {
+				live = append(live, w)
+			}
+		}
+		active = live
+
+		tasks := tasksByPeriod[t]
+		if len(tasks) == 0 {
+			sampleMem(t)
+			continue
+		}
+
+		graph := market.BuildBipartiteIndexed(in, tasks, active)
+		ctx := core.BuildContext(in.Grid, t, tasks, active, graph)
+
+		start := time.Now()
+		prices := strat.Prices(ctx)
+		res.StrategyTime += time.Since(start)
+		if len(prices) != len(tasks) {
+			return Result{}, fmt.Errorf("sim: strategy %s returned %d prices for %d tasks",
+				strat.Name(), len(prices), len(tasks))
+		}
+
+		// Requesters decide against their private valuations.
+		accepted := make([]bool, len(tasks))
+		acceptedIdx := make([]int, 0, len(tasks))
+		for i, task := range tasks {
+			accepted[i] = task.Accepts(prices[i])
+			if accepted[i] {
+				acceptedIdx = append(acceptedIdx, i)
+				res.Accepted++
+			}
+		}
+		res.Offered += len(tasks)
+
+		// Platform-side assignment: maximum-weight matching on the accepted
+		// subgraph; matched workers are consumed.
+		mt := time.Now()
+		served, revenue, consumed := assign(ctx, graph, prices, acceptedIdx)
+		res.MatchingTime += time.Since(mt)
+		res.Served += served
+		res.Revenue += revenue
+		if len(consumed) > 0 {
+			live = active[:0]
+			for wi, w := range active {
+				if !consumed[wi] {
+					live = append(live, w)
+				}
+			}
+			active = live
+		}
+
+		start = time.Now()
+		strat.Observe(ctx, prices, accepted)
+		res.StrategyTime += time.Since(start)
+
+		if cfg.RepositionSpeed > 0 {
+			if gp, ok := strat.(core.GridPricer); ok {
+				repositionWorkers(in, active, gp.GridPrices(), cfg.RepositionSpeed)
+			}
+		}
+
+		if cfg.Trace {
+			sum := 0.0
+			for _, p := range prices {
+				sum += p
+				medianQ.Add(p)
+				p90Q.Add(p)
+			}
+			res.Trace = append(res.Trace, PeriodStats{
+				Period:    t,
+				Tasks:     len(tasks),
+				Workers:   len(active) + len(consumed), // pool at pricing time
+				Accepted:  len(acceptedIdx),
+				Served:    served,
+				Revenue:   revenue,
+				MeanPrice: sum / float64(len(tasks)),
+			})
+		}
+
+		sampleMem(t)
+	}
+	if cfg.Trace {
+		res.PriceMedian = medianQ.Quantile()
+		res.PriceP90 = p90Q.Quantile()
+	}
+	return res, nil
+}
+
+// repositionWorkers drifts each idle worker toward the center of the
+// best-priced cell among its own and neighboring cells, at the given speed.
+// A worker already in the locally best cell keeps converging to that cell's
+// center, putting it within reach of the cell's demand.
+func repositionWorkers(in *market.Instance, workers []market.Worker, gridPrices map[int]float64, speed float64) {
+	if len(gridPrices) == 0 {
+		return
+	}
+	for i := range workers {
+		w := &workers[i]
+		cur := in.Grid.CellOf(w.Loc)
+		bestCell, bestPrice := cur, gridPrices[cur]
+		for _, nb := range in.Grid.Neighbors(cur) {
+			if p, ok := gridPrices[nb]; ok && p > bestPrice {
+				bestCell, bestPrice = nb, p
+			}
+		}
+		target := in.Grid.CellCenter(bestCell)
+		d := w.Loc.Dist(target)
+		if d == 0 {
+			continue
+		}
+		if d <= speed {
+			w.Loc = target
+			continue
+		}
+		w.Loc = w.Loc.Add(target.Add(w.Loc.Scale(-1)).Scale(speed / d))
+	}
+}
+
+// assign computes the final max-weight matching over accepting tasks and
+// returns the number served, the revenue, and the consumed worker positions
+// (indexed into the period's worker slice), or nil when nothing matched.
+func assign(ctx *core.PeriodContext, graph *match.Graph, prices []float64, acceptedIdx []int) (int, float64, map[int]bool) {
+	if len(acceptedIdx) == 0 {
+		return 0, 0, nil
+	}
+	sub, origin := graph.InducedLeft(acceptedIdx)
+	weights := make([]float64, len(origin))
+	for i, l := range origin {
+		weights[i] = ctx.Tasks[l].Distance * prices[l]
+	}
+	m, revenue := match.MaxWeightByLeft(sub, weights)
+	served := 0
+	var consumed map[int]bool
+	for l, r := range m.LeftTo {
+		if r < 0 {
+			continue
+		}
+		served++
+		if consumed == nil {
+			consumed = make(map[int]bool)
+		}
+		consumed[r] = true
+		_ = l
+	}
+	return served, revenue, consumed
+}

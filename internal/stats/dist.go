@@ -1,0 +1,291 @@
+// Package stats implements the probability machinery the pricing algorithms
+// depend on: valuation distributions (normal, truncated normal, exponential,
+// uniform), acceptance-ratio curves S(p) = 1 - F(p), Myerson reserve price
+// computation for known curves, Hoeffding sample-size bounds used by base
+// pricing, and the binomial deviation test MAPS uses for demand change
+// detection.
+//
+// Every sampler takes an explicit *rand.Rand so callers control determinism.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a univariate distribution of requester private valuations.
+// CDF(p) is F(p) = Pr[v <= p]; Accept(p) is the acceptance ratio
+// S(p) = Pr[v > p] = 1 - F(p) of Definition 3.
+type Dist interface {
+	// CDF returns Pr[V <= x].
+	CDF(x float64) float64
+	// Sample draws one valuation.
+	Sample(rng *rand.Rand) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+}
+
+// Accept returns the acceptance ratio S(p) = 1 - F(p) for d at price p.
+func Accept(d Dist, p float64) float64 { return 1 - d.CDF(p) }
+
+// Normal is the N(Mu, Sigma^2) distribution.
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// CDF implements Dist using the error function.
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * (1 + math.Erf((x-n.Mu)/(n.Sigma*math.Sqrt2)))
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// Mean implements Dist.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// TruncNormal is a normal distribution conditioned on [Lo, Hi], the demand
+// distribution the paper uses for synthetic valuations ("we restrict all the
+// vr to [1,5], so the distribution of vr is a conditional probability
+// distribution").
+type TruncNormal struct {
+	Mu, Sigma float64
+	Lo, Hi    float64
+}
+
+// NewTruncNormal validates and builds a truncated normal.
+func NewTruncNormal(mu, sigma, lo, hi float64) (TruncNormal, error) {
+	if sigma <= 0 {
+		return TruncNormal{}, fmt.Errorf("stats: truncated normal needs sigma > 0, got %v", sigma)
+	}
+	if lo >= hi {
+		return TruncNormal{}, fmt.Errorf("stats: truncated normal needs lo < hi, got [%v,%v]", lo, hi)
+	}
+	return TruncNormal{Mu: mu, Sigma: sigma, Lo: lo, Hi: hi}, nil
+}
+
+func (t TruncNormal) base() Normal { return Normal{Mu: t.Mu, Sigma: t.Sigma} }
+
+// mass returns F(Hi) - F(Lo) of the untruncated normal.
+func (t TruncNormal) mass() float64 {
+	b := t.base()
+	m := b.CDF(t.Hi) - b.CDF(t.Lo)
+	if m <= 0 {
+		// Degenerate truncation window far in a tail; treat as a point mass
+		// at the nearer bound to keep callers finite.
+		return math.SmallestNonzeroFloat64
+	}
+	return m
+}
+
+// CDF implements Dist.
+func (t TruncNormal) CDF(x float64) float64 {
+	if x < t.Lo {
+		return 0
+	}
+	if x >= t.Hi {
+		return 1
+	}
+	b := t.base()
+	return (b.CDF(x) - b.CDF(t.Lo)) / t.mass()
+}
+
+// Sample implements Dist via inverse-CDF-free rejection with a numeric
+// fallback: rejection is exact and fast when the window carries reasonable
+// mass; otherwise we invert the CDF by bisection.
+func (t TruncNormal) Sample(rng *rand.Rand) float64 {
+	b := t.base()
+	if t.mass() > 1e-3 {
+		for i := 0; i < 1000; i++ {
+			v := b.Sample(rng)
+			if v >= t.Lo && v <= t.Hi {
+				return v
+			}
+		}
+	}
+	// Inverse transform by bisection on the truncated CDF.
+	u := rng.Float64()
+	lo, hi := t.Lo, t.Hi
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if t.CDF(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Mean implements Dist with the standard truncated-normal formula.
+func (t TruncNormal) Mean() float64 {
+	alpha := (t.Lo - t.Mu) / t.Sigma
+	beta := (t.Hi - t.Mu) / t.Sigma
+	num := stdPDF(alpha) - stdPDF(beta)
+	den := stdCDF(beta) - stdCDF(alpha)
+	if den <= 0 {
+		return math.Max(t.Lo, math.Min(t.Hi, t.Mu))
+	}
+	return t.Mu + t.Sigma*num/den
+}
+
+func stdPDF(x float64) float64 { return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi) }
+func stdCDF(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+// Exponential is the Exp(Rate) distribution shifted by Shift, used for the
+// appendix-D experiment (Figure 10) on exponential demand.
+type Exponential struct {
+	Rate  float64 // alpha in the paper's Figure 10
+	Shift float64 // location offset so valuations start near pmin
+}
+
+// CDF implements Dist.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= e.Shift {
+		return 0
+	}
+	return 1 - math.Exp(-e.Rate*(x-e.Shift))
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	return e.Shift + rng.ExpFloat64()/e.Rate
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.Shift + 1/e.Rate }
+
+// Uniform is the U[Lo,Hi] distribution.
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// CDF implements Dist.
+func (u Uniform) CDF(x float64) float64 {
+	if x <= u.Lo {
+		return 0
+	}
+	if x >= u.Hi {
+		return 1
+	}
+	return (x - u.Lo) / (u.Hi - u.Lo)
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Lo + rng.Float64()*(u.Hi-u.Lo)
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// PointMass is the degenerate distribution at V; every requester accepts any
+// price <= V and rejects any price > V. The NP-hardness reduction (Theorem 1)
+// and several unit tests use it.
+type PointMass struct {
+	V float64
+}
+
+// CDF implements Dist.
+func (pm PointMass) CDF(x float64) float64 {
+	if x < pm.V {
+		return 0
+	}
+	return 1
+}
+
+// Sample implements Dist.
+func (pm PointMass) Sample(*rand.Rand) float64 { return pm.V }
+
+// Mean implements Dist.
+func (pm PointMass) Mean() float64 { return pm.V }
+
+// Table is an empirical acceptance-ratio table like Table 1 of the paper:
+// a step CDF defined by (price, acceptance ratio) pairs. Prices must be
+// strictly increasing and ratios non-increasing in [0,1].
+type Table struct {
+	prices []float64
+	accept []float64 // S(prices[i])
+}
+
+// NewTable builds an acceptance table. It returns an error when the inputs
+// are not a valid non-increasing acceptance curve.
+func NewTable(prices, accept []float64) (*Table, error) {
+	if len(prices) == 0 || len(prices) != len(accept) {
+		return nil, fmt.Errorf("stats: table needs equal, non-empty price/accept slices (got %d/%d)",
+			len(prices), len(accept))
+	}
+	for i := range prices {
+		if accept[i] < 0 || accept[i] > 1 {
+			return nil, fmt.Errorf("stats: acceptance ratio %v out of [0,1]", accept[i])
+		}
+		if i > 0 {
+			if prices[i] <= prices[i-1] {
+				return nil, fmt.Errorf("stats: table prices must be strictly increasing")
+			}
+			if accept[i] > accept[i-1] {
+				return nil, fmt.Errorf("stats: acceptance ratios must be non-increasing")
+			}
+		}
+	}
+	t := &Table{prices: append([]float64(nil), prices...), accept: append([]float64(nil), accept...)}
+	return t, nil
+}
+
+// AcceptAt returns S(p) by step interpolation: the ratio of the largest
+// tabulated price <= p, 1 below the first price, and the last ratio above
+// the last price.
+func (t *Table) AcceptAt(p float64) float64 {
+	if p < t.prices[0] {
+		return 1
+	}
+	s := t.accept[0]
+	for i, tp := range t.prices {
+		if tp <= p {
+			s = t.accept[i]
+		} else {
+			break
+		}
+	}
+	return s
+}
+
+// CDF implements Dist as 1 - S(p).
+func (t *Table) CDF(x float64) float64 { return 1 - t.AcceptAt(x) }
+
+// Sample implements Dist by inverting the step CDF: it returns a valuation
+// drawn so that Pr[v > p] = AcceptAt(p) for every tabulated p.
+func (t *Table) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64() // valuation survives price p iff u < S(p)
+	// Find the largest tabulated price the valuation exceeds.
+	v := t.prices[0] - 1 // below every tabulated price
+	for i, p := range t.prices {
+		if u < t.accept[i] {
+			v = p
+		}
+	}
+	// Nudge above the price so "accept iff v > p" holds at equality points.
+	return v + 1e-9
+}
+
+// Mean implements Dist approximately as the mean of the step distribution.
+func (t *Table) Mean() float64 {
+	m := 0.0
+	prev := 1.0
+	for i, p := range t.prices {
+		m += (prev - t.accept[i]) * p
+		prev = t.accept[i]
+	}
+	// Remaining mass sits at the top price.
+	m += prev * t.prices[len(t.prices)-1]
+	return m
+}

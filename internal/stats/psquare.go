@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PSquare estimates a single quantile online without storing observations,
+// using the P² algorithm (Jain & Chlamtac, 1985): five markers whose
+// positions are nudged by piecewise-parabolic interpolation. The simulator
+// uses it to report price and revenue quantiles over millions of
+// observations in O(1) memory.
+type PSquare struct {
+	p       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	incr    [5]float64
+	initial []float64
+}
+
+// NewPSquare returns an estimator of the p-quantile, 0 < p < 1.
+func NewPSquare(p float64) (*PSquare, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("stats: PSquare needs p in (0,1), got %v", p)
+	}
+	ps := &PSquare{p: p}
+	ps.incr = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return ps, nil
+}
+
+// Add folds one observation into the estimator.
+func (ps *PSquare) Add(x float64) {
+	if ps.n < 5 {
+		ps.initial = append(ps.initial, x)
+		ps.n++
+		if ps.n == 5 {
+			sort.Float64s(ps.initial)
+			for i := 0; i < 5; i++ {
+				ps.heights[i] = ps.initial[i]
+				ps.pos[i] = float64(i + 1)
+			}
+			ps.want = [5]float64{1, 1 + 2*ps.p, 1 + 4*ps.p, 3 + 2*ps.p, 5}
+			ps.initial = nil
+		}
+		return
+	}
+	ps.n++
+
+	// Find the cell containing x and update extreme heights.
+	var k int
+	switch {
+	case x < ps.heights[0]:
+		ps.heights[0] = x
+		k = 0
+	case x >= ps.heights[4]:
+		ps.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < ps.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		ps.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		ps.want[i] += ps.incr[i]
+	}
+
+	// Adjust the three interior markers.
+	for i := 1; i <= 3; i++ {
+		d := ps.want[i] - ps.pos[i]
+		if (d >= 1 && ps.pos[i+1]-ps.pos[i] > 1) || (d <= -1 && ps.pos[i-1]-ps.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			h := ps.parabolic(i, s)
+			if ps.heights[i-1] < h && h < ps.heights[i+1] {
+				ps.heights[i] = h
+			} else {
+				ps.heights[i] = ps.linear(i, s)
+			}
+			ps.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction.
+func (ps *PSquare) parabolic(i int, s float64) float64 {
+	return ps.heights[i] + s/(ps.pos[i+1]-ps.pos[i-1])*
+		((ps.pos[i]-ps.pos[i-1]+s)*(ps.heights[i+1]-ps.heights[i])/(ps.pos[i+1]-ps.pos[i])+
+			(ps.pos[i+1]-ps.pos[i]-s)*(ps.heights[i]-ps.heights[i-1])/(ps.pos[i]-ps.pos[i-1]))
+}
+
+// linear is the fallback height prediction.
+func (ps *PSquare) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return ps.heights[i] + s*(ps.heights[j]-ps.heights[i])/(ps.pos[j]-ps.pos[i])
+}
+
+// N returns the number of observations.
+func (ps *PSquare) N() int { return ps.n }
+
+// Quantile returns the current estimate. With fewer than five observations
+// it falls back to the exact small-sample quantile; with none it returns
+// NaN.
+func (ps *PSquare) Quantile() float64 {
+	if ps.n == 0 {
+		return math.NaN()
+	}
+	if ps.n < 5 {
+		tmp := append([]float64(nil), ps.initial...)
+		sort.Float64s(tmp)
+		idx := int(ps.p * float64(len(tmp)))
+		if idx >= len(tmp) {
+			idx = len(tmp) - 1
+		}
+		return tmp[idx]
+	}
+	return ps.heights[2]
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// RevenueAt returns the per-unit-distance expected revenue p*S(p) of offering
+// price p against demand d. For MHR demand this curve is concave with a
+// unique maximizer, the Myerson reserve price (Section 3.1.1).
+func RevenueAt(d Dist, p float64) float64 { return p * Accept(d, p) }
+
+// MyersonReserve numerically locates argmax_{p in [lo,hi]} p*S(p) by golden
+// section search; for MHR distributions p*S(p) is unimodal so the search is
+// exact up to tol. It is the ground-truth reference the estimators are
+// compared against in tests and ablations.
+func MyersonReserve(d Dist, lo, hi float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	const phi = 0.6180339887498949 // (sqrt(5)-1)/2
+	const tol = 1e-9
+	a, b := lo, hi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := RevenueAt(d, x1), RevenueAt(d, x2)
+	for b-a > tol {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = RevenueAt(d, x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = RevenueAt(d, x1)
+		}
+	}
+	return (a + b) / 2
+}
+
+// PriceLadder returns the geometric candidate price set
+// {pmin, pmin(1+alpha), pmin(1+alpha)^2, ...} capped at pmax, the candidate
+// set both base pricing (Algorithm 1) and MAPS (Algorithm 3) scan.
+// It returns an error on invalid bounds or step.
+func PriceLadder(pmin, pmax, alpha float64) ([]float64, error) {
+	if pmin <= 0 || pmax < pmin {
+		return nil, fmt.Errorf("stats: ladder needs 0 < pmin <= pmax, got [%v,%v]", pmin, pmax)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("stats: ladder needs alpha > 0, got %v", alpha)
+	}
+	var out []float64
+	for p := pmin; p <= pmax*(1+1e-12); p *= 1 + alpha {
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LadderSize returns k = ceil(ln(pmax/pmin)/ln(1+alpha)), the candidate count
+// from line 1 of Algorithm 1.
+func LadderSize(pmin, pmax, alpha float64) int {
+	if pmax <= pmin {
+		return 1
+	}
+	return int(math.Ceil(math.Log(pmax/pmin) / math.Log(1+alpha)))
+}
+
+// HoeffdingSamples returns h(p) = ceil((2 p^2 / eps^2) * ln(2k/delta)), the
+// number of requesters Algorithm 1 probes at price p so that
+// |p*Shat(p) - p*S(p)| <= eps/2 with probability 1 - delta/k (Theorem 2).
+func HoeffdingSamples(p, eps float64, k int, delta float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 || k <= 0 {
+		return 1
+	}
+	h := math.Ceil(2 * p * p / (eps * eps) * math.Log(2*float64(k)/delta))
+	if h < 1 {
+		return 1
+	}
+	return int(h)
+}
+
+// UCBRadius returns the confidence radius p*sqrt(2 ln N / N(p)) of the index
+// in Section 4.2.2. When the price has never been tried (np == 0) the radius
+// is +Inf, forcing exploration; when no requester has been seen at all
+// (n == 0) it is 0, matching the paper's note that the radius is zero before
+// any observation exists.
+func UCBRadius(p float64, n, np int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if np <= 0 {
+		return math.Inf(1)
+	}
+	return p * math.Sqrt(2*math.Log(float64(n))/float64(np))
+}
+
+// BinomialDeviation reports whether observing k accepts out of m trials is a
+// statistically significant deviation from acceptance ratio s, using the
+// paper's +/- 2 standard deviation rule: flag when k is outside
+// m*s +/- 2*sqrt(m*s*(1-s)). With fewer than minTrials observations it never
+// flags (the binomial normal approximation needs mass).
+func BinomialDeviation(k, m int, s float64) bool {
+	const minTrials = 8
+	if m < minTrials || s < 0 || s > 1 {
+		return false
+	}
+	mean := float64(m) * s
+	sd := math.Sqrt(float64(m) * s * (1 - s))
+	dev := math.Abs(float64(k) - mean)
+	if sd == 0 {
+		return dev > 0.5 // deterministic curve: any miss is a change
+	}
+	return dev > 2*sd
+}
+
+// Welford accumulates a running mean and variance without storing samples.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }

@@ -1,0 +1,458 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNormalCDF(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{3, 0.99865},
+		{-3, 0.00135},
+	}
+	for _, tt := range tests {
+		if got := n.CDF(tt.x); !almost(got, tt.want, 1e-4) {
+			t.Errorf("CDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestNormalZeroSigma(t *testing.T) {
+	n := Normal{Mu: 2, Sigma: 0}
+	if n.CDF(1.999) != 0 || n.CDF(2) != 1 {
+		t.Error("zero-sigma normal should be a step at mu")
+	}
+}
+
+func TestDistCDFProperties(t *testing.T) {
+	dists := map[string]Dist{
+		"normal":      Normal{Mu: 2, Sigma: 1},
+		"truncnormal": TruncNormal{Mu: 2, Sigma: 1, Lo: 1, Hi: 5},
+		"exponential": Exponential{Rate: 1, Shift: 1},
+		"uniform":     Uniform{Lo: 1, Hi: 5},
+		"pointmass":   PointMass{V: 2},
+	}
+	for name, d := range dists {
+		t.Run(name, func(t *testing.T) {
+			f := func(a, b float64) bool {
+				x := math.Mod(math.Abs(a), 10) - 2
+				y := x + math.Mod(math.Abs(b), 10)
+				cx, cy := d.CDF(x), d.CDF(y)
+				return cx >= 0 && cy <= 1 && cx <= cy+1e-12
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestSamplesMatchCDF(t *testing.T) {
+	// Kolmogorov-style check: empirical acceptance at a few probes should be
+	// close to 1 - CDF.
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]Dist{
+		"truncnormal": TruncNormal{Mu: 2, Sigma: 1, Lo: 1, Hi: 5},
+		"exponential": Exponential{Rate: 0.8, Shift: 1},
+		"uniform":     Uniform{Lo: 1, Hi: 5},
+		"normal":      Normal{Mu: 3, Sigma: 0.7},
+	}
+	const n = 20000
+	for name, d := range dists {
+		t.Run(name, func(t *testing.T) {
+			samples := make([]float64, n)
+			for i := range samples {
+				samples[i] = d.Sample(rng)
+			}
+			for _, p := range []float64{1.2, 2, 2.8, 3.6, 4.4} {
+				acc := 0
+				for _, v := range samples {
+					if v > p {
+						acc++
+					}
+				}
+				got := float64(acc) / n
+				want := Accept(d, p)
+				if !almost(got, want, 0.02) {
+					t.Errorf("empirical S(%v) = %v, want %v", p, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	d, err := NewTruncNormal(2, 1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		v := d.Sample(rng)
+		if v < 1 || v > 5 {
+			t.Fatalf("sample %v out of [1,5]", v)
+		}
+	}
+	if d.CDF(0.5) != 0 || d.CDF(5) != 1 {
+		t.Error("CDF must be 0 below Lo and 1 at Hi")
+	}
+}
+
+func TestTruncNormalFarTail(t *testing.T) {
+	// Window far into the tail: sampling must still terminate and stay in
+	// bounds (bisection fallback).
+	d := TruncNormal{Mu: -20, Sigma: 1, Lo: 1, Hi: 5}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		v := d.Sample(rng)
+		if v < 1-1e-6 || v > 5+1e-6 {
+			t.Fatalf("tail sample %v out of window", v)
+		}
+	}
+}
+
+func TestNewTruncNormalErrors(t *testing.T) {
+	if _, err := NewTruncNormal(2, 0, 1, 5); err == nil {
+		t.Error("sigma=0 should error")
+	}
+	if _, err := NewTruncNormal(2, 1, 5, 1); err == nil {
+		t.Error("lo>hi should error")
+	}
+}
+
+func TestTruncNormalMean(t *testing.T) {
+	d := TruncNormal{Mu: 2, Sigma: 1, Lo: 1, Hi: 5}
+	rng := rand.New(rand.NewSource(11))
+	var w Welford
+	for i := 0; i < 40000; i++ {
+		w.Add(d.Sample(rng))
+	}
+	if !almost(w.Mean(), d.Mean(), 0.02) {
+		t.Errorf("empirical mean %v vs analytic %v", w.Mean(), d.Mean())
+	}
+}
+
+func TestTableMatchesPaperTable1(t *testing.T) {
+	// Table 1: S(1)=0.9, S(2)=0.8, S(3)=0.5.
+	tbl, err := NewTable([]float64{1, 2, 3}, []float64{0.9, 0.8, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		p, want float64
+	}{
+		{0.5, 1}, {1, 0.9}, {1.5, 0.9}, {2, 0.8}, {2.5, 0.8}, {3, 0.5}, {10, 0.5},
+	}
+	for _, tt := range tests {
+		if got := tbl.AcceptAt(tt.p); got != tt.want {
+			t.Errorf("AcceptAt(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// The paper's observation: with unlimited supply, unit price 2 maximizes
+	// p*S(p) among {1,2,3}: 0.9 vs 1.6 vs 1.5.
+	if RevenueAt(tbl, 2) <= RevenueAt(tbl, 1) || RevenueAt(tbl, 2) <= RevenueAt(tbl, 3) {
+		t.Errorf("price 2 should maximize revenue: R(1)=%v R(2)=%v R(3)=%v",
+			RevenueAt(tbl, 1), RevenueAt(tbl, 2), RevenueAt(tbl, 3))
+	}
+}
+
+func TestTableSampling(t *testing.T) {
+	tbl, err := NewTable([]float64{1, 2, 3}, []float64{0.9, 0.8, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	const n = 50000
+	counts := map[float64]int{}
+	for i := 0; i < n; i++ {
+		v := tbl.Sample(rng)
+		for _, p := range []float64{1, 2, 3} {
+			if v > p {
+				counts[p]++
+			}
+		}
+	}
+	for _, p := range []float64{1, 2, 3} {
+		got := float64(counts[p]) / n
+		if !almost(got, tbl.AcceptAt(p), 0.01) {
+			t.Errorf("empirical S(%v) = %v, want %v", p, got, tbl.AcceptAt(p))
+		}
+	}
+}
+
+func TestNewTableErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p, s []float64
+	}{
+		{"empty", nil, nil},
+		{"mismatched", []float64{1}, []float64{0.5, 0.2}},
+		{"ratio > 1", []float64{1}, []float64{1.5}},
+		{"non-increasing prices", []float64{2, 2}, []float64{0.9, 0.8}},
+		{"increasing acceptance", []float64{1, 2}, []float64{0.5, 0.9}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewTable(c.p, c.s); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestMyersonReserveKnownCases(t *testing.T) {
+	tests := []struct {
+		name string
+		d    Dist
+		want float64
+		tol  float64
+	}{
+		// U[0,1]: max p(1-p) at p=0.5.
+		{"uniform01", Uniform{0, 1}, 0.5, 1e-6},
+		// Exp(rate λ, shift 0): max p e^{-λp} at p = 1/λ.
+		{"exp rate 2", Exponential{Rate: 2}, 0.5, 1e-6},
+		{"exp rate 0.5", Exponential{Rate: 0.5}, 2, 1e-6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := MyersonReserve(tt.d, 0.01, 10)
+			if !almost(got, tt.want, tt.tol) {
+				t.Errorf("MyersonReserve = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMyersonReserveIsMaximizer(t *testing.T) {
+	d := TruncNormal{Mu: 2, Sigma: 1, Lo: 1, Hi: 5}
+	pm := MyersonReserve(d, 1, 5)
+	best := RevenueAt(d, pm)
+	for p := 1.0; p <= 5; p += 0.01 {
+		if RevenueAt(d, p) > best+1e-9 {
+			t.Fatalf("found better price %v: %v > %v", p, RevenueAt(d, p), best)
+		}
+	}
+}
+
+func TestPriceLadderExample4(t *testing.T) {
+	// Example 4: pmin=1, pmax=5, alpha=0.5 => k=4, ladder {1, 1.5, 2.25, 3.375}.
+	ladder, err := PriceLadder(1, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1.5, 2.25, 3.375, 5.0625}
+	// The paper's candidate set stops before exceeding pmax: {1,1.5,2.25,3.375}.
+	// Our ladder enumerates while p <= pmax, so the last entry 5.0625 is
+	// excluded.
+	want = want[:4]
+	if len(ladder) != len(want) {
+		t.Fatalf("ladder = %v, want %v", ladder, want)
+	}
+	for i := range want {
+		if !almost(ladder[i], want[i], 1e-12) {
+			t.Errorf("ladder[%d] = %v, want %v", i, ladder[i], want[i])
+		}
+	}
+	if k := LadderSize(1, 5, 0.5); k != 4 {
+		t.Errorf("LadderSize = %d, want 4 (Example 4)", k)
+	}
+}
+
+func TestPriceLadderErrors(t *testing.T) {
+	if _, err := PriceLadder(0, 5, 0.5); err == nil {
+		t.Error("pmin=0 should error")
+	}
+	if _, err := PriceLadder(2, 1, 0.5); err == nil {
+		t.Error("pmax<pmin should error")
+	}
+	if _, err := PriceLadder(1, 5, 0); err == nil {
+		t.Error("alpha=0 should error")
+	}
+}
+
+func TestPriceLadderProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		pmin := 0.5 + float64(a%40)/10
+		pmax := pmin + float64(b%50)/5
+		alpha := 0.1 + float64(c%20)/20
+		ladder, err := PriceLadder(pmin, pmax, alpha)
+		if err != nil {
+			return false
+		}
+		if len(ladder) == 0 || ladder[0] != pmin {
+			return false
+		}
+		for i := 1; i < len(ladder); i++ {
+			if !almost(ladder[i]/ladder[i-1], 1+alpha, 1e-9) {
+				return false
+			}
+		}
+		return ladder[len(ladder)-1] <= pmax*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHoeffdingSamplesExample4(t *testing.T) {
+	// Example 4: p=1, eps=0.2, k=4, delta=0.01 => h = ceil(50*ln(800)) = 335.
+	if got := HoeffdingSamples(1, 0.2, 4, 0.01); got != 335 {
+		t.Errorf("HoeffdingSamples = %d, want 335 (Example 4)", got)
+	}
+}
+
+func TestHoeffdingSamplesMonotone(t *testing.T) {
+	// More accuracy or higher prices demand more samples.
+	if HoeffdingSamples(2, 0.2, 4, 0.01) <= HoeffdingSamples(1, 0.2, 4, 0.01) {
+		t.Error("higher price should need more samples")
+	}
+	if HoeffdingSamples(1, 0.1, 4, 0.01) <= HoeffdingSamples(1, 0.2, 4, 0.01) {
+		t.Error("smaller eps should need more samples")
+	}
+	if HoeffdingSamples(1, 0.2, 4, 0.001) <= HoeffdingSamples(1, 0.2, 4, 0.01) {
+		t.Error("smaller delta should need more samples")
+	}
+	if got := HoeffdingSamples(1, 0, 4, 0.01); got != 1 {
+		t.Errorf("degenerate eps: got %d, want 1", got)
+	}
+}
+
+func TestUCBRadius(t *testing.T) {
+	if r := UCBRadius(2, 0, 0); r != 0 {
+		t.Errorf("no requesters yet: radius = %v, want 0", r)
+	}
+	if r := UCBRadius(2, 100, 0); !math.IsInf(r, 1) {
+		t.Errorf("unexplored price: radius = %v, want +Inf", r)
+	}
+	got := UCBRadius(2, 100, 25)
+	want := 2 * math.Sqrt(2*math.Log(100)/25)
+	if !almost(got, want, 1e-12) {
+		t.Errorf("radius = %v, want %v", got, want)
+	}
+	// Radius shrinks with more observations of the price.
+	if UCBRadius(2, 100, 50) >= UCBRadius(2, 100, 25) {
+		t.Error("radius should shrink as N(p) grows")
+	}
+}
+
+func TestBinomialDeviation(t *testing.T) {
+	tests := []struct {
+		name string
+		k, m int
+		s    float64
+		want bool
+	}{
+		{"on the mean", 50, 100, 0.5, false},
+		{"within 2sd", 58, 100, 0.5, false},
+		{"beyond 2sd high", 70, 100, 0.5, true},
+		{"beyond 2sd low", 30, 100, 0.5, true},
+		{"too few trials", 0, 4, 0.5, false},
+		{"deterministic miss", 9, 10, 1.0, true},
+		{"deterministic hit", 10, 10, 1.0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := BinomialDeviation(tt.k, tt.m, tt.s); got != tt.want {
+				t.Errorf("BinomialDeviation(%d,%d,%v) = %v, want %v", tt.k, tt.m, tt.s, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBinomialDeviationFalsePositiveRate(t *testing.T) {
+	// Under the true ratio, the 2-sigma rule should flag rarely (~5%).
+	rng := rand.New(rand.NewSource(13))
+	const trials, m = 2000, 64
+	s := 0.7
+	flags := 0
+	for i := 0; i < trials; i++ {
+		k := 0
+		for j := 0; j < m; j++ {
+			if rng.Float64() < s {
+				k++
+			}
+		}
+		if BinomialDeviation(k, m, s) {
+			flags++
+		}
+	}
+	rate := float64(flags) / trials
+	if rate > 0.10 {
+		t.Errorf("false positive rate %v too high", rate)
+	}
+}
+
+func TestBinomialDeviationDetectsShift(t *testing.T) {
+	// After demand shifts from 0.8 to 0.3, a window of 64 should flag almost
+	// always.
+	rng := rand.New(rand.NewSource(17))
+	const trials, m = 500, 64
+	detected := 0
+	for i := 0; i < trials; i++ {
+		k := 0
+		for j := 0; j < m; j++ {
+			if rng.Float64() < 0.3 {
+				k++
+			}
+		}
+		if BinomialDeviation(k, m, 0.8) {
+			detected++
+		}
+	}
+	if rate := float64(detected) / trials; rate < 0.99 {
+		t.Errorf("detection rate %v too low", rate)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Error("zero value should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 || !almost(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, n = %d", w.Mean(), w.N())
+	}
+	if !almost(w.Var(), 32.0/7.0, 1e-12) {
+		t.Errorf("var = %v, want %v", w.Var(), 32.0/7.0)
+	}
+	if !almost(w.Std(), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("std = %v", w.Std())
+	}
+}
+
+func TestRevenueConcaveForMHR(t *testing.T) {
+	// For MHR families the revenue curve rises then falls (unimodal). Probe a
+	// dense ladder and assert no second rise after the first fall.
+	for name, d := range map[string]Dist{
+		"uniform":     Uniform{1, 5},
+		"truncnormal": TruncNormal{Mu: 2, Sigma: 1, Lo: 1, Hi: 5},
+		"exponential": Exponential{Rate: 1, Shift: 0},
+	} {
+		t.Run(name, func(t *testing.T) {
+			falling := false
+			prev := math.Inf(-1)
+			for p := 0.05; p < 6; p += 0.05 {
+				cur := RevenueAt(d, p)
+				if cur < prev-1e-9 {
+					falling = true
+				} else if falling && cur > prev+1e-6 {
+					t.Fatalf("revenue curve rose again at p=%v", p)
+				}
+				prev = cur
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Truncated conditions an arbitrary distribution on the interval [Lo, Hi],
+// renormalizing its CDF. The paper restricts all valuations to [1, 5] this
+// way ("the distribution of vr is a conditional probability distribution"),
+// including the exponential-demand variant of Figure 10.
+type Truncated struct {
+	D      Dist
+	Lo, Hi float64
+}
+
+// NewTruncated validates and builds the conditional distribution.
+func NewTruncated(d Dist, lo, hi float64) (Truncated, error) {
+	if d == nil {
+		return Truncated{}, fmt.Errorf("stats: Truncated needs a base distribution")
+	}
+	if lo >= hi {
+		return Truncated{}, fmt.Errorf("stats: Truncated needs lo < hi, got [%v,%v]", lo, hi)
+	}
+	if d.CDF(hi)-d.CDF(lo) <= 0 {
+		return Truncated{}, fmt.Errorf("stats: base distribution has no mass on [%v,%v]", lo, hi)
+	}
+	return Truncated{D: d, Lo: lo, Hi: hi}, nil
+}
+
+func (t Truncated) mass() float64 {
+	m := t.D.CDF(t.Hi) - t.D.CDF(t.Lo)
+	if m <= 0 {
+		return 1e-300
+	}
+	return m
+}
+
+// CDF implements Dist.
+func (t Truncated) CDF(x float64) float64 {
+	if x < t.Lo {
+		return 0
+	}
+	if x >= t.Hi {
+		return 1
+	}
+	return (t.D.CDF(x) - t.D.CDF(t.Lo)) / t.mass()
+}
+
+// Sample implements Dist by rejection with a bisection fallback for thin
+// windows.
+func (t Truncated) Sample(rng *rand.Rand) float64 {
+	if t.mass() > 1e-3 {
+		for i := 0; i < 1000; i++ {
+			if v := t.D.Sample(rng); v >= t.Lo && v <= t.Hi {
+				return v
+			}
+		}
+	}
+	u := rng.Float64()
+	lo, hi := t.Lo, t.Hi
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if t.CDF(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Mean implements Dist numerically via the identity
+// E[X] = Lo + ∫_Lo^Hi (1 - CDF(x)) dx on the truncated support.
+func (t Truncated) Mean() float64 {
+	const steps = 2048
+	h := (t.Hi - t.Lo) / steps
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		x := t.Lo + (float64(i)+0.5)*h
+		sum += (1 - t.CDF(x)) * h
+	}
+	return t.Lo + sum
+}

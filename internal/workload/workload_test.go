@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"spatialcrowd/internal/market"
+)
+
+func TestSyntheticDefaults(t *testing.T) {
+	in, model, err := Synthetic(SyntheticConfig{Workers: 500, Requests: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Tasks) != 2000 || len(in.Workers) != 500 {
+		t.Fatalf("populations %d/%d", len(in.Tasks), len(in.Workers))
+	}
+	if in.Periods != 400 || in.Grid.NumCells() != 100 {
+		t.Errorf("defaults wrong: T=%d G=%d", in.Periods, in.Grid.NumCells())
+	}
+	if model == nil {
+		t.Fatal("nil model")
+	}
+	for _, task := range in.Tasks {
+		if task.Valuation < 1 || task.Valuation > 5 {
+			t.Fatalf("valuation %v out of [1,5]", task.Valuation)
+		}
+		if task.Distance < 0 || math.IsNaN(task.Distance) {
+			t.Fatalf("bad distance %v", task.Distance)
+		}
+		if !in.Grid.Region.Contains(task.Origin) || !in.Grid.Region.Contains(task.Dest) {
+			t.Fatalf("task outside region: %v -> %v", task.Origin, task.Dest)
+		}
+	}
+	for _, w := range in.Workers {
+		if w.Radius != 10 {
+			t.Fatalf("default radius %v, want 10", w.Radius)
+		}
+		if !in.Grid.Region.Contains(w.Loc) {
+			t.Fatalf("worker outside region: %v", w.Loc)
+		}
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	cfg := SyntheticConfig{Workers: 100, Requests: 300, Periods: 50, GridSide: 5, Seed: 99}
+	a, _, _ := Synthetic(cfg)
+	b, _, _ := Synthetic(cfg)
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("task %d differs between equal-seed runs", i)
+		}
+	}
+	cfg.Seed = 100
+	c, _, _ := Synthetic(cfg)
+	same := 0
+	for i := range a.Tasks {
+		if a.Tasks[i] == c.Tasks[i] {
+			same++
+		}
+	}
+	if same == len(a.Tasks) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestSyntheticTemporalMean(t *testing.T) {
+	// Truncation to [0, T) pulls extreme means inward, so assert the
+	// monotone ordering plus tightness at the center.
+	means := make([]float64, 0, 3)
+	for _, mu := range []float64{0.1, 0.5, 0.9} {
+		cfg := SyntheticConfig{Workers: 10, Requests: 5000, Periods: 400, TemporalMu: mu, Seed: 3}
+		in, _, err := Synthetic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, task := range in.Tasks {
+			sum += float64(task.Period)
+		}
+		means = append(means, sum/float64(len(in.Tasks))/400)
+	}
+	if !(means[0] < means[1] && means[1] < means[2]) {
+		t.Fatalf("temporal means not ordered: %v", means)
+	}
+	if math.Abs(means[1]-0.5) > 0.03 {
+		t.Errorf("central temporal mean %v, want ~0.5", means[1])
+	}
+	if means[0] > 0.3 || means[2] < 0.7 {
+		t.Errorf("extreme temporal means insufficiently separated: %v", means)
+	}
+}
+
+func TestSyntheticSpatialMean(t *testing.T) {
+	for _, m := range []float64{0.1, 0.9} {
+		cfg := SyntheticConfig{Workers: 10, Requests: 5000, SpatialMean: m, Seed: 4}
+		in, _, err := Synthetic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sx, sy float64
+		for _, task := range in.Tasks {
+			sx += task.Origin.X
+			sy += task.Origin.Y
+		}
+		n := float64(len(in.Tasks))
+		if math.Abs(sx/n-m*100) > 6 || math.Abs(sy/n-m*100) > 6 {
+			t.Errorf("spatial mean %v: empirical (%v,%v)", m, sx/n, sy/n)
+		}
+	}
+}
+
+func TestSyntheticDemandFamilies(t *testing.T) {
+	// Higher demand mean => higher average valuation.
+	lo, _, err := Synthetic(SyntheticConfig{Workers: 10, Requests: 4000, DemandMu: 1.0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, _, err := Synthetic(SyntheticConfig{Workers: 10, Requests: 4000, DemandMu: 3.0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanValuation(lo) >= meanValuation(hi) {
+		t.Errorf("valuations should grow with demand mu: %v vs %v",
+			meanValuation(lo), meanValuation(hi))
+	}
+	// Exponential demand: valid and bounded.
+	ex, _, err := Synthetic(SyntheticConfig{Workers: 10, Requests: 2000,
+		Demand: DemandExponential, ExpRate: 0.75, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range ex.Tasks {
+		if task.Valuation < 1 || task.Valuation > 5 {
+			t.Fatalf("exp valuation %v out of [1,5]", task.Valuation)
+		}
+	}
+	// Smaller rate => heavier tail => richer requesters.
+	ex2, _, _ := Synthetic(SyntheticConfig{Workers: 10, Requests: 2000,
+		Demand: DemandExponential, ExpRate: 1.5, Seed: 6})
+	if meanValuation(ex) <= meanValuation(ex2) {
+		t.Errorf("exp rate 0.75 should out-value rate 1.5: %v vs %v",
+			meanValuation(ex), meanValuation(ex2))
+	}
+}
+
+func meanValuation(in *market.Instance) float64 {
+	s := 0.0
+	for _, task := range in.Tasks {
+		s += task.Valuation
+	}
+	return s / float64(len(in.Tasks))
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	cases := []SyntheticConfig{
+		{Workers: -1},
+		{TemporalMu: 2},
+		{SpatialMean: -0.5},
+		{VMin: 5, VMax: 1},
+		{Radius: -3},
+	}
+	for i, c := range cases {
+		if _, _, err := Synthetic(c); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestBeijingLikeShapes(t *testing.T) {
+	for _, variant := range []BeijingVariant{BeijingRush, BeijingNight} {
+		in, model, err := BeijingLike(BeijingConfig{Variant: variant, WorkerDuration: 10, Scale: 50, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if model == nil {
+			t.Fatal("nil model")
+		}
+		if in.Periods != BeijingPeriods || in.Grid.NumCells() != 80 {
+			t.Errorf("geometry: T=%d G=%d, want 120/80", in.Periods, in.Grid.NumCells())
+		}
+		for _, w := range in.Workers {
+			if w.Radius != BeijingRadiusKM || w.Duration != 10 {
+				t.Fatalf("worker radius/duration %v/%d", w.Radius, w.Duration)
+			}
+		}
+		for _, task := range in.Tasks {
+			if task.Valuation < 1 || task.Valuation > 5 {
+				t.Fatalf("valuation %v out of bounds", task.Valuation)
+			}
+		}
+	}
+}
+
+func TestBeijingPopulationRatio(t *testing.T) {
+	rush, _, _ := BeijingLike(BeijingConfig{Variant: BeijingRush, WorkerDuration: 5, Scale: 100, Seed: 1})
+	night, _, _ := BeijingLike(BeijingConfig{Variant: BeijingNight, WorkerDuration: 5, Scale: 100, Seed: 1})
+	// Table 4 ratios: rush ~4.0 tasks per worker, night ~2.9.
+	rr := float64(len(rush.Tasks)) / float64(len(rush.Workers))
+	nr := float64(len(night.Tasks)) / float64(len(night.Workers))
+	if rr <= nr {
+		t.Errorf("rush should be more demand-heavy: %v vs %v", rr, nr)
+	}
+	if math.Abs(rr-4.02) > 0.3 {
+		t.Errorf("rush ratio %v, want ~4.0", rr)
+	}
+}
+
+func TestBeijingTemporalProfiles(t *testing.T) {
+	rush, _, _ := BeijingLike(BeijingConfig{Variant: BeijingRush, WorkerDuration: 5, Scale: 50, Seed: 3})
+	night, _, _ := BeijingLike(BeijingConfig{Variant: BeijingNight, WorkerDuration: 5, Scale: 50, Seed: 3})
+	meanPeriod := func(in *market.Instance) float64 {
+		s := 0.0
+		for _, task := range in.Tasks {
+			s += float64(task.Period)
+		}
+		return s / float64(len(in.Tasks))
+	}
+	// Rush peaks mid-window (~60); night decays from 0 (mean well below 60).
+	if m := meanPeriod(rush); math.Abs(m-60) > 10 {
+		t.Errorf("rush mean period %v, want ~60", m)
+	}
+	if m := meanPeriod(night); m > 55 {
+		t.Errorf("night mean period %v, want decaying profile (< 55)", m)
+	}
+}
+
+func TestBeijingErrors(t *testing.T) {
+	if _, _, err := BeijingLike(BeijingConfig{WorkerDuration: 0}); err == nil {
+		t.Error("zero duration should error")
+	}
+	if _, _, err := BeijingLike(BeijingConfig{WorkerDuration: 5, Scale: 10_000_000}); err == nil {
+		t.Error("absurd scale should error")
+	}
+}
+
+func TestDistanceMetrics(t *testing.T) {
+	base := SyntheticConfig{Workers: 10, Requests: 800, Periods: 20, Seed: 8}
+
+	euclid := base
+	euclid.DistanceMetric = MetricEuclidean
+	manhattan := base
+	manhattan.DistanceMetric = MetricManhattan
+	road := base
+	road.DistanceMetric = MetricRoadNetwork
+
+	inE, _, err := Synthetic(euclid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inM, _, err := Synthetic(manhattan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inR, _, err := Synthetic(road)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed: identical trips, different metrics. For every trip,
+	// Euclidean <= road-network and Euclidean <= Manhattan; Manhattan is at
+	// most sqrt(2) times Euclidean.
+	for i := range inE.Tasks {
+		de := inE.Tasks[i].Distance
+		dm := inM.Tasks[i].Distance
+		dr := inR.Tasks[i].Distance
+		if inE.Tasks[i].Origin != inM.Tasks[i].Origin || inE.Tasks[i].Origin != inR.Tasks[i].Origin {
+			t.Fatal("same seed must generate the same trips")
+		}
+		if dm < de-1e-9 || dm > de*math.Sqrt2+1e-9 {
+			t.Fatalf("task %d: manhattan %v vs euclid %v out of band", i, dm, de)
+		}
+		if dr < de-1e-9 {
+			t.Fatalf("task %d: road %v shorter than euclid %v", i, dr, de)
+		}
+	}
+	// Aggregate sanity: the road network inflates average distances but not
+	// absurdly (connected jittered grid).
+	if meanDist(inR) > 2.0*meanDist(inE) {
+		t.Errorf("road distances implausibly long: %v vs %v", meanDist(inR), meanDist(inE))
+	}
+}
+
+func meanDist(in *market.Instance) float64 {
+	s := 0.0
+	for _, task := range in.Tasks {
+		s += task.Distance
+	}
+	return s / float64(len(in.Tasks))
+}
+
+func TestUnknownMetricRejected(t *testing.T) {
+	cfg := SyntheticConfig{Workers: 5, Requests: 5, DistanceMetric: Metric(99), Seed: 1}
+	if _, _, err := Synthetic(cfg); err == nil {
+		t.Error("unknown metric should error")
+	}
+}

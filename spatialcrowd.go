@@ -1,0 +1,260 @@
+// Package spatialcrowd is a Go implementation of "Dynamic Pricing in Spatial
+// Crowdsourcing: A Matching-Based Approach" (Tong et al., SIGMOD 2018).
+//
+// A spatial-crowdsourcing platform (ride hailing, food delivery, gig
+// micro-tasks) must set one unit price per grid cell per time period so that
+// its expected total revenue — over requesters' random accept/reject
+// decisions and the maximum-weight matching of accepting tasks to
+// range-constrained workers — is maximized. The package provides:
+//
+//   - BaseP: the base pricing strategy (Algorithm 1), which estimates
+//     per-grid Myerson reserve prices from accept/reject probes and prices
+//     everything at their average;
+//   - MAPS: the matching-based dynamic pricing strategy (Algorithms 2–3),
+//     which greedily distributes dependent supply across grids with
+//     augmenting-path validation and prices each grid with a UCB index;
+//   - the paper's comparison baselines SDR, SDE, and CappedUCB;
+//   - a market simulator, synthetic and Beijing-like workload generators,
+//     and the experiment drivers that regenerate every figure of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	cfg := spatialcrowd.SyntheticConfig{Workers: 500, Requests: 2000, Seed: 1}
+//	instance, model, _ := spatialcrowd.Synthetic(cfg)
+//
+//	params := spatialcrowd.DefaultParams()
+//	base, _ := spatialcrowd.NewBaseP(params)
+//	_ = base.Calibrate(spatialcrowd.OracleFromModel(model, 7), instance.Grid.NumCells(), 200)
+//
+//	maps, _ := spatialcrowd.NewMAPS(params, base.BasePrice())
+//	result, _ := spatialcrowd.Run(instance, maps, spatialcrowd.DefaultSimConfig())
+//	fmt.Println(result.Revenue)
+//
+// See the examples/ directory for complete programs and EXPERIMENTS.md for
+// the paper-versus-measured record of every reproduced figure.
+package spatialcrowd
+
+import (
+	"math/rand"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/exp"
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/match"
+	"spatialcrowd/internal/pworld"
+	"spatialcrowd/internal/sim"
+	"spatialcrowd/internal/stats"
+	"spatialcrowd/internal/workload"
+)
+
+// Geometry and market model.
+type (
+	// Point is a planar location.
+	Point = geo.Point
+	// Rect is an axis-aligned rectangle.
+	Rect = geo.Rect
+	// Grid is the uniform partition of the region into local markets.
+	Grid = geo.Grid
+	// Task is a spatial task with origin, destination, travel distance, and
+	// the requester's private valuation.
+	Task = market.Task
+	// Worker is a crowd worker with a location and range constraint.
+	Worker = market.Worker
+	// Instance is a complete market: grid, periods, tasks, and workers.
+	Instance = market.Instance
+	// ValuationModel is the hidden per-grid demand distribution.
+	ValuationModel = market.ValuationModel
+)
+
+// Pricing strategies.
+type (
+	// Params bundles the pricing knobs (price bounds, ladder step, accuracy).
+	Params = core.Params
+	// Strategy is the interface every pricing algorithm implements.
+	Strategy = core.Strategy
+	// PeriodContext is one period's market state as strategies see it.
+	PeriodContext = core.PeriodContext
+	// BaseP is the base pricing strategy of Section 3.
+	BaseP = core.BaseP
+	// MAPS is the matching-based dynamic pricing strategy of Section 4.
+	MAPS = core.MAPS
+	// SDR is the supply-demand-ratio heuristic baseline.
+	SDR = core.SDR
+	// SDE is the exponential supply-demand-difference heuristic baseline.
+	SDE = core.SDE
+	// CappedUCB is the per-grid independent limited-supply pricing baseline.
+	CappedUCB = core.CappedUCB
+	// ParametricMAPS is a MAPS variant with a logistic demand fit instead of
+	// the nonparametric UCB estimator (ablation A6).
+	ParametricMAPS = core.ParametricMAPS
+	// LogisticDemand fits an acceptance curve S(p) online.
+	LogisticDemand = core.LogisticDemand
+	// ProbeOracle answers base pricing's calibration probes.
+	ProbeOracle = core.ProbeOracle
+)
+
+// Simulation and experiments.
+type (
+	// SimConfig controls a simulation run.
+	SimConfig = sim.Config
+	// SimResult is one run's revenue, counts, and resource metrics.
+	SimResult = sim.Result
+	// PeriodStats is one period of the simulation trace (SimConfig.Trace).
+	PeriodStats = sim.PeriodStats
+	// SyntheticConfig parameterizes the Table 3 synthetic workload.
+	SyntheticConfig = workload.SyntheticConfig
+	// BeijingConfig parameterizes the Beijing-like real-data stand-in.
+	BeijingConfig = workload.BeijingConfig
+	// Runner executes the paper's experiments.
+	Runner = exp.Runner
+	// Series is one figure column: a parameter sweep across strategies.
+	Series = exp.Series
+)
+
+// Demand distribution families for SyntheticConfig.
+const (
+	// DemandNormal draws valuations from truncated normals (default).
+	DemandNormal = workload.DemandNormal
+	// DemandExponential draws valuations from truncated exponentials
+	// (Figure 10).
+	DemandExponential = workload.DemandExponential
+)
+
+// Beijing dataset variants.
+const (
+	// BeijingRush is dataset #1 (5pm-7pm, heavy demand).
+	BeijingRush = workload.BeijingRush
+	// BeijingNight is dataset #2 (0am-2am, light demand).
+	BeijingNight = workload.BeijingNight
+)
+
+// Distance metrics for SyntheticConfig.DistanceMetric.
+const (
+	// MetricEuclidean is the straight-line travel distance (default).
+	MetricEuclidean = workload.MetricEuclidean
+	// MetricManhattan is the L1 travel distance.
+	MetricManhattan = workload.MetricManhattan
+	// MetricRoadNetwork routes trips over a synthetic grid-city road
+	// network.
+	MetricRoadNetwork = workload.MetricRoadNetwork
+)
+
+// NewParametricMAPS builds the logistic-demand MAPS variant.
+func NewParametricMAPS(p Params, basePrice float64) (*ParametricMAPS, error) {
+	return core.NewParametricMAPS(p, basePrice)
+}
+
+// SmoothPrices applies one pass of spatial price smoothing across
+// neighboring grids (Section 4.2.3's practical note).
+func SmoothPrices(grid Grid, prices map[int]float64, w float64) map[int]float64 {
+	return core.SmoothPrices(grid, prices, w)
+}
+
+// PriceGap returns the largest absolute price difference between
+// neighboring priced grids.
+func PriceGap(grid Grid, prices map[int]float64) float64 {
+	return core.PriceGap(grid, prices)
+}
+
+// DefaultParams returns the paper's experimental pricing parameters:
+// prices in [1, 5], ladder step 0.5, accuracy (0.2, 0.01).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// DefaultSimConfig returns the default simulator configuration.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// NewBaseP builds the base pricing strategy (calibrate it before use).
+func NewBaseP(p Params) (*BaseP, error) { return core.NewBaseP(p) }
+
+// NewMAPS builds the MAPS strategy around a base price.
+func NewMAPS(p Params, basePrice float64) (*MAPS, error) { return core.NewMAPS(p, basePrice) }
+
+// NewSDR builds the supply-demand-ratio baseline.
+func NewSDR(p Params, basePrice float64) (*SDR, error) { return core.NewSDR(p, basePrice) }
+
+// NewSDE builds the exponential supply-demand-difference baseline.
+func NewSDE(p Params, basePrice float64) (*SDE, error) { return core.NewSDE(p, basePrice) }
+
+// NewCappedUCB builds the per-grid independent UCB baseline.
+func NewCappedUCB(p Params, basePrice float64) (*CappedUCB, error) {
+	return core.NewCappedUCB(p, basePrice)
+}
+
+// Run simulates an instance under a strategy and reports revenue and
+// resource metrics.
+func Run(in *Instance, strat Strategy, cfg SimConfig) (SimResult, error) {
+	return sim.Run(in, strat, cfg)
+}
+
+// Synthetic generates a Table 3 synthetic market instance plus the hidden
+// valuation model (for calibration oracles).
+func Synthetic(cfg SyntheticConfig) (*Instance, ValuationModel, error) {
+	return workload.Synthetic(cfg)
+}
+
+// BeijingLike generates the Beijing-like stand-in for the paper's real
+// datasets (Table 4).
+func BeijingLike(cfg BeijingConfig) (*Instance, ValuationModel, error) {
+	return workload.BeijingLike(cfg)
+}
+
+// NewRunner returns the experiment runner with paper-scale defaults.
+func NewRunner() *Runner { return exp.NewRunner() }
+
+// BuildPeriodContext assembles the strategy-facing view of one period:
+// task projections, the range-constraint bipartite graph, and per-cell
+// groupings. Library users driving strategies outside the simulator (e.g.
+// pricing live data one batch at a time) use this as the entry point.
+func BuildPeriodContext(grid Grid, period int, tasks []Task, workers []Worker) *PeriodContext {
+	in := &Instance{Grid: grid, Periods: period + 1}
+	graph := market.BuildBipartiteIndexed(in, tasks, workers)
+	return core.BuildContext(grid, period, tasks, workers, graph)
+}
+
+// OracleFromModel adapts a valuation model into a calibration oracle with
+// its own deterministic random stream; it stands in for "requesters who
+// recently issued tasks" when simulating.
+func OracleFromModel(model ValuationModel, seed int64) ProbeOracle {
+	return &modelOracle{model: model, rng: rand.New(rand.NewSource(seed))}
+}
+
+type modelOracle struct {
+	model ValuationModel
+	rng   *rand.Rand
+}
+
+// Probe implements ProbeOracle.
+func (o *modelOracle) Probe(cell int, price float64) bool {
+	return price <= o.model.Dist(cell).Sample(o.rng)
+}
+
+// ExpectedRevenueExact computes the exact expected total revenue of pricing
+// `tasks` at `prices` against known acceptance probabilities, by full
+// possible-world enumeration (Definitions 5–6). It is exponential in the
+// task count (limit 20) and intended for analysis and testing.
+func ExpectedRevenueExact(grid Grid, tasks []Task, workers []Worker, prices []float64, model ValuationModel) (float64, error) {
+	graph := market.BuildBipartite(tasks, workers)
+	probs := make([]float64, len(tasks))
+	weights := make([]float64, len(tasks))
+	for i := range tasks {
+		cell := grid.CellOf(tasks[i].Origin)
+		probs[i] = stats.Accept(model.Dist(cell), prices[i])
+		weights[i] = tasks[i].Distance * prices[i]
+	}
+	return pworld.ExpectedRevenueExact(&pworld.World{Graph: graph, AcceptProb: probs, Weight: weights})
+}
+
+// MaxMatchingRevenue returns the best-case single-period revenue if every
+// requester accepted: the maximum-weight matching of the full bipartite
+// graph with weights d_r * p_r. Useful as an upper bound in reports.
+func MaxMatchingRevenue(tasks []Task, workers []Worker, prices []float64) float64 {
+	graph := market.BuildBipartite(tasks, workers)
+	weights := make([]float64, len(tasks))
+	for i := range tasks {
+		weights[i] = tasks[i].Distance * prices[i]
+	}
+	_, total := match.MaxWeightByLeft(graph, weights)
+	return total
+}

@@ -1,0 +1,161 @@
+package spatialcrowd_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"spatialcrowd"
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/stats"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := spatialcrowd.SyntheticConfig{
+		Workers: 200, Requests: 1000, Periods: 50, GridSide: 4, Seed: 1,
+	}
+	instance, model, err := spatialcrowd.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := spatialcrowd.DefaultParams()
+
+	base, err := spatialcrowd.NewBaseP(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := spatialcrowd.OracleFromModel(model, 7)
+	if err := base.Calibrate(oracle, instance.Grid.NumCells(), 100); err != nil {
+		t.Fatal(err)
+	}
+
+	maps, err := spatialcrowd.NewMAPS(params, base.BasePrice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.WarmStart(maps.CellStats)
+
+	res, err := spatialcrowd.Run(instance, maps, spatialcrowd.DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Revenue <= 0 || res.Offered != 1000 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestPublicExpectedRevenueMatchesPaperExample(t *testing.T) {
+	// The running example through the public API: E[U] = 4.075 for prices
+	// {3, 3, 2} (the paper reports 4.1 after rounding).
+	grid := spatialcrowd.Grid(geo.SquareGrid(8, 4))
+	tasks := []spatialcrowd.Task{
+		{ID: 1, Origin: spatialcrowd.Point{X: 1, Y: 5}, Distance: 1.3},
+		{ID: 2, Origin: spatialcrowd.Point{X: 1.5, Y: 5.5}, Distance: 0.7},
+		{ID: 3, Origin: spatialcrowd.Point{X: 5, Y: 5}, Distance: 1.0},
+	}
+	workers := []spatialcrowd.Worker{
+		{ID: 1, Loc: spatialcrowd.Point{X: 3, Y: 5}, Radius: 2.5},
+		{ID: 2, Loc: spatialcrowd.Point{X: 7, Y: 5}, Radius: 2.5},
+		{ID: 3, Loc: spatialcrowd.Point{X: 5, Y: 3}, Radius: 2.5},
+	}
+	table, err := stats.NewTable([]float64{1, 2, 3}, []float64{0.9, 0.8, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := tableModel{table}
+	got, err := spatialcrowd.ExpectedRevenueExact(grid, tasks, workers, []float64{3, 3, 2}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4.075) > 1e-9 {
+		t.Fatalf("E[U] = %v, want 4.075", got)
+	}
+}
+
+type tableModel struct{ d *stats.Table }
+
+func (m tableModel) Dist(int) stats.Dist { return m.d }
+
+func TestPublicMaxMatchingRevenue(t *testing.T) {
+	tasks := []spatialcrowd.Task{
+		{ID: 1, Origin: spatialcrowd.Point{X: 1, Y: 5}, Distance: 1.3},
+		{ID: 2, Origin: spatialcrowd.Point{X: 1.5, Y: 5.5}, Distance: 0.7},
+		{ID: 3, Origin: spatialcrowd.Point{X: 5, Y: 5}, Distance: 1.0},
+	}
+	workers := []spatialcrowd.Worker{
+		{ID: 1, Loc: spatialcrowd.Point{X: 3, Y: 5}, Radius: 2.5},
+		{ID: 2, Loc: spatialcrowd.Point{X: 7, Y: 5}, Radius: 2.5},
+		{ID: 3, Loc: spatialcrowd.Point{X: 5, Y: 3}, Radius: 2.5},
+	}
+	got := spatialcrowd.MaxMatchingRevenue(tasks, workers, []float64{3, 3, 2})
+	if math.Abs(got-5.9) > 1e-9 { // r1 on w1 (3.9) + r3 on w2/w3 (2.0)
+		t.Fatalf("max matching revenue = %v, want 5.9", got)
+	}
+}
+
+func TestPublicBuildPeriodContext(t *testing.T) {
+	grid := spatialcrowd.Grid(geo.SquareGrid(8, 4))
+	tasks := []spatialcrowd.Task{{ID: 1, Origin: spatialcrowd.Point{X: 1, Y: 5}, Distance: 2}}
+	workers := []spatialcrowd.Worker{{ID: 1, Loc: spatialcrowd.Point{X: 3, Y: 5}, Radius: 2.5, Duration: 1}}
+	ctx := spatialcrowd.BuildPeriodContext(grid, 0, tasks, workers)
+	if len(ctx.Tasks) != 1 || ctx.Graph.NumEdges() != 1 {
+		t.Fatalf("context: %d tasks, %d edges", len(ctx.Tasks), ctx.Graph.NumEdges())
+	}
+	// Drive a strategy manually through the context.
+	sdr, err := spatialcrowd.NewSDR(spatialcrowd.DefaultParams(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices := sdr.Prices(ctx)
+	if len(prices) != 1 {
+		t.Fatalf("prices = %v", prices)
+	}
+}
+
+func TestPublicExperimentRunner(t *testing.T) {
+	r := spatialcrowd.NewRunner()
+	r.Scale = 100
+	r.ProbeBudget = 30
+	s, err := r.VaryDemandMean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 5 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+}
+
+// ExampleNewMAPS reproduces the paper's Example 5 through the public API:
+// with Table 1's acceptance statistics, MAPS prices the two-task grid at 3
+// and the single-task grid at 2.
+func ExampleNewMAPS() {
+	grid := spatialcrowd.Grid(geo.SquareGrid(8, 4))
+	tasks := []spatialcrowd.Task{
+		{ID: 1, Origin: spatialcrowd.Point{X: 1, Y: 5}, Distance: 1.3},
+		{ID: 2, Origin: spatialcrowd.Point{X: 1.5, Y: 5.5}, Distance: 0.7},
+		{ID: 3, Origin: spatialcrowd.Point{X: 5, Y: 5}, Distance: 1.0},
+	}
+	workers := []spatialcrowd.Worker{
+		{ID: 1, Loc: spatialcrowd.Point{X: 3, Y: 5}, Radius: 2.5, Duration: 1},
+		{ID: 2, Loc: spatialcrowd.Point{X: 7, Y: 5}, Radius: 2.5, Duration: 1},
+		{ID: 3, Loc: spatialcrowd.Point{X: 5, Y: 3}, Radius: 2.5, Duration: 1},
+	}
+
+	params := spatialcrowd.Params{PMin: 1, PMax: 3, Alpha: 0.5, Eps: 0.2, Delta: 0.01}
+	maps, err := spatialcrowd.NewMAPS(params, 2)
+	if err != nil {
+		panic(err)
+	}
+	maps.SetLadder([]float64{1, 2, 3})
+	for _, cell := range []int{8, 10} { // the grids of (1,5) and (5,5)
+		cs := maps.CellStats(cell)
+		cs.Seed(1, 100000, 90000) // S(1) = 0.9 (Table 1)
+		cs.Seed(2, 100000, 80000) // S(2) = 0.8
+		cs.Seed(3, 100000, 50000) // S(3) = 0.5
+	}
+
+	ctx := spatialcrowd.BuildPeriodContext(grid, 0, tasks, workers)
+	prices := maps.Prices(ctx)
+	fmt.Printf("r1: %.0f  r2: %.0f  r3: %.0f\n", prices[0], prices[1], prices[2])
+	// Output: r1: 3  r2: 3  r3: 2
+}
