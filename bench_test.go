@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/engine"
 	"spatialcrowd/internal/geo"
 	"spatialcrowd/internal/market"
 	"spatialcrowd/internal/match"
@@ -327,4 +329,64 @@ func BenchmarkPossibleWorldExact(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineThroughput measures the streaming dispatch engine on the
+// benchmark-scale synthetic replay (the workload of cmd/serve's default,
+// scaled like every other benchmark here) and reports sustained events/sec
+// alongside the engine's revenue, so future PRs track dispatch throughput
+// next to the figure benchmarks.
+func BenchmarkEngineThroughput(b *testing.B) {
+	in, model, err := workload.Synthetic(workload.SyntheticConfig{
+		Workers:  scaled(5000),
+		Requests: scaled(20000),
+		Seed:     42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.DefaultParams()
+	basep, err := core.NewBaseP(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := &benchOracle{model: model, rng: rand.New(rand.NewSource(1))}
+	if err := basep.Calibrate(oracle, in.Grid.NumCells(), 300); err != nil {
+		b.Fatal(err)
+	}
+	pb := basep.BasePrice()
+
+	var events int64
+	var revenue float64
+	var elapsed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewMAPS(params, pb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		basep.WarmStart(m.CellStats)
+		eng, err := engine.New(engine.Config{
+			Grid: in.Grid, Strategy: m, AutoDecide: true,
+			OnDecision: func(engine.Decision) {},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.Replay(eng, in); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+		st := eng.Stats()
+		events += st.Events
+		revenue = st.Revenue
+		elapsed += st.Elapsed
+	}
+	b.StopTimer()
+	if secs := elapsed.Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/s")
+	}
+	b.ReportMetric(revenue, "engine-revenue")
 }

@@ -1,0 +1,180 @@
+// Command serve replays a workload through the streaming dispatch engine
+// (internal/engine) as an event stream and reports sustained throughput,
+// decision-latency quantiles, and revenue. It is the online counterpart of
+// cmd/experiments: the same workloads and pricing strategies, but ingested
+// as TaskArrival / WorkerOnline / Tick events through the sharded engine
+// instead of the offline period simulator.
+//
+// Usage:
+//
+//	serve                         # default synthetic replay, MAPS, NumCPU shards
+//	serve -strategy sdr -shards 8
+//	serve -beijing rush -duration 15
+//	serve -det                    # deterministic single-threaded mode
+//	serve -requests 100000 -workers 25000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/engine"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/workload"
+)
+
+type modelOracle struct {
+	model market.ValuationModel
+	rng   *rand.Rand
+}
+
+func (o *modelOracle) Probe(cell int, price float64) bool {
+	return price <= o.model.Dist(cell).Sample(o.rng)
+}
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 5000, "synthetic worker count |W|")
+		requests = flag.Int("requests", 20000, "synthetic request count |R|")
+		periods  = flag.Int("periods", 400, "synthetic horizon T")
+		gridSide = flag.Int("grid", 10, "synthetic grid side (G = side^2 cells)")
+		beijing  = flag.String("beijing", "", "replay a Beijing-like dataset instead: rush or night")
+		duration = flag.Int("duration", 15, "Beijing worker duration delta_w in periods")
+		scale    = flag.Int("scale", 1, "divide Beijing population sizes by this factor")
+		strategy = flag.String("strategy", "maps", "pricing strategy: maps, basep, sdr, sde")
+		shards   = flag.Int("shards", runtime.NumCPU(), "shard goroutines (market partitions)")
+		window   = flag.Int("window", 1, "periods per pricing batch")
+		det      = flag.Bool("det", false, "deterministic single-threaded mode (ignores -shards)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		probes   = flag.Int("probes", 200, "base-pricing calibration probes per price")
+	)
+	flag.Parse()
+
+	in, model, err := buildInstance(*beijing, *duration, *scale, *workers, *requests, *periods, *gridSide, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	params := core.DefaultParams()
+	basep, err := core.NewBaseP(params)
+	if err != nil {
+		fatal(err)
+	}
+	oracle := &modelOracle{model: model, rng: rand.New(rand.NewSource(*seed + 1))}
+	if err := basep.Calibrate(oracle, in.Grid.NumCells(), *probes); err != nil {
+		fatal(err)
+	}
+	pb := basep.BasePrice()
+
+	factory, err := strategyFactory(*strategy, params, basep)
+	if err != nil {
+		fatal(err)
+	}
+
+	nShards := *shards
+	if *det || nShards < 0 {
+		nShards = 0
+	}
+	eng, err := engine.New(engine.Config{
+		Grid:        in.Grid,
+		Shards:      nShards,
+		Window:      *window,
+		NewStrategy: factory,
+		AutoDecide:  true,
+		OnDecision:  func(engine.Decision) {}, // throughput run: discard the stream
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mode := fmt.Sprintf("%d shards", nShards)
+	if nShards == 0 {
+		mode = "deterministic"
+	}
+	fmt.Printf("replaying %d tasks / %d workers / %d periods through %s (%s, window %d, p_b %.2f)\n",
+		len(in.Tasks), len(in.Workers), in.Periods, *strategy, mode, *window, pb)
+
+	n, err := engine.Replay(eng, in)
+	if err != nil {
+		fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("submitted %d events\n\n%s", n, st)
+}
+
+func buildInstance(beijing string, duration, scale, workers, requests, periods, gridSide int, seed int64) (*market.Instance, market.ValuationModel, error) {
+	switch strings.ToLower(beijing) {
+	case "":
+		return workload.Synthetic(workload.SyntheticConfig{
+			Workers: workers, Requests: requests, Periods: periods,
+			GridSide: gridSide, Seed: seed,
+		})
+	case "rush":
+		return workload.BeijingLike(workload.BeijingConfig{
+			Variant: workload.BeijingRush, WorkerDuration: duration, Scale: scale, Seed: seed,
+		})
+	case "night":
+		return workload.BeijingLike(workload.BeijingConfig{
+			Variant: workload.BeijingNight, WorkerDuration: duration, Scale: scale, Seed: seed,
+		})
+	default:
+		return nil, nil, fmt.Errorf("unknown -beijing variant %q (want rush or night)", beijing)
+	}
+}
+
+// strategyFactory builds one private strategy instance per shard, all
+// sharing the single base-pricing calibration.
+func strategyFactory(name string, params core.Params, basep *core.BaseP) (func(int) core.Strategy, error) {
+	pb := basep.BasePrice()
+	switch strings.ToLower(name) {
+	case "maps":
+		return func(int) core.Strategy {
+			m, err := core.NewMAPS(params, pb)
+			if err != nil {
+				fatal(err)
+			}
+			basep.WarmStart(m.CellStats)
+			return m
+		}, nil
+	case "basep":
+		return func(int) core.Strategy {
+			b, err := core.NewBaseP(params)
+			if err != nil {
+				fatal(err)
+			}
+			b.SetBasePrice(pb)
+			return b
+		}, nil
+	case "sdr":
+		return func(int) core.Strategy {
+			s, err := core.NewSDR(params, pb)
+			if err != nil {
+				fatal(err)
+			}
+			return s
+		}, nil
+	case "sde":
+		return func(int) core.Strategy {
+			s, err := core.NewSDE(params, pb)
+			if err != nil {
+				fatal(err)
+			}
+			return s
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown -strategy %q (want maps, basep, sdr, or sde)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module spatialcrowd
+
+go 1.22

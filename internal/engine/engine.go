@@ -1,0 +1,382 @@
+// Package engine is the real-time streaming dispatch engine: the online
+// analogue of the offline period simulator in internal/sim. It ingests a
+// stream of task-arrival, worker-online/offline, accept-decision, and clock
+// events, shards per-cell market state across goroutine-owned shards
+// (channel-in/channel-out — no shared locks on the event path), closes a
+// pricing batch every configurable window of periods, prices each batch with
+// any core.Strategy via core.BuildContext, and assigns accepting tasks with
+// single augmenting paths (match.Incremental) over a k-d tree candidate
+// graph instead of recomputing a matching from scratch.
+//
+// Two modes:
+//
+//   - Deterministic (Config.Shards == 0): Submit processes events inline in
+//     the caller's goroutine over one shard spanning every cell. With
+//     AutoDecide set it reproduces sim.Run on a replayed instance — same
+//     batch construction, same pricing contexts, and the same assignment
+//     values (match.MaxWeightByLeft is the greedy augmentation the engine
+//     performs incrementally).
+//   - Concurrent (Config.Shards >= 1): a router goroutine forwards each
+//     event to the shard owning its grid cell (cell mod Shards) and shards
+//     price their sub-markets independently — the sharding approximation: a
+//     worker serves only tasks of its own shard's cells.
+//
+// With AutoDecide disabled the engine quotes prices and waits for
+// AcceptDecision events: accepting tasks are matched first-come-first-served
+// by one augmentation each, workers that go offline mid-batch are repaired
+// around with match.Incremental.RemoveRight, and the batch finalizes at the
+// next window close with unanswered quotes counting as rejections.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/stats"
+)
+
+const defaultBuffer = 4096
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Grid partitions the region into the cells that shard the market and
+	// group tasks for pricing. Required.
+	Grid geo.Grid
+	// Window is how many periods one pricing batch spans (default 1 — the
+	// streaming analogue of the paper's per-period batch mode).
+	Window int
+	// Shards is the number of shard goroutines. 0 selects the deterministic
+	// single-threaded mode: Submit processes events inline and every call
+	// sequence produces identical results.
+	Shards int
+	// Strategy prices batches in deterministic mode (or with Shards == 1).
+	Strategy core.Strategy
+	// NewStrategy builds one private strategy per shard; required when
+	// Shards > 1 because strategies are not concurrency-safe.
+	NewStrategy func(shard int) core.Strategy
+	// AutoDecide resolves requester decisions at batch close from the
+	// tasks' private valuations (simulation replay). When false the engine
+	// emits Quoted decisions and waits for AcceptDecision events.
+	AutoDecide bool
+	// Buffer is the router and per-shard channel depth (default 4096).
+	Buffer int
+	// OnDecision, when set, receives every decision instead of the Poll
+	// queue. It is called from shard goroutines and must be fast and
+	// concurrency-safe.
+	OnDecision func(Decision)
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Engine is a streaming dispatch engine. Create it with New; feed it with
+// Submit; read decisions with Poll or Config.OnDecision; stop it with Close.
+// Submit must not be called concurrently with Close.
+type Engine struct {
+	cfg Config
+
+	det        *shard // deterministic mode; nil when sharded
+	in         chan Event
+	shards     []*shard
+	routerDone chan struct{}
+	shardWG    sync.WaitGroup
+
+	// Router-owned routing state. Quoted-task entries live in a
+	// two-generation rotation (rotated every two windows, by which time
+	// their batch has certainly finalized) so unanswered quotes cannot
+	// accumulate forever. Worker entries are erased when shards report
+	// consumed/expired workers through retired.
+	taskShardCur  map[int]int // quoted task ID -> shard (current generation)
+	taskShardPrev map[int]int // previous generation
+	taskRotated   int         // period of the last generation rotation
+	workerShard   map[int]int // worker ID -> shard
+
+	retiredMu sync.Mutex
+	retired   []int // worker IDs removed inside shards, pending map cleanup
+
+	// Hot counters (atomic; bumped from shard goroutines).
+	events  atomic.Int64
+	priced  atomic.Int64
+	quoted  atomic.Int64
+	batches atomic.Int64
+	late    atomic.Int64 // decisions/offlines for unknown or settled targets
+
+	// Batch-grain aggregates. Revenue is kept per shard only (each shard
+	// accumulates its own batches in a deterministic order) and totaled in
+	// shard-index order at snapshot time, so the float sum is independent
+	// of goroutine scheduling.
+	aggMu        sync.Mutex
+	accepted     int64
+	served       int64
+	shardRevenue []float64
+
+	latMu sync.Mutex
+	p50   *stats.PSquare
+	p99   *stats.PSquare
+
+	outMu sync.Mutex
+	out   []Decision
+
+	started      time.Time
+	stoppedNanos atomic.Int64 // 0 while running
+	closed       atomic.Bool
+}
+
+// New validates the configuration and starts the engine (shard goroutines
+// and router in concurrent mode; nothing in deterministic mode).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Grid.Cols <= 0 || cfg.Grid.Rows <= 0 {
+		return nil, fmt.Errorf("engine: Config.Grid must be a non-empty grid")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = defaultBuffer
+	}
+	newStrat := cfg.NewStrategy
+	if newStrat == nil {
+		if cfg.Strategy == nil {
+			return nil, fmt.Errorf("engine: Config needs Strategy or NewStrategy")
+		}
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("engine: %d shards need a NewStrategy factory (strategies are not concurrency-safe)", cfg.Shards)
+		}
+		newStrat = func(int) core.Strategy { return cfg.Strategy }
+	}
+
+	e := &Engine{cfg: cfg, started: time.Now()}
+	e.p50, _ = stats.NewPSquare(0.5)
+	e.p99, _ = stats.NewPSquare(0.99)
+
+	if cfg.Shards <= 0 {
+		s := newShard(0, e, newStrat(0))
+		if s.strat == nil {
+			return nil, fmt.Errorf("engine: NewStrategy(0) returned nil")
+		}
+		e.det = s
+		e.shardRevenue = make([]float64, 1)
+		return e, nil
+	}
+
+	e.shardRevenue = make([]float64, cfg.Shards)
+	e.in = make(chan Event, cfg.Buffer)
+	e.taskShardCur = make(map[int]int)
+	e.taskShardPrev = make(map[int]int)
+	e.workerShard = make(map[int]int)
+	e.routerDone = make(chan struct{})
+	// Construct every shard before starting any goroutine so a failing
+	// factory cannot leak goroutines blocked on never-closed channels.
+	for i := 0; i < cfg.Shards; i++ {
+		s := newShard(i, e, newStrat(i))
+		if s.strat == nil {
+			return nil, fmt.Errorf("engine: NewStrategy(%d) returned nil", i)
+		}
+		s.in = make(chan Event, cfg.Buffer)
+		e.shards = append(e.shards, s)
+	}
+	for _, s := range e.shards {
+		e.shardWG.Add(1)
+		go s.run()
+	}
+	go e.route()
+	return e, nil
+}
+
+// Shards reports the number of shard goroutines (0 in deterministic mode).
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Window reports the pricing window in periods.
+func (e *Engine) Window() int { return e.cfg.Window }
+
+// Submit enqueues one event. In deterministic mode it processes the event
+// inline before returning; in concurrent mode it hands the event to the
+// router and returns immediately (blocking only when buffers are full).
+func (e *Engine) Submit(ev Event) error {
+	if ev.Kind == 0 || ev.Kind > KindTick {
+		return fmt.Errorf("engine: invalid event kind %d", ev.Kind)
+	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	ev.at = time.Now()
+	e.events.Add(1)
+	if e.det != nil {
+		e.det.handle(ev)
+		return nil
+	}
+	e.in <- ev
+	return nil
+}
+
+// route is the router goroutine: it owns the task/worker shard maps and
+// forwards each event to the shard owning its grid cell. Ticks broadcast.
+func (e *Engine) route() {
+	defer close(e.routerDone)
+	for ev := range e.in {
+		switch ev.Kind {
+		case KindTick:
+			e.pruneRoutes(ev.Period)
+			for _, s := range e.shards {
+				s.in <- ev
+			}
+		case KindTaskArrival:
+			si := e.shardOfCell(e.cfg.Grid.CellOf(ev.Task.Origin))
+			if !e.cfg.AutoDecide {
+				e.taskShardCur[ev.Task.ID] = si
+			}
+			e.shards[si].in <- ev
+		case KindWorkerOnline:
+			si := e.shardOfCell(e.cfg.Grid.CellOf(ev.Worker.Loc))
+			e.workerShard[ev.Worker.ID] = si
+			e.shards[si].in <- ev
+		case KindWorkerOffline:
+			if si, ok := e.workerShard[ev.WorkerID]; ok {
+				delete(e.workerShard, ev.WorkerID)
+				e.shards[si].in <- ev
+			} else {
+				e.late.Add(1)
+			}
+		case KindAcceptDecision:
+			si, ok := e.taskShardCur[ev.TaskID]
+			if ok {
+				delete(e.taskShardCur, ev.TaskID)
+			} else if si, ok = e.taskShardPrev[ev.TaskID]; ok {
+				delete(e.taskShardPrev, ev.TaskID)
+			}
+			if ok {
+				e.shards[si].in <- ev
+			} else {
+				e.late.Add(1)
+			}
+		}
+	}
+	for _, s := range e.shards {
+		close(s.in)
+	}
+}
+
+func (e *Engine) shardOfCell(cell int) int { return cell % len(e.shards) }
+
+// pruneRoutes bounds the router's maps. Quoted-task generations rotate
+// every two windows: a quote is answerable for at most two window closes
+// (its batch finalizes at the next close), so anything still in the
+// previous generation by then is unanswerable and can be dropped. Worker
+// routes for IDs the shards retired (consumed or expired) are erased.
+func (e *Engine) pruneRoutes(period int) {
+	if period >= e.taskRotated+2*e.cfg.Window {
+		e.taskShardPrev = e.taskShardCur
+		e.taskShardCur = make(map[int]int)
+		e.taskRotated = period
+	}
+	e.retiredMu.Lock()
+	retired := e.retired
+	e.retired = nil
+	e.retiredMu.Unlock()
+	for _, id := range retired {
+		delete(e.workerShard, id)
+	}
+}
+
+// noteRetired records worker IDs a shard removed from its pool (consumed by
+// an assignment or expired) so the router can drop their routing entries.
+// Shards call it at batch grain, not per event.
+func (e *Engine) noteRetired(ids []int) {
+	if e.det != nil || len(ids) == 0 {
+		return
+	}
+	e.retiredMu.Lock()
+	e.retired = append(e.retired, ids...)
+	e.retiredMu.Unlock()
+}
+
+// Close drains the event stream and stops the shard goroutines, finalizing
+// in-flight quoted batches (unanswered quotes count as rejections). It is
+// not an implicit flush: tasks of a window whose closing Tick was never
+// submitted are discarded unpriced. Close returns after every shard has
+// drained, so Poll and Stats then reflect the complete stream.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	if e.det != nil {
+		e.det.finalizePending(time.Now())
+	} else {
+		close(e.in)
+		<-e.routerDone
+		e.shardWG.Wait()
+	}
+	e.stoppedNanos.Store(time.Now().UnixNano())
+	return nil
+}
+
+// Poll drains and returns the decisions emitted since the last Poll (nil
+// when none). With Config.OnDecision installed, decisions bypass the queue
+// and Poll always returns nil.
+func (e *Engine) Poll() []Decision {
+	e.outMu.Lock()
+	ds := e.out
+	e.out = nil
+	e.outMu.Unlock()
+	return ds
+}
+
+// emit delivers one decision, stamping its latency from the triggering
+// event's submission time.
+func (e *Engine) emit(d Decision, at time.Time) {
+	d.Latency = time.Since(at)
+	e.latMu.Lock()
+	e.p50.Add(float64(d.Latency))
+	e.p99.Add(float64(d.Latency))
+	e.latMu.Unlock()
+	e.deliver(d)
+}
+
+// emitAll delivers a batch of decisions sharing one trigger (a closing
+// Tick), amortizing the latency-recorder lock over the batch.
+func (e *Engine) emitAll(ds []Decision, at time.Time) {
+	if len(ds) == 0 {
+		return
+	}
+	lat := time.Since(at)
+	e.latMu.Lock()
+	for i := range ds {
+		ds[i].Latency = lat
+		e.p50.Add(float64(lat))
+		e.p99.Add(float64(lat))
+	}
+	e.latMu.Unlock()
+	if e.cfg.OnDecision != nil {
+		for _, d := range ds {
+			e.cfg.OnDecision(d)
+		}
+		return
+	}
+	e.outMu.Lock()
+	e.out = append(e.out, ds...)
+	e.outMu.Unlock()
+}
+
+func (e *Engine) deliver(d Decision) {
+	if e.cfg.OnDecision != nil {
+		e.cfg.OnDecision(d)
+		return
+	}
+	e.outMu.Lock()
+	e.out = append(e.out, d)
+	e.outMu.Unlock()
+}
+
+// noteBatch folds one finalized batch into the aggregate statistics.
+func (e *Engine) noteBatch(shard, accepted, served int, revenue float64) {
+	e.aggMu.Lock()
+	e.accepted += int64(accepted)
+	e.served += int64(served)
+	e.shardRevenue[shard] += revenue
+	e.aggMu.Unlock()
+}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"time"
+
+	"spatialcrowd/internal/market"
+)
+
+// Kind discriminates the event union.
+type Kind uint8
+
+const (
+	// KindTaskArrival announces a new spatial task. Its origin cell routes
+	// it to a shard; it joins that shard's open pricing batch.
+	KindTaskArrival Kind = iota + 1
+	// KindWorkerOnline adds a worker to the pool of the shard owning the
+	// worker's current cell.
+	KindWorkerOnline
+	// KindWorkerOffline withdraws a worker (by ID) from its pool; if the
+	// worker holds a provisional assignment in an in-flight batch, the
+	// matching is repaired around it.
+	KindWorkerOffline
+	// KindAcceptDecision is a requester's reply to a price quote (only
+	// meaningful when the engine runs with AutoDecide disabled).
+	KindAcceptDecision
+	// KindTick advances the engine clock to a period; crossing a window
+	// boundary closes and prices the open batch of every shard.
+	KindTick
+)
+
+// Event is one element of the engine's input stream. Use the constructors;
+// the zero Event is invalid.
+type Event struct {
+	Kind     Kind
+	Task     market.Task   // KindTaskArrival
+	Worker   market.Worker // KindWorkerOnline
+	WorkerID int           // KindWorkerOffline
+	TaskID   int           // KindAcceptDecision
+	Accept   bool          // KindAcceptDecision
+	Period   int           // KindTick
+
+	at time.Time // stamped by Submit; decision latencies measure from here
+}
+
+// TaskArrival returns a task-arrival event.
+func TaskArrival(t market.Task) Event { return Event{Kind: KindTaskArrival, Task: t} }
+
+// WorkerOnline returns a worker-online event.
+func WorkerOnline(w market.Worker) Event { return Event{Kind: KindWorkerOnline, Worker: w} }
+
+// WorkerOffline returns a worker-offline event for the given worker ID.
+func WorkerOffline(id int) Event { return Event{Kind: KindWorkerOffline, WorkerID: id} }
+
+// AcceptDecision returns a requester's accept/reject reply for a quoted task.
+func AcceptDecision(taskID int, accept bool) Event {
+	return Event{Kind: KindAcceptDecision, TaskID: taskID, Accept: accept}
+}
+
+// Tick returns a clock-advance event to the given period.
+func Tick(period int) Event { return Event{Kind: KindTick, Period: period} }
+
+// Decision is one element of the engine's output stream: a price quote, a
+// requester outcome, or a (re)assignment for a single task.
+type Decision struct {
+	TaskID int
+	Period int // period of the batch that priced the task
+	Cell   int
+	Price  float64
+	// Quoted marks a price offer awaiting the requester's AcceptDecision
+	// (AutoDecide disabled). Accepted/Served are not meaningful on quotes.
+	Quoted   bool
+	Accepted bool
+	// Served reports a provisional worker assignment. In quoted mode it can
+	// be superseded by a later Decision for the same task — when the
+	// assigned worker goes offline before the batch finalizes, or when a
+	// later acceptance's augmenting path reassigns the task to a different
+	// worker. The last decision per task is the committed pairing; engine
+	// statistics count only the finalized matching.
+	Served   bool
+	WorkerID int // assigned worker, or -1
+	Revenue  float64
+	// Latency is the time from the submission of the triggering event
+	// (the closing Tick or the AcceptDecision) to this decision.
+	Latency time.Duration
+}

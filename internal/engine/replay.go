@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"fmt"
+
+	"spatialcrowd/internal/market"
+)
+
+// Replay feeds a complete market instance into the engine as the canonical
+// event stream: for every period a Tick, then the period's worker arrivals,
+// then its task arrivals, and a final Tick past the last window boundary so
+// the last batch flushes. It returns the number of events submitted.
+//
+// On a deterministic AutoDecide engine this is the streaming equivalent of
+// sim.Run on the same instance.
+func Replay(e *Engine, in *market.Instance) (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	tasksByPeriod := in.TasksByPeriod()
+	arrivals := in.WorkersByStart()
+	n := 0
+	submit := func(ev Event) error {
+		if err := e.Submit(ev); err != nil {
+			return fmt.Errorf("engine: replay event %d: %w", n+1, err)
+		}
+		n++
+		return nil
+	}
+	for t := 0; t < in.Periods; t++ {
+		if err := submit(Tick(t)); err != nil {
+			return n, err
+		}
+		for _, w := range arrivals[t] {
+			if err := submit(WorkerOnline(w)); err != nil {
+				return n, err
+			}
+		}
+		for _, task := range tasksByPeriod[t] {
+			if err := submit(TaskArrival(task)); err != nil {
+				return n, err
+			}
+		}
+	}
+	w := e.Window()
+	final := ((in.Periods + w - 1) / w) * w
+	if err := submit(Tick(final)); err != nil {
+		return n, err
+	}
+	return n, nil
+}

@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/match"
+)
+
+// shard owns the market state of a subset of grid cells: the worker pool,
+// the open pricing window's tasks, at most one in-flight quoted batch, and a
+// private strategy instance. In concurrent mode each shard is driven by its
+// own goroutine reading from its channel, so none of this state needs locks;
+// in deterministic mode a single shard is driven inline by Submit.
+type shard struct {
+	id     int
+	eng    *Engine
+	in     chan Event // nil in deterministic mode
+	strat  core.Strategy
+	window int
+
+	batchStart int // first period of the open window
+
+	tasks   []market.Task   // the open window's tasks, in arrival order
+	pool    []market.Worker // online workers, in arrival order
+	pending *pendingBatch   // quoted batch awaiting requester decisions
+	retired []int           // worker IDs removed since the last flush to the router
+}
+
+// pendingBatch is a priced batch whose requesters have not all replied
+// (AutoDecide disabled). It keeps a stable copy of the batch's worker slice
+// so pool churn cannot shift the matcher's right-vertex indices.
+type pendingBatch struct {
+	ctx      *core.PeriodContext
+	prices   []float64
+	workers  []market.Worker // batch right side (stable copy)
+	inc      *match.Incremental
+	decided  []bool
+	accepted []bool
+	taskIdx  map[int]int // task ID -> batch index
+	snap     []int       // reusable LeftTo snapshot for reassignment detection
+}
+
+func newShard(id int, eng *Engine, strat core.Strategy) *shard {
+	return &shard{id: id, eng: eng, strat: strat, window: eng.cfg.Window}
+}
+
+// run drains the shard's channel until the router closes it, then finalizes
+// any in-flight quoted batch so its revenue is counted.
+func (s *shard) run() {
+	defer s.eng.shardWG.Done()
+	for ev := range s.in {
+		s.handle(ev)
+	}
+	s.finalizePending(time.Now())
+	s.flushRetired()
+}
+
+func (s *shard) handle(ev Event) {
+	switch ev.Kind {
+	case KindTick:
+		s.advanceTo(ev.Period, ev.at)
+	case KindTaskArrival:
+		s.tasks = append(s.tasks, ev.Task)
+	case KindWorkerOnline:
+		s.pool = append(s.pool, ev.Worker)
+	case KindWorkerOffline:
+		s.workerOffline(ev.WorkerID, ev.at)
+	case KindAcceptDecision:
+		s.decide(ev)
+	}
+}
+
+// advanceTo moves the shard clock to period p, closing every window boundary
+// crossed on the way. Idle stretches (no open tasks, no pending batch) are
+// fast-forwarded in one step so a sparse tick sequence costs O(1), not one
+// iteration per skipped window.
+func (s *shard) advanceTo(p int, at time.Time) {
+	for p >= s.batchStart+s.window {
+		if len(s.tasks) == 0 && s.pending == nil {
+			k := (p - s.batchStart) / s.window
+			s.batchStart += k * s.window
+			s.evictExpired(s.batchStart - 1)
+			break
+		}
+		s.closeBatch(s.batchStart+s.window-1, at)
+		s.batchStart += s.window
+	}
+	s.flushRetired()
+}
+
+// flushRetired reports the workers removed since the last tick to the
+// router, which drops their routing entries (batch-grain, one lock).
+func (s *shard) flushRetired() {
+	if len(s.retired) == 0 {
+		return
+	}
+	s.eng.noteRetired(s.retired)
+	s.retired = s.retired[:0]
+}
+
+// workerExpired reports whether w's availability has lapsed by period t.
+// Unlike !ActiveAt(t) it keeps workers whose start period lies in the
+// future, which can occur in live streams that announce workers early.
+func workerExpired(w market.Worker, t int) bool {
+	d := w.Duration
+	if d <= 0 {
+		d = 1
+	}
+	return t >= w.Period+d
+}
+
+func (s *shard) evictExpired(period int) {
+	live := s.pool[:0]
+	for _, w := range s.pool {
+		if !workerExpired(w, period) {
+			live = append(live, w)
+		} else {
+			s.retired = append(s.retired, w.ID)
+		}
+	}
+	s.pool = live
+}
+
+// closeBatch prices the open window as of the given period: finalize the
+// previous quoted batch, evict lapsed workers, build the batch bipartite
+// graph from k-d tree candidates, price it with the shard's strategy, and
+// either resolve it immediately (AutoDecide) or quote it and wait.
+func (s *shard) closeBatch(period int, at time.Time) {
+	s.finalizePending(at)
+	s.evictExpired(period)
+	tasks := s.tasks
+	s.tasks = nil
+	if len(tasks) == 0 {
+		return
+	}
+
+	// The batch's right side: every pooled worker currently active. poolIdx
+	// maps batch indices back to pool positions; nil means identity.
+	batchWorkers := s.pool
+	var poolIdx []int
+	for i := range s.pool {
+		if !s.pool[i].ActiveAt(period) {
+			batchWorkers = nil
+			break
+		}
+	}
+	if batchWorkers == nil {
+		batchWorkers = make([]market.Worker, 0, len(s.pool))
+		for i, w := range s.pool {
+			if w.ActiveAt(period) {
+				batchWorkers = append(batchWorkers, w)
+				poolIdx = append(poolIdx, i)
+			}
+		}
+	}
+	auto := s.eng.cfg.AutoDecide
+	if !auto {
+		// The pool mutates while requesters deliberate; give the pending
+		// batch a stable copy and consume by worker ID at finalization.
+		batchWorkers = append([]market.Worker(nil), batchWorkers...)
+		poolIdx = nil
+	}
+
+	ix := market.NewWorkerIndex(batchWorkers)
+	graph := ix.BuildGraph(tasks)
+	ctx := core.BuildContext(s.eng.cfg.Grid, period, tasks, batchWorkers, graph)
+	prices := s.strat.Prices(ctx)
+	if len(prices) != len(tasks) {
+		panic(fmt.Sprintf("engine: strategy %s returned %d prices for %d tasks",
+			s.strat.Name(), len(prices), len(tasks)))
+	}
+	s.eng.priced.Add(int64(len(tasks)))
+	s.eng.batches.Add(1)
+
+	if auto {
+		s.resolve(tasks, ctx, graph, prices, batchWorkers, poolIdx, at)
+	} else {
+		s.quote(ctx, graph, prices, batchWorkers, at)
+	}
+}
+
+// resolve applies the requesters' valuations immediately and assigns the
+// accepting tasks with match.MaxWeightByLeft — greedy-by-weight incremental
+// augmentation, exact for left-weighted graphs — so the deterministic
+// engine reproduces the simulator's assignment values by construction.
+func (s *shard) resolve(tasks []market.Task, ctx *core.PeriodContext, graph *match.Graph,
+	prices []float64, batchWorkers []market.Worker, poolIdx []int, at time.Time) {
+	n := len(tasks)
+	weight := func(i int) float64 { return ctx.Tasks[i].Distance * prices[i] }
+
+	accepted := make([]bool, n)
+	acceptedCount := 0
+	weights := make([]float64, n) // rejected tasks weigh 0 and are never matched
+	for i := range tasks {
+		if tasks[i].Accepts(prices[i]) {
+			accepted[i] = true
+			acceptedCount++
+			weights[i] = weight(i)
+		}
+	}
+	m, _ := match.MaxWeightByLeft(graph, weights)
+
+	ds := make([]Decision, n)
+	var consumed []int
+	served, revenue := 0, 0.0
+	for i := range tasks {
+		d := Decision{TaskID: ctx.Tasks[i].ID, Period: ctx.Period, Cell: ctx.Tasks[i].Cell,
+			Price: prices[i], WorkerID: -1}
+		if accepted[i] {
+			d.Accepted = true
+			if r := m.LeftTo[i]; r >= 0 {
+				d.Served = true
+				d.WorkerID = batchWorkers[r].ID
+				d.Revenue = weight(i)
+				served++
+				revenue += d.Revenue
+				if poolIdx != nil {
+					consumed = append(consumed, poolIdx[r])
+				} else {
+					consumed = append(consumed, r)
+				}
+			}
+		}
+		ds[i] = d
+	}
+	// Observe before consume: consume compacts the pool backing array that
+	// ctx.Workers may alias, and strategies are entitled to read ctx in
+	// Observe.
+	s.strat.Observe(ctx, prices, accepted)
+	s.consume(consumed)
+	s.eng.noteBatch(s.id, acceptedCount, served, revenue)
+	s.eng.emitAll(ds, at)
+}
+
+// quote emits one price offer per task and parks the batch until requesters
+// reply (or the next window closes it with the silent ones as rejections).
+func (s *shard) quote(ctx *core.PeriodContext, graph *match.Graph, prices []float64,
+	batchWorkers []market.Worker, at time.Time) {
+	n := len(ctx.Tasks)
+	pb := &pendingBatch{
+		ctx:      ctx,
+		prices:   prices,
+		workers:  batchWorkers,
+		inc:      match.NewIncremental(graph),
+		decided:  make([]bool, n),
+		accepted: make([]bool, n),
+		taskIdx:  make(map[int]int, n),
+	}
+	ds := make([]Decision, n)
+	for i, tv := range ctx.Tasks {
+		pb.taskIdx[tv.ID] = i
+		ds[i] = Decision{TaskID: tv.ID, Period: ctx.Period, Cell: tv.Cell,
+			Price: prices[i], Quoted: true, WorkerID: -1}
+	}
+	s.pending = pb
+	s.eng.quoted.Add(int64(n))
+	s.eng.emitAll(ds, at)
+}
+
+// decide handles a requester's reply to a quote: accepts are assigned
+// immediately by a single augmentation (first-come-first-matched, the
+// online regime), rejects just release the task.
+func (s *shard) decide(ev Event) {
+	pb := s.pending
+	if pb == nil {
+		s.eng.late.Add(1)
+		return
+	}
+	i, ok := pb.taskIdx[ev.TaskID]
+	if !ok || pb.decided[i] {
+		s.eng.late.Add(1)
+		return
+	}
+	pb.decided[i] = true
+	tv := pb.ctx.Tasks[i]
+	d := Decision{TaskID: tv.ID, Period: pb.ctx.Period, Cell: tv.Cell,
+		Price: pb.prices[i], WorkerID: -1}
+	if ev.Accept {
+		pb.accepted[i] = true
+		d.Accepted = true
+		if s.augmentQuoted(pb, i, ev.at) {
+			r := pb.inc.Matching().LeftTo[i]
+			d.Served = true
+			d.WorkerID = pb.workers[r].ID
+			d.Revenue = tv.Distance * pb.prices[i]
+		}
+	}
+	s.eng.emit(d, ev.at)
+}
+
+// augmentQuoted adds task l to the pending matching. Kuhn's augmenting path
+// may flip intermediate pairs, silently reassigning tasks whose provisional
+// worker was already announced — for each such task a superseding decision
+// is emitted so decision-stream consumers always hold the committed pairing.
+func (s *shard) augmentQuoted(pb *pendingBatch, l int, at time.Time) bool {
+	m := pb.inc.Matching()
+	pb.snap = append(pb.snap[:0], m.LeftTo...)
+	if !pb.inc.TryAugment(l) {
+		return false
+	}
+	for i, prev := range pb.snap {
+		r := m.LeftTo[i]
+		if i == l || r == prev || r < 0 {
+			continue
+		}
+		tv := pb.ctx.Tasks[i]
+		s.eng.emit(Decision{TaskID: tv.ID, Period: pb.ctx.Period, Cell: tv.Cell,
+			Price: pb.prices[i], Accepted: true, Served: true,
+			WorkerID: pb.workers[r].ID, Revenue: tv.Distance * pb.prices[i]}, at)
+	}
+	return true
+}
+
+// finalizePending closes the books on the quoted batch: unanswered quotes
+// lapse as rejections (each gets a terminal unaccepted Decision so stream
+// consumers can settle their open-quote state), the matching state at this
+// instant is what the platform commits, matched workers are consumed, and
+// the strategy observes the accept/reject outcomes.
+func (s *shard) finalizePending(at time.Time) {
+	pb := s.pending
+	if pb == nil {
+		return
+	}
+	s.pending = nil
+	m := pb.inc.Matching()
+	var lapsed []Decision
+	acceptedCount, served, revenue := 0, 0, 0.0
+	for i, acc := range pb.accepted {
+		if !acc {
+			if !pb.decided[i] {
+				tv := pb.ctx.Tasks[i]
+				lapsed = append(lapsed, Decision{TaskID: tv.ID, Period: pb.ctx.Period,
+					Cell: tv.Cell, Price: pb.prices[i], WorkerID: -1})
+			}
+			continue
+		}
+		acceptedCount++
+		if r := m.LeftTo[i]; r >= 0 {
+			served++
+			revenue += pb.ctx.Tasks[i].Distance * pb.prices[i]
+			s.removeWorkerID(pb.workers[r].ID)
+		}
+	}
+	s.eng.noteBatch(s.id, acceptedCount, served, revenue)
+	s.strat.Observe(pb.ctx, pb.prices, pb.accepted)
+	s.eng.emitAll(lapsed, at)
+}
+
+// workerOffline withdraws a worker from the pool and, if it holds a
+// provisional assignment in the pending batch, repairs the matching around
+// it: the orphaned task is re-augmented if any path remains, and a
+// superseding decision is emitted either way.
+func (s *shard) workerOffline(id int, at time.Time) {
+	found := false
+	if pb := s.pending; pb != nil {
+		for r := range pb.workers {
+			if pb.workers[r].ID != id || pb.inc.Removed(r) {
+				continue
+			}
+			found = true
+			if freed := pb.inc.RemoveRight(r); freed >= 0 {
+				tv := pb.ctx.Tasks[freed]
+				d := Decision{TaskID: tv.ID, Period: pb.ctx.Period, Cell: tv.Cell,
+					Price: pb.prices[freed], Accepted: true, WorkerID: -1}
+				if s.augmentQuoted(pb, freed, at) {
+					r2 := pb.inc.Matching().LeftTo[freed]
+					d.Served = true
+					d.WorkerID = pb.workers[r2].ID
+					d.Revenue = tv.Distance * pb.prices[freed]
+				}
+				s.eng.emit(d, at)
+			}
+			break
+		}
+	}
+	if !s.removeWorkerID(id) && !found {
+		// Unknown worker (mirrors the router's accounting, so Stats.Late
+		// behaves identically in deterministic and sharded mode).
+		s.eng.late.Add(1)
+	}
+}
+
+// removeWorkerID drops the first pool entry with the given ID, preserving
+// arrival order, and reports whether the worker was pooled.
+func (s *shard) removeWorkerID(id int) bool {
+	for i := range s.pool {
+		if s.pool[i].ID == id {
+			s.pool = append(s.pool[:i], s.pool[i+1:]...)
+			s.retired = append(s.retired, id)
+			return true
+		}
+	}
+	return false
+}
+
+// consume removes the given pool positions (the workers matched by a
+// resolved batch), preserving arrival order — the same pool discipline as
+// the offline simulator.
+func (s *shard) consume(positions []int) {
+	if len(positions) == 0 {
+		return
+	}
+	drop := make(map[int]bool, len(positions))
+	for _, p := range positions {
+		drop[p] = true
+	}
+	live := s.pool[:0]
+	for i := range s.pool {
+		if !drop[i] {
+			live = append(live, s.pool[i])
+		} else {
+			s.retired = append(s.retired, s.pool[i].ID)
+		}
+	}
+	s.pool = live
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of the engine's aggregate counters.
+// Revenue, Accepted, and Served count finalized batches only; quoted batches
+// still awaiting requester decisions are not included.
+type Stats struct {
+	// Events is the number of events accepted by Submit.
+	Events int64
+	// TasksPriced counts tasks that went through a strategy's Prices call.
+	TasksPriced int64
+	// Quoted counts price offers emitted in quoted (non-AutoDecide) mode.
+	Quoted int64
+	// Accepted and Served count requester acceptances and finalized
+	// assignments; Revenue is the sum of d_r * p_r over served tasks.
+	Accepted int64
+	Served   int64
+	Revenue  float64
+	// ShardRevenue breaks Revenue down by shard (one entry in
+	// deterministic mode).
+	ShardRevenue []float64
+	// Batches counts closed non-empty pricing batches.
+	Batches int64
+	// Late counts events that referenced an unknown or already-settled
+	// target (duplicate decisions, offlines for unknown workers, replies
+	// after their batch finalized).
+	Late int64
+	// P50Latency / P99Latency are online P² quantile estimates of decision
+	// latency: the time from the triggering event's Submit to the decision.
+	P50Latency time.Duration
+	P99Latency time.Duration
+	// Elapsed spans engine start to Close (or to now while running);
+	// EventsPerSec is Events over Elapsed.
+	Elapsed      time.Duration
+	EventsPerSec float64
+}
+
+// Stats snapshots the engine's counters. Safe to call concurrently with
+// event processing; batch-grain values are consistent with each other.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Events:      e.events.Load(),
+		TasksPriced: e.priced.Load(),
+		Quoted:      e.quoted.Load(),
+		Batches:     e.batches.Load(),
+		Late:        e.late.Load(),
+	}
+	e.aggMu.Lock()
+	s.Accepted = e.accepted
+	s.Served = e.served
+	s.ShardRevenue = append([]float64(nil), e.shardRevenue...)
+	e.aggMu.Unlock()
+	for _, r := range s.ShardRevenue {
+		s.Revenue += r
+	}
+
+	e.latMu.Lock()
+	if p := e.p50.Quantile(); !math.IsNaN(p) {
+		s.P50Latency = time.Duration(p)
+	}
+	if p := e.p99.Quantile(); !math.IsNaN(p) {
+		s.P99Latency = time.Duration(p)
+	}
+	e.latMu.Unlock()
+
+	end := time.Now()
+	if ns := e.stoppedNanos.Load(); ns != 0 {
+		end = time.Unix(0, ns)
+	}
+	s.Elapsed = end.Sub(e.started)
+	if secs := s.Elapsed.Seconds(); secs > 0 {
+		s.EventsPerSec = float64(s.Events) / secs
+	}
+	return s
+}
+
+// String renders the snapshot as a compact multi-line report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events      %d (%.0f/s over %v)\n", s.Events, s.EventsPerSec, s.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "batches     %d (window-closed, non-empty)\n", s.Batches)
+	fmt.Fprintf(&b, "tasks       %d priced, %d quoted, %d accepted, %d served\n",
+		s.TasksPriced, s.Quoted, s.Accepted, s.Served)
+	fmt.Fprintf(&b, "revenue     %.2f\n", s.Revenue)
+	if len(s.ShardRevenue) > 1 {
+		fmt.Fprintf(&b, "per-shard   ")
+		for i, r := range s.ShardRevenue {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "s%d=%.1f", i, r)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "latency     p50=%v p99=%v\n", s.P50Latency.Round(time.Microsecond), s.P99Latency.Round(time.Microsecond))
+	if s.Late > 0 {
+		fmt.Fprintf(&b, "late        %d\n", s.Late)
+	}
+	return b.String()
+}

@@ -168,10 +168,17 @@ func (t *Tree) knearest(lo, hi, axis int, q geo.Point, k int, h *maxHeap) {
 // InRadius returns the payload ids of all points within the closed disk of
 // radius r around q, in no particular order.
 func (t *Tree) InRadius(q geo.Point, r float64) []int {
+	return t.InRadiusAppend(q, r, nil)
+}
+
+// InRadiusAppend appends the payload ids of all points within the closed
+// disk of radius r around q to out and returns the extended slice. Passing
+// a reused buffer keeps repeated queries allocation-free, which matters on
+// per-task hot paths like bipartite candidate generation.
+func (t *Tree) InRadiusAppend(q geo.Point, r float64, out []int) []int {
 	if len(t.pts) == 0 || r < 0 {
-		return nil
+		return out
 	}
-	var out []int
 	t.inRadius(0, len(t.pts), 0, q, r*r, &out)
 	return out
 }

@@ -169,3 +169,31 @@ func TestBuildDoesNotAliasInput(t *testing.T) {
 		}
 	}
 }
+
+func TestInRadiusAppendReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := make([]geo.Point, 200)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	tree := Build(pts, nil)
+	buf := make([]int, 0, 256)
+	for trial := 0; trial < 20; trial++ {
+		q := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		r := rng.Float64() * 30
+		want := tree.InRadius(q, r)
+		buf = tree.InRadiusAppend(q, r, buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d: %d ids vs %d", trial, len(buf), len(want))
+		}
+		seen := make(map[int]bool, len(want))
+		for _, id := range want {
+			seen[id] = true
+		}
+		for _, id := range buf {
+			if !seen[id] {
+				t.Fatalf("trial %d: unexpected id %d", trial, id)
+			}
+		}
+	}
+}

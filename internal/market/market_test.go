@@ -215,3 +215,55 @@ func TestBuildBipartiteKDMatchesNaive(t *testing.T) {
 		}
 	}
 }
+
+func TestWorkerIndexMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 30; trial++ {
+		nt, nw := rng.Intn(50), rng.Intn(50)
+		tasks := make([]Task, nt)
+		for i := range tasks {
+			tasks[i] = Task{ID: i, Origin: geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}}
+		}
+		workers := make([]Worker, nw)
+		for i := range workers {
+			workers[i] = Worker{ID: i,
+				Loc:    geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+				Radius: 1 + rng.Float64()*30}
+		}
+		ix := NewWorkerIndex(workers)
+		if ix.Len() != nw {
+			t.Fatalf("trial %d: index len %d, want %d", trial, ix.Len(), nw)
+		}
+		naive := BuildBipartite(tasks, workers)
+		got := ix.BuildGraph(tasks)
+		if naive.NumEdges() != got.NumEdges() {
+			t.Fatalf("trial %d: edges %d vs %d", trial, naive.NumEdges(), got.NumEdges())
+		}
+		for l := 0; l < nt; l++ {
+			for _, r := range naive.Adj(l) {
+				if !got.HasEdge(l, r) {
+					t.Fatalf("trial %d: index graph missing edge (%d,%d)", trial, l, r)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkerIndexCandidates(t *testing.T) {
+	workers := []Worker{
+		{ID: 0, Loc: geo.Point{X: 10, Y: 10}, Radius: 5},
+		{ID: 1, Loc: geo.Point{X: 20, Y: 10}, Radius: 2},
+		{ID: 2, Loc: geo.Point{X: 50, Y: 50}, Radius: 5},
+	}
+	ix := NewWorkerIndex(workers)
+	got := ix.Candidates(geo.Point{X: 12, Y: 10}, nil)
+	// Worker 0 (distance 2 <= 5) qualifies; worker 1 (distance 8 > 2) and
+	// worker 2 (far away) do not.
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("candidates = %v, want [0]", got)
+	}
+	buf := got[:0]
+	if got2 := ix.Candidates(geo.Point{X: 0, Y: 0}, buf); len(got2) != 0 {
+		t.Fatalf("candidates at origin = %v, want none", got2)
+	}
+}

@@ -8,7 +8,8 @@ package match
 type Incremental struct {
 	g       *Graph
 	m       *Matching
-	visited []int // stamp-based visited marks for right vertices
+	visited []int  // stamp-based visited marks for right vertices
+	removed []bool // right vertices withdrawn from service (worker churn)
 	stamp   int
 }
 
@@ -19,6 +20,7 @@ func NewIncremental(g *Graph) *Incremental {
 		g:       g,
 		m:       NewMatching(g.NLeft(), g.NRight()),
 		visited: make([]int, g.NRight()),
+		removed: make([]bool, g.NRight()),
 	}
 }
 
@@ -75,7 +77,7 @@ func (in *Incremental) CanAugmentAny(candidates []int) bool {
 // dfs searches for an augmenting path from l and flips it when found.
 func (in *Incremental) dfs(l int) bool {
 	for _, r := range in.g.Adj(l) {
-		if in.visited[r] == in.stamp {
+		if in.removed[r] || in.visited[r] == in.stamp {
 			continue
 		}
 		in.visited[r] = in.stamp
@@ -91,7 +93,7 @@ func (in *Incremental) dfs(l int) bool {
 // probe is dfs without committing the flip.
 func (in *Incremental) probe(l int) bool {
 	for _, r := range in.g.Adj(l) {
-		if in.visited[r] == in.stamp {
+		if in.removed[r] || in.visited[r] == in.stamp {
 			continue
 		}
 		in.visited[r] = in.stamp
@@ -113,4 +115,39 @@ func (in *Incremental) Release(l int) {
 		in.m.LeftTo[l] = -1
 		in.m.RightTo[r] = -1
 	}
+}
+
+// RemoveRight withdraws right vertex r from service: it is unmatched (if
+// matched) and excluded from every future augmentation. The streaming
+// dispatch engine uses it when a worker goes offline while a pricing batch
+// is in flight. It returns the left vertex that lost its partner, or -1 if r
+// was unmatched, already removed, or out of range; callers typically try to
+// re-augment the freed left vertex to repair the matching.
+func (in *Incremental) RemoveRight(r int) int {
+	if r < 0 || r >= in.g.NRight() || in.removed[r] {
+		return -1
+	}
+	in.removed[r] = true
+	l := in.m.RightTo[r]
+	if l < 0 {
+		return -1
+	}
+	in.m.RightTo[r] = -1
+	in.m.LeftTo[l] = -1
+	return l
+}
+
+// RestoreRight re-admits a previously removed right vertex (unmatched). It
+// reports whether the vertex was in the removed state.
+func (in *Incremental) RestoreRight(r int) bool {
+	if r < 0 || r >= in.g.NRight() || !in.removed[r] {
+		return false
+	}
+	in.removed[r] = false
+	return true
+}
+
+// Removed reports whether right vertex r has been withdrawn from service.
+func (in *Incremental) Removed(r int) bool {
+	return r >= 0 && r < in.g.NRight() && in.removed[r]
 }

@@ -425,3 +425,122 @@ func TestHasEdge(t *testing.T) {
 		t.Errorf("NumEdges = %d, want 5", g.NumEdges())
 	}
 }
+
+func TestIncrementalRemoveRight(t *testing.T) {
+	g := paperGraph()
+	inc := NewIncremental(g)
+	for l := 0; l < 3; l++ {
+		inc.TryAugment(l)
+	}
+	if inc.Size() != 2 {
+		t.Fatalf("initial size = %d, want 2", inc.Size())
+	}
+
+	// w1 (right 0) goes offline: whichever of r1/r2 held it is freed and
+	// cannot be repaired (w1 was their only neighbor).
+	freed := inc.RemoveRight(0)
+	if freed != 0 && freed != 1 {
+		t.Fatalf("RemoveRight(0) freed %d, want 0 or 1", freed)
+	}
+	if !inc.Removed(0) || inc.Size() != 1 {
+		t.Fatalf("after removal: removed=%v size=%d", inc.Removed(0), inc.Size())
+	}
+	if inc.TryAugment(freed) {
+		t.Fatal("freed task re-augmented through a removed worker")
+	}
+
+	// r3 still holds one of w2/w3; removing it must repair onto the other.
+	r3Worker := inc.Matching().LeftTo[2]
+	if r3Worker < 1 {
+		t.Fatalf("r3 matched to %d, want w2 or w3", r3Worker)
+	}
+	if got := inc.RemoveRight(r3Worker); got != 2 {
+		t.Fatalf("RemoveRight(%d) freed %d, want 2", r3Worker, got)
+	}
+	if !inc.TryAugment(2) {
+		t.Fatal("r3 not repairable despite a spare worker")
+	}
+	if err := inc.Matching().Validate(g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate and out-of-range removals are inert.
+	if inc.RemoveRight(r3Worker) != -1 || inc.RemoveRight(99) != -1 || inc.RemoveRight(-1) != -1 {
+		t.Fatal("redundant RemoveRight should return -1")
+	}
+
+	// Restoring w1 re-admits it for augmentation.
+	if !inc.RestoreRight(0) || inc.RestoreRight(0) {
+		t.Fatal("RestoreRight should succeed once")
+	}
+	if !inc.TryAugment(freed) {
+		t.Fatal("restored worker not reachable")
+	}
+}
+
+// TestIncrementalInterleavedAugmentRemove drives random interleavings of
+// augment/remove/restore operations and checks two invariants after every
+// step: the matching stays valid for the graph, and no removed right vertex
+// is ever matched. At the end, re-augmenting every unmatched left vertex
+// must reach the maximum cardinality of the graph induced on the surviving
+// right vertices (Kuhn over the non-removed workers).
+func TestIncrementalInterleavedAugmentRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		nl, nr := 2+rng.Intn(12), 2+rng.Intn(12)
+		g := NewGraph(nl, nr)
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(l, r)
+				}
+			}
+		}
+		inc := NewIncremental(g)
+		removed := make(map[int]bool)
+		for step := 0; step < 60; step++ {
+			switch op := rng.Intn(4); op {
+			case 0, 1:
+				inc.TryAugment(rng.Intn(nl))
+			case 2:
+				r := rng.Intn(nr)
+				if freed := inc.RemoveRight(r); freed >= 0 {
+					inc.TryAugment(freed) // repair attempt
+				}
+				if inc.Removed(r) {
+					removed[r] = true
+				}
+			case 3:
+				r := rng.Intn(nr)
+				if inc.RestoreRight(r) {
+					delete(removed, r)
+				}
+			}
+			m := inc.Matching()
+			if err := m.Validate(g); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			for r := range removed {
+				if m.RightTo[r] >= 0 {
+					t.Fatalf("trial %d step %d: removed right %d is matched", trial, step, r)
+				}
+			}
+		}
+		// Saturate, then compare against max cardinality on the survivors.
+		for l := 0; l < nl; l++ {
+			inc.TryAugment(l)
+		}
+		surviving := NewGraph(nl, nr)
+		for l := 0; l < nl; l++ {
+			for _, r := range g.Adj(l) {
+				if !removed[r] {
+					surviving.AddEdge(l, r)
+				}
+			}
+		}
+		want := MaxCardinality(surviving).Size()
+		if got := inc.Size(); got != want {
+			t.Fatalf("trial %d: saturated size %d, max cardinality on survivors %d", trial, got, want)
+		}
+	}
+}

@@ -16,7 +16,10 @@
 //   - the paper's comparison baselines SDR, SDE, and CappedUCB;
 //   - a market simulator, synthetic and Beijing-like workload generators,
 //     and the experiment drivers that regenerate every figure of the
-//     paper's evaluation.
+//     paper's evaluation;
+//   - a streaming dispatch engine (Engine, cmd/serve) that serves the same
+//     strategies online over an event stream with sharded market state and
+//     incremental matching.
 //
 // # Quick start
 //
@@ -39,6 +42,7 @@ import (
 	"math/rand"
 
 	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/engine"
 	"spatialcrowd/internal/exp"
 	"spatialcrowd/internal/geo"
 	"spatialcrowd/internal/market"
@@ -113,6 +117,56 @@ type (
 	Series = exp.Series
 )
 
+// Streaming dispatch engine (the online counterpart of Run; see cmd/serve).
+type (
+	// Engine is the real-time streaming dispatch engine: it ingests task /
+	// worker / decision events, prices batches every window with any
+	// Strategy, and assigns accepting tasks with incremental augmenting
+	// paths over k-d tree candidates.
+	Engine = engine.Engine
+	// EngineConfig parameterizes NewEngine (shards, window, strategy).
+	EngineConfig = engine.Config
+	// EngineStats is a snapshot of engine throughput, latency quantiles,
+	// and per-shard revenue.
+	EngineStats = engine.Stats
+	// EngineEvent is one element of the engine's input stream.
+	EngineEvent = engine.Event
+	// Decision is one element of the engine's output stream: a quote,
+	// requester outcome, or (re)assignment for a single task.
+	Decision = engine.Decision
+)
+
+// NewEngine starts a streaming dispatch engine. With EngineConfig.Shards = 0
+// it runs deterministically in the caller's goroutine; otherwise events fan
+// out to per-shard goroutines that each own a subset of grid cells.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// ReplayInstance feeds a complete instance into the engine as the canonical
+// event stream (per period: a Tick, worker arrivals, task arrivals) and
+// returns the number of events submitted. On a deterministic AutoDecide
+// engine this is the streaming equivalent of Run.
+func ReplayInstance(e *Engine, in *Instance) (int, error) { return engine.Replay(e, in) }
+
+// TaskArrivalEvent announces a new task to the engine.
+func TaskArrivalEvent(t Task) EngineEvent { return engine.TaskArrival(t) }
+
+// WorkerOnlineEvent adds a worker to the engine's pool.
+func WorkerOnlineEvent(w Worker) EngineEvent { return engine.WorkerOnline(w) }
+
+// WorkerOfflineEvent withdraws a worker by ID, repairing any provisional
+// assignment it holds.
+func WorkerOfflineEvent(id int) EngineEvent { return engine.WorkerOffline(id) }
+
+// AcceptDecisionEvent is a requester's reply to a price quote (engines
+// running with AutoDecide disabled).
+func AcceptDecisionEvent(taskID int, accept bool) EngineEvent {
+	return engine.AcceptDecision(taskID, accept)
+}
+
+// TickEvent advances the engine clock; crossing a window boundary closes
+// and prices the open batch of every shard.
+func TickEvent(period int) EngineEvent { return engine.Tick(period) }
+
 // Demand distribution families for SyntheticConfig.
 const (
 	// DemandNormal draws valuations from truncated normals (default).
@@ -140,6 +194,14 @@ const (
 	// network.
 	MetricRoadNetwork = workload.MetricRoadNetwork
 )
+
+// NewSquareGrid builds an n x n grid over the square region [0, side]^2 —
+// the geometry every workload generator uses. Library users assembling
+// custom markets (e.g. feeding the streaming engine) start here.
+func NewSquareGrid(side float64, n int) Grid { return geo.SquareGrid(side, n) }
+
+// NewGridOver builds a cols x rows grid over an arbitrary region.
+func NewGridOver(region Rect, cols, rows int) Grid { return geo.NewGrid(region, cols, rows) }
 
 // NewParametricMAPS builds the logistic-demand MAPS variant.
 func NewParametricMAPS(p Params, basePrice float64) (*ParametricMAPS, error) {

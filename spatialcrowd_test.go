@@ -159,3 +159,106 @@ func ExampleNewMAPS() {
 	fmt.Printf("r1: %.0f  r2: %.0f  r3: %.0f\n", prices[0], prices[1], prices[2])
 	// Output: r1: 3  r2: 3  r3: 2
 }
+
+// TestPublicBuildPeriodContextGrouping covers BuildPeriodContext directly:
+// cell attribution, per-cell distance-descending ordering, and the range
+// constraint encoded in the graph.
+func TestPublicBuildPeriodContextGrouping(t *testing.T) {
+	grid := spatialcrowd.Grid(geo.SquareGrid(100, 10)) // 10x10 cells of 10 units
+	tasks := []spatialcrowd.Task{
+		{ID: 0, Origin: spatialcrowd.Point{X: 5, Y: 5}, Distance: 2},   // cell 0
+		{ID: 1, Origin: spatialcrowd.Point{X: 7, Y: 3}, Distance: 9},   // cell 0
+		{ID: 2, Origin: spatialcrowd.Point{X: 3, Y: 8}, Distance: 4},   // cell 0
+		{ID: 3, Origin: spatialcrowd.Point{X: 55, Y: 5}, Distance: 1},  // cell 5
+		{ID: 4, Origin: spatialcrowd.Point{X: 95, Y: 95}, Distance: 6}, // cell 99
+	}
+	workers := []spatialcrowd.Worker{
+		{ID: 0, Loc: spatialcrowd.Point{X: 6, Y: 6}, Radius: 5},   // reaches cell-0 tasks
+		{ID: 1, Loc: spatialcrowd.Point{X: 50, Y: 50}, Radius: 1}, // reaches nobody
+	}
+	ctx := spatialcrowd.BuildPeriodContext(grid, 3, tasks, workers)
+
+	if ctx.Period != 3 {
+		t.Fatalf("period = %d, want 3", ctx.Period)
+	}
+	if len(ctx.Tasks) != len(tasks) || len(ctx.Workers) != len(workers) {
+		t.Fatalf("context sizes: %d tasks, %d workers", len(ctx.Tasks), len(ctx.Workers))
+	}
+	if len(ctx.Cells) != 3 {
+		t.Fatalf("cells = %v, want 3 groups", ctx.Cells)
+	}
+	// Cell 0's tasks are ordered by distance descending: 9, 4, 2.
+	got := ctx.Cells[0]
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell 0 order = %v, want %v", got, want)
+		}
+	}
+	for _, ti := range ctx.Cells[0] {
+		if ctx.Tasks[ti].Cell != 0 {
+			t.Fatalf("task %d attributed to cell %d, want 0", ti, ctx.Tasks[ti].Cell)
+		}
+	}
+	// Worker 0 reaches exactly the three cell-0 tasks; worker 1 none.
+	if ctx.Graph.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", ctx.Graph.NumEdges())
+	}
+	for _, ti := range []int{0, 1, 2} {
+		if !ctx.Graph.HasEdge(ti, 0) {
+			t.Fatalf("missing edge task %d - worker 0", ti)
+		}
+	}
+	if ctx.Graph.HasEdge(3, 0) || ctx.Graph.HasEdge(4, 0) || ctx.Graph.HasEdge(0, 1) {
+		t.Fatal("range constraint violated in graph")
+	}
+}
+
+// TestPublicEngineReplayMatchesRun checks the public streaming facade: a
+// deterministic engine replaying an instance reproduces Run's revenue.
+func TestPublicEngineReplayMatchesRun(t *testing.T) {
+	cfg := spatialcrowd.SyntheticConfig{
+		Workers: 200, Requests: 1000, Periods: 50, GridSide: 4, Seed: 1,
+	}
+	instance, model, err := spatialcrowd.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := spatialcrowd.DefaultParams()
+	base, err := spatialcrowd.NewBaseP(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Calibrate(spatialcrowd.OracleFromModel(model, 7), instance.Grid.NumCells(), 100); err != nil {
+		t.Fatal(err)
+	}
+
+	simRes, err := spatialcrowd.Run(instance, base, spatialcrowd.DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := spatialcrowd.NewEngine(spatialcrowd.EngineConfig{
+		Grid: instance.Grid, Strategy: base, AutoDecide: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := spatialcrowd.ReplayInstance(eng, instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if events != int(st.Events) {
+		t.Fatalf("replay submitted %d events, engine counted %d", events, st.Events)
+	}
+	if rel := math.Abs(st.Revenue-simRes.Revenue) / simRes.Revenue; rel > 0.02 {
+		t.Fatalf("engine revenue %.2f vs sim %.2f (rel diff %.4f)", st.Revenue, simRes.Revenue, rel)
+	}
+	if ds := eng.Poll(); len(ds) == 0 {
+		t.Fatal("no decisions emitted")
+	}
+}
