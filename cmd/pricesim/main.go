@@ -22,6 +22,7 @@ func main() {
 	var (
 		strategy = flag.String("strategy", "all", "maps | basep | sdr | sde | cappeducb | all")
 		wl       = flag.String("workload", "synthetic", "synthetic | beijing-rush | beijing-night")
+		space    = flag.String("space", "grid", "spatial backend: grid | road")
 		workers  = flag.Int("workers", 5000, "synthetic worker count |W|")
 		requests = flag.Int("requests", 20000, "synthetic request count |R|")
 		periods  = flag.Int("periods", 400, "synthetic period count T")
@@ -39,40 +40,68 @@ func main() {
 		model    spatialcrowd.ValuationModel
 		err      error
 	)
-	switch strings.ToLower(*wl) {
-	case "synthetic":
-		cfg := spatialcrowd.SyntheticConfig{
-			Workers:  scaleDown(*workers, *scale),
-			Requests: scaleDown(*requests, *scale),
-			Periods:  *periods,
-			GridSide: *gridSide,
-			Radius:   *radius,
-			Seed:     *seed,
+	switch strings.ToLower(*space) {
+	case "grid":
+		switch strings.ToLower(*wl) {
+		case "synthetic":
+			cfg := spatialcrowd.SyntheticConfig{
+				Workers:  scaleDown(*workers, *scale),
+				Requests: scaleDown(*requests, *scale),
+				Periods:  *periods,
+				GridSide: *gridSide,
+				Radius:   *radius,
+				Seed:     *seed,
+			}
+			instance, model, err = spatialcrowd.Synthetic(cfg)
+		case "beijing-rush":
+			instance, model, err = spatialcrowd.BeijingLike(spatialcrowd.BeijingConfig{
+				Variant: spatialcrowd.BeijingRush, WorkerDuration: *duration, Scale: *scale, Seed: *seed,
+			})
+		case "beijing-night":
+			instance, model, err = spatialcrowd.BeijingLike(spatialcrowd.BeijingConfig{
+				Variant: spatialcrowd.BeijingNight, WorkerDuration: *duration, Scale: *scale, Seed: *seed,
+			})
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+			os.Exit(2)
 		}
-		instance, model, err = spatialcrowd.Synthetic(cfg)
-	case "beijing-rush":
-		instance, model, err = spatialcrowd.BeijingLike(spatialcrowd.BeijingConfig{
-			Variant: spatialcrowd.BeijingRush, WorkerDuration: *duration, Scale: *scale, Seed: *seed,
-		})
-	case "beijing-night":
-		instance, model, err = spatialcrowd.BeijingLike(spatialcrowd.BeijingConfig{
-			Variant: spatialcrowd.BeijingNight, WorkerDuration: *duration, Scale: *scale, Seed: *seed,
+	case "road":
+		// The road backend runs the street-snapped Beijing-like workload
+		// only; reject workloads it cannot serve rather than mislabel them.
+		var variant spatialcrowd.BeijingVariant
+		switch strings.ToLower(*wl) {
+		case "beijing-rush", "synthetic": // synthetic is the flag default; road has no synthetic, use rush
+			variant = spatialcrowd.BeijingRush
+			*wl = "beijing-rush"
+		case "beijing-night":
+			variant = spatialcrowd.BeijingNight
+		default:
+			fmt.Fprintf(os.Stderr, "-space road serves beijing-rush or beijing-night, not %q\n", *wl)
+			os.Exit(2)
+		}
+		d := *duration
+		if d <= 0 {
+			d = 10
+		}
+		instance, model, _, err = spatialcrowd.BeijingRoad(spatialcrowd.RoadConfig{
+			Variant: variant, WorkerDuration: d, Scale: *scale, Seed: *seed,
 		})
 	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		fmt.Fprintf(os.Stderr, "unknown -space backend %q (known backends: grid, road)\n", *space)
 		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("workload: %s  |W|=%d |R|=%d T=%d G=%d\n",
-		*wl, len(instance.Workers), len(instance.Tasks), instance.Periods, instance.Grid.NumCells())
+	sp := instance.Spatial()
+	fmt.Printf("workload: %s (%s)  |W|=%d |R|=%d T=%d G=%d\n",
+		*wl, *space, len(instance.Workers), len(instance.Tasks), instance.Periods, sp.NumCells())
 
 	params := spatialcrowd.DefaultParams()
 	base, err := spatialcrowd.NewBaseP(params)
 	fail(err)
-	fail(base.Calibrate(spatialcrowd.OracleFromModel(model, *seed+1), instance.Grid.NumCells(), *probes))
+	fail(base.Calibrate(spatialcrowd.OracleFromModel(model, *seed+1), sp.NumCells(), *probes))
 	pb := base.BasePrice()
 	fmt.Printf("calibrated base price p_b = %.4f (%d probes)\n\n", pb, base.ProbeCount())
 

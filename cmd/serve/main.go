@@ -10,6 +10,7 @@
 //	serve                         # default synthetic replay, MAPS, NumCPU shards
 //	serve -strategy sdr -shards 8
 //	serve -beijing rush -duration 15
+//	serve -space road             # road-network backend: street-snapped workload
 //	serve -det                    # deterministic single-threaded mode
 //	serve -requests 100000 -workers 25000
 package main
@@ -25,8 +26,13 @@ import (
 	"spatialcrowd/internal/core"
 	"spatialcrowd/internal/engine"
 	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/workload"
 )
+
+// spaceBackends lists the known -space values; flag validation reports them
+// on a typo so the operator never has to read the source to find the set.
+var spaceBackends = []string{"grid", "road"}
 
 type modelOracle struct {
 	model market.ValuationModel
@@ -47,6 +53,7 @@ func main() {
 		duration = flag.Int("duration", 15, "Beijing worker duration delta_w in periods")
 		scale    = flag.Int("scale", 1, "divide Beijing population sizes by this factor")
 		strategy = flag.String("strategy", "maps", "pricing strategy: maps, basep, sdr, sde")
+		space    = flag.String("space", "grid", "spatial backend: "+strings.Join(spaceBackends, " | "))
 		shards   = flag.Int("shards", runtime.NumCPU(), "shard goroutines (market partitions)")
 		window   = flag.Int("window", 1, "periods per pricing batch")
 		det      = flag.Bool("det", false, "deterministic single-threaded mode (ignores -shards)")
@@ -55,10 +62,11 @@ func main() {
 	)
 	flag.Parse()
 
-	in, model, err := buildInstance(*beijing, *duration, *scale, *workers, *requests, *periods, *gridSide, *seed)
+	in, model, err := buildInstance(*space, *beijing, *duration, *scale, *workers, *requests, *periods, *gridSide, *seed)
 	if err != nil {
 		fatal(err)
 	}
+	sp := in.Spatial()
 
 	params := core.DefaultParams()
 	basep, err := core.NewBaseP(params)
@@ -66,7 +74,7 @@ func main() {
 		fatal(err)
 	}
 	oracle := &modelOracle{model: model, rng: rand.New(rand.NewSource(*seed + 1))}
-	if err := basep.Calibrate(oracle, in.Grid.NumCells(), *probes); err != nil {
+	if err := basep.Calibrate(oracle, sp.NumCells(), *probes); err != nil {
 		fatal(err)
 	}
 	pb := basep.BasePrice()
@@ -80,14 +88,19 @@ func main() {
 	if *det || nShards < 0 {
 		nShards = 0
 	}
-	eng, err := engine.New(engine.Config{
-		Grid:        in.Grid,
+	cfg := engine.Config{
+		Space:       sp,
 		Shards:      nShards,
 		Window:      *window,
 		NewStrategy: factory,
 		AutoDecide:  true,
 		OnDecision:  func(engine.Decision) {}, // throughput run: discard the stream
-	})
+	}
+	if nShards > 0 && spatial.BackendName(sp) != "grid" {
+		// Irregular cell structures load-balance better in contiguous runs.
+		cfg.Partitioner = spatial.BalancedPartition(sp, nShards)
+	}
+	eng, err := engine.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -98,6 +111,7 @@ func main() {
 	}
 	fmt.Printf("replaying %d tasks / %d workers / %d periods through %s (%s, window %d, p_b %.2f)\n",
 		len(in.Tasks), len(in.Workers), in.Periods, *strategy, mode, *window, pb)
+	fmt.Printf("spatial backend: %s (%d cells)\n", spatial.BackendName(sp), sp.NumCells())
 
 	n, err := engine.Replay(eng, in)
 	if err != nil {
@@ -108,25 +122,51 @@ func main() {
 	}
 	st := eng.Stats()
 	fmt.Printf("submitted %d events\n\n%s", n, st)
+	if rs, ok := sp.(*spatial.RoadSpace); ok {
+		hits, misses := rs.CacheStats()
+		fmt.Printf("road dist    %d cache hits, %d misses\n", hits, misses)
+	}
 }
 
-func buildInstance(beijing string, duration, scale, workers, requests, periods, gridSide int, seed int64) (*market.Instance, market.ValuationModel, error) {
-	switch strings.ToLower(beijing) {
-	case "":
-		return workload.Synthetic(workload.SyntheticConfig{
-			Workers: workers, Requests: requests, Periods: periods,
-			GridSide: gridSide, Seed: seed,
-		})
-	case "rush":
+func buildInstance(space, beijing string, duration, scale, workers, requests, periods, gridSide int, seed int64) (*market.Instance, market.ValuationModel, error) {
+	variant, err := beijingVariant(beijing)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch strings.ToLower(space) {
+	case "grid":
+		if beijing == "" {
+			return workload.Synthetic(workload.SyntheticConfig{
+				Workers: workers, Requests: requests, Periods: periods,
+				GridSide: gridSide, Seed: seed,
+			})
+		}
 		return workload.BeijingLike(workload.BeijingConfig{
-			Variant: workload.BeijingRush, WorkerDuration: duration, Scale: scale, Seed: seed,
+			Variant: variant, WorkerDuration: duration, Scale: scale, Seed: seed,
 		})
-	case "night":
-		return workload.BeijingLike(workload.BeijingConfig{
-			Variant: workload.BeijingNight, WorkerDuration: duration, Scale: scale, Seed: seed,
+	case "road":
+		// The road backend serves the street-snapped Beijing-like workload
+		// (rush unless -beijing night); synthetic flags don't apply.
+		in, model, _, err := workload.BeijingRoad(workload.RoadConfig{
+			Variant: variant, WorkerDuration: duration, Scale: scale, Seed: seed,
 		})
+		return in, model, err
 	default:
-		return nil, nil, fmt.Errorf("unknown -beijing variant %q (want rush or night)", beijing)
+		return nil, nil, fmt.Errorf("unknown -space backend %q (known backends: %s)",
+			space, strings.Join(spaceBackends, ", "))
+	}
+}
+
+// beijingVariant parses the -beijing flag ("" defaults to rush for -space
+// road and to the synthetic workload for -space grid).
+func beijingVariant(beijing string) (workload.BeijingVariant, error) {
+	switch strings.ToLower(beijing) {
+	case "", "rush":
+		return workload.BeijingRush, nil
+	case "night":
+		return workload.BeijingNight, nil
+	default:
+		return 0, fmt.Errorf("unknown -beijing variant %q (want rush or night)", beijing)
 	}
 }
 

@@ -2,13 +2,13 @@ package core
 
 import "math"
 
-// countWorkersByCell buckets this period's workers into grid cells by their
+// countWorkersByCell buckets this period's workers into cells by their
 // current location; the supply-demand heuristics compare it against the
 // per-cell task counts.
 func countWorkersByCell(ctx *PeriodContext) map[int]int {
 	out := make(map[int]int)
 	for _, w := range ctx.Workers {
-		out[ctx.Grid.CellOf(w.Loc)]++
+		out[ctx.Space.CellOf(w.Loc)]++
 	}
 	return out
 }

@@ -231,7 +231,7 @@ func (m *MAPS) Prices(ctx *PeriodContext) []float64 {
 		m.LastPrices[cell] = m.P.Clamp(cr.price)
 	}
 	if m.Smoothing > 0 {
-		m.LastPrices = SmoothPrices(ctx.Grid, m.LastPrices, m.Smoothing)
+		m.LastPrices = SmoothPrices(ctx.Space, m.LastPrices, m.Smoothing)
 	}
 	for cell, cr := range rounds {
 		p := m.LastPrices[cell]

@@ -1,18 +1,19 @@
 package core
 
-import "spatialcrowd/internal/geo"
+import "spatialcrowd/internal/spatial"
 
-// SmoothPrices applies one pass of spatial price smoothing: each grid's
-// price moves toward the average price of its (up to 8) neighboring grids,
-// weighted by w in [0, 1). This implements the practical note of
-// Section 4.2.3 — "Spatial smoothing can also be integrated to reduce the
-// gap of unit prices among neighbouring grids" — which platforms use to
-// avoid cliff-edge surges across street boundaries.
+// SmoothPrices applies one pass of spatial price smoothing: each cell's
+// price moves toward the average price of its neighboring cells (up to 8 on
+// a grid; the cluster adjacency on a road network), weighted by w in [0, 1).
+// This implements the practical note of Section 4.2.3 — "Spatial smoothing
+// can also be integrated to reduce the gap of unit prices among neighbouring
+// grids" — which platforms use to avoid cliff-edge surges across street
+// boundaries.
 //
-// Grids absent from prices (no tasks this period) do not contribute to
+// Cells absent from prices (no tasks this period) do not contribute to
 // their neighbors' averages. The result is a new map; the input is not
 // modified.
-func SmoothPrices(grid geo.Grid, prices map[int]float64, w float64) map[int]float64 {
+func SmoothPrices(space spatial.Space, prices map[int]float64, w float64) map[int]float64 {
 	out := make(map[int]float64, len(prices))
 	if w <= 0 {
 		for c, p := range prices {
@@ -23,9 +24,11 @@ func SmoothPrices(grid geo.Grid, prices map[int]float64, w float64) map[int]floa
 	if w >= 1 {
 		w = 0.999
 	}
+	var buf []int
 	for cell, p := range prices {
 		sum, n := 0.0, 0
-		for _, nb := range grid.Neighbors(cell) {
+		buf = space.NeighborsAppend(cell, buf[:0])
+		for _, nb := range buf {
 			if np, ok := prices[nb]; ok {
 				sum += np
 				n++
@@ -41,11 +44,13 @@ func SmoothPrices(grid geo.Grid, prices map[int]float64, w float64) map[int]floa
 }
 
 // PriceGap measures the maximum absolute price difference between any two
-// neighboring priced grids — the quantity smoothing is meant to shrink.
-func PriceGap(grid geo.Grid, prices map[int]float64) float64 {
+// neighboring priced cells — the quantity smoothing is meant to shrink.
+func PriceGap(space spatial.Space, prices map[int]float64) float64 {
 	gap := 0.0
+	var buf []int
 	for cell, p := range prices {
-		for _, nb := range grid.Neighbors(cell) {
+		buf = space.NeighborsAppend(cell, buf[:0])
+		for _, nb := range buf {
 			if np, ok := prices[nb]; ok {
 				if d := p - np; d > gap {
 					gap = d

@@ -14,6 +14,7 @@ import (
 	"spatialcrowd/internal/geo"
 	"spatialcrowd/internal/market"
 	"spatialcrowd/internal/match"
+	"spatialcrowd/internal/spatial"
 )
 
 // TaskView is the strategy-visible projection of a task: everything except
@@ -29,7 +30,7 @@ type TaskView struct {
 // PeriodContext carries one time period's market state to a strategy.
 type PeriodContext struct {
 	Period  int
-	Grid    geo.Grid
+	Space   spatial.Space   // the spatial backend partitioning the market
 	Tasks   []TaskView      // this period's issued tasks
 	Workers []market.Worker // this period's available workers
 	Graph   *match.Graph    // bipartite graph: Tasks x Workers (range constraint)
@@ -113,12 +114,13 @@ func (p Params) Clamp(price float64) float64 {
 
 // BuildContext assembles a PeriodContext from raw market data: it projects
 // tasks to TaskViews, builds the range-constraint bipartite graph, and
-// groups tasks per grid cell with distances sorted descending.
-func BuildContext(grid geo.Grid, period int, tasks []market.Task, workers []market.Worker, graph *match.Graph) *PeriodContext {
+// groups tasks per cell of the spatial backend with distances sorted
+// descending. A geo.Grid passes directly as the space.
+func BuildContext(space spatial.Space, period int, tasks []market.Task, workers []market.Worker, graph *match.Graph) *PeriodContext {
 	views := make([]TaskView, len(tasks))
 	cells := make(map[int][]int)
 	for i, t := range tasks {
-		cell := grid.CellOf(t.Origin)
+		cell := space.CellOf(t.Origin)
 		views[i] = TaskView{
 			ID: t.ID, Origin: t.Origin, Dest: t.Dest,
 			Distance: t.Distance, Cell: cell,
@@ -129,7 +131,7 @@ func BuildContext(grid geo.Grid, period int, tasks []market.Task, workers []mark
 		sortByDistanceDesc(views, idx)
 	}
 	return &PeriodContext{
-		Period: period, Grid: grid, Tasks: views, Workers: workers,
+		Period: period, Space: space, Tasks: views, Workers: workers,
 		Graph: graph, Cells: cells,
 	}
 }

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/spatial"
+	"spatialcrowd/internal/workload"
+)
+
+// churnBackends builds one small instance per spatial backend; the road
+// instance carries its RoadSpace in Instance.Space.
+func churnBackends(t *testing.T) map[string]*market.Instance {
+	t.Helper()
+	grid, _, err := workload.Synthetic(workload.SyntheticConfig{
+		Workers: 150, Requests: 600, Periods: 40, GridSide: 5, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	road, _, _, err := workload.BeijingRoad(workload.RoadConfig{
+		Variant: workload.BeijingRush, WorkerDuration: 8, Scale: 200, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*market.Instance{"grid": grid, "road": road}
+}
+
+// TestQuotedChurnAcrossBackends drives a quoted-mode engine through a churny
+// event stream — quotes answered with random accepts, random workers yanked
+// offline mid-batch — over both spatial backends and both execution modes,
+// with the same seed. It asserts the run survives (no panics, no stuck
+// channels) and that revenue accounting is conserved: shard revenues sum to
+// the total, the decision stream's committed pairings carry exactly the
+// finalized revenue, and the funnel (served <= accepted <= quoted) holds.
+func TestQuotedChurnAcrossBackends(t *testing.T) {
+	for name, in := range churnBackends(t) {
+		for _, shards := range []int{0, 3} {
+			t.Run(name+modeName(shards), func(t *testing.T) {
+				runChurn(t, in, shards)
+			})
+		}
+	}
+}
+
+func modeName(shards int) string {
+	if shards == 0 {
+		return "/det"
+	}
+	return "/sharded"
+}
+
+func runChurn(t *testing.T, in *market.Instance, shards int) {
+	t.Helper()
+	space := in.Spatial()
+	cfg := Config{
+		Space:  space,
+		Shards: shards,
+	}
+	if shards > 0 {
+		cfg.Partitioner = spatial.BalancedPartition(space, shards)
+		cfg.NewStrategy = func(int) core.Strategy {
+			s, _ := core.NewSDR(core.DefaultParams(), 2)
+			return s
+		}
+	} else {
+		s, _ := core.NewSDR(core.DefaultParams(), 2)
+		cfg.Strategy = s
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	tasksByPeriod := in.TasksByPeriod()
+	arrivals := in.WorkersByStart()
+	var online []int // worker IDs that have gone online (may since be consumed)
+
+	// Collect the decision stream; per task the last non-quoted decision is
+	// the committed pairing.
+	last := map[int]Decision{}
+	drain := func() {
+		for _, d := range e.Poll() {
+			if !d.Quoted {
+				last[d.TaskID] = d
+			}
+		}
+	}
+
+	var openQuotes []int
+	for p := 0; p < in.Periods; p++ {
+		mustSubmit(t, e, Tick(p))
+		// Answer (a random ~70% of) the quotes of the previous window.
+		for _, id := range openQuotes {
+			if rng.Float64() < 0.7 {
+				mustSubmit(t, e, AcceptDecision(id, rng.Float64() < 0.6))
+			}
+		}
+		openQuotes = openQuotes[:0]
+		for _, w := range arrivals[p] {
+			mustSubmit(t, e, WorkerOnline(w))
+			online = append(online, w.ID)
+		}
+		for _, task := range tasksByPeriod[p] {
+			mustSubmit(t, e, TaskArrival(task))
+			openQuotes = append(openQuotes, task.ID)
+		}
+		// Yank a random known worker mid-batch now and then.
+		if len(online) > 0 && rng.Float64() < 0.3 {
+			mustSubmit(t, e, WorkerOffline(online[rng.Intn(len(online))]))
+		}
+		if shards == 0 {
+			drain()
+		}
+	}
+	mustSubmit(t, e, Tick(in.Periods), Tick(in.Periods+1))
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+
+	st := e.Stats()
+	if st.TasksPriced == 0 || st.Quoted == 0 {
+		t.Fatalf("nothing priced: %+v", st)
+	}
+	if st.Served > st.Accepted || st.Accepted > st.Quoted {
+		t.Fatalf("funnel violated: %+v", st)
+	}
+	sum := 0.0
+	for _, r := range st.ShardRevenue {
+		sum += r
+	}
+	if math.Abs(sum-st.Revenue) > 1e-6 {
+		t.Fatalf("shard revenues sum to %v, total %v", sum, st.Revenue)
+	}
+	var tasks int64
+	for _, n := range st.ShardTasks {
+		tasks += n
+	}
+	if tasks != st.TasksPriced {
+		t.Fatalf("shard tasks sum to %d, total priced %d", tasks, st.TasksPriced)
+	}
+	// The committed decision stream must carry exactly the finalized revenue
+	// and served count.
+	var served int64
+	decRevenue := 0.0
+	for _, d := range last {
+		if d.Served {
+			served++
+			decRevenue += d.Revenue
+		}
+	}
+	if served != st.Served {
+		t.Fatalf("decision stream commits %d served, stats say %d", served, st.Served)
+	}
+	if rel := math.Abs(decRevenue - st.Revenue); rel > 1e-6*(1+st.Revenue) {
+		t.Fatalf("decision stream revenue %v, stats revenue %v", decRevenue, st.Revenue)
+	}
+	if st.Revenue <= 0 {
+		t.Fatalf("no revenue accrued: %+v", st)
+	}
+}

@@ -17,9 +17,11 @@
 //     values (match.MaxWeightByLeft is the greedy augmentation the engine
 //     performs incrementally).
 //   - Concurrent (Config.Shards >= 1): a router goroutine forwards each
-//     event to the shard owning its grid cell (cell mod Shards) and shards
-//     price their sub-markets independently — the sharding approximation: a
-//     worker serves only tasks of its own shard's cells.
+//     event to the shard owning its cell under the configured
+//     spatial.Partitioner (default: cell mod Shards, the historical
+//     assignment) and shards price their sub-markets independently — the
+//     sharding approximation: a worker serves only tasks of its own shard's
+//     cells.
 //
 // With AutoDecide disabled the engine quotes prices and waits for
 // AcceptDecision events: accepting tasks are matched first-come-first-served
@@ -37,6 +39,7 @@ import (
 
 	"spatialcrowd/internal/core"
 	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/stats"
 )
 
@@ -45,8 +48,16 @@ const defaultBuffer = 4096
 // Config parameterizes an Engine.
 type Config struct {
 	// Grid partitions the region into the cells that shard the market and
-	// group tasks for pricing. Required.
+	// group tasks for pricing. Used when Space is nil; a non-empty Grid or a
+	// Space is required.
 	Grid geo.Grid
+	// Space, when set, overrides Grid with an arbitrary spatial backend
+	// (e.g. spatial.RoadSpace); cells are the backend's cells.
+	Space spatial.Space
+	// Partitioner maps cells to shards in concurrent mode. Nil selects
+	// spatial.ModPartition(Shards), the engine's historical cell-mod-shards
+	// assignment. When set, Partitioner.Shards() must equal Shards.
+	Partitioner spatial.Partitioner
 	// Window is how many periods one pricing batch spans (default 1 — the
 	// streaming analogue of the paper's per-period batch mode).
 	Window int
@@ -78,7 +89,9 @@ var ErrClosed = errors.New("engine: closed")
 // Submit; read decisions with Poll or Config.OnDecision; stop it with Close.
 // Submit must not be called concurrently with Close.
 type Engine struct {
-	cfg Config
+	cfg   Config
+	space spatial.Space       // resolved backend (cfg.Space or cfg.Grid)
+	part  spatial.Partitioner // resolved cell -> shard map (concurrent mode)
 
 	det        *shard // deterministic mode; nil when sharded
 	in         chan Event
@@ -114,6 +127,7 @@ type Engine struct {
 	accepted     int64
 	served       int64
 	shardRevenue []float64
+	shardTasks   []int64 // tasks priced per shard (per-shard throughput)
 
 	latMu sync.Mutex
 	p50   *stats.PSquare
@@ -130,8 +144,12 @@ type Engine struct {
 // New validates the configuration and starts the engine (shard goroutines
 // and router in concurrent mode; nothing in deterministic mode).
 func New(cfg Config) (*Engine, error) {
-	if cfg.Grid.Cols <= 0 || cfg.Grid.Rows <= 0 {
-		return nil, fmt.Errorf("engine: Config.Grid must be a non-empty grid")
+	space := cfg.Space
+	if space == nil {
+		if cfg.Grid.Cols <= 0 || cfg.Grid.Rows <= 0 {
+			return nil, fmt.Errorf("engine: Config needs a Space or a non-empty Grid")
+		}
+		space = cfg.Grid
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 1
@@ -150,7 +168,7 @@ func New(cfg Config) (*Engine, error) {
 		newStrat = func(int) core.Strategy { return cfg.Strategy }
 	}
 
-	e := &Engine{cfg: cfg, started: time.Now()}
+	e := &Engine{cfg: cfg, space: space, started: time.Now()}
 	e.p50, _ = stats.NewPSquare(0.5)
 	e.p99, _ = stats.NewPSquare(0.99)
 
@@ -161,10 +179,19 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.det = s
 		e.shardRevenue = make([]float64, 1)
+		e.shardTasks = make([]int64, 1)
 		return e, nil
 	}
 
+	e.part = cfg.Partitioner
+	if e.part == nil {
+		e.part = spatial.ModPartition(cfg.Shards)
+	} else if e.part.Shards() != cfg.Shards {
+		return nil, fmt.Errorf("engine: Partitioner built for %d shards, Config.Shards is %d",
+			e.part.Shards(), cfg.Shards)
+	}
 	e.shardRevenue = make([]float64, cfg.Shards)
+	e.shardTasks = make([]int64, cfg.Shards)
 	e.in = make(chan Event, cfg.Buffer)
 	e.taskShardCur = make(map[int]int)
 	e.taskShardPrev = make(map[int]int)
@@ -191,6 +218,9 @@ func New(cfg Config) (*Engine, error) {
 // Shards reports the number of shard goroutines (0 in deterministic mode).
 func (e *Engine) Shards() int { return len(e.shards) }
 
+// Space reports the spatial backend the engine partitions the market with.
+func (e *Engine) Space() spatial.Space { return e.space }
+
 // Window reports the pricing window in periods.
 func (e *Engine) Window() int { return e.cfg.Window }
 
@@ -215,7 +245,7 @@ func (e *Engine) Submit(ev Event) error {
 }
 
 // route is the router goroutine: it owns the task/worker shard maps and
-// forwards each event to the shard owning its grid cell. Ticks broadcast.
+// forwards each event to the shard owning its cell. Ticks broadcast.
 func (e *Engine) route() {
 	defer close(e.routerDone)
 	for ev := range e.in {
@@ -226,13 +256,13 @@ func (e *Engine) route() {
 				s.in <- ev
 			}
 		case KindTaskArrival:
-			si := e.shardOfCell(e.cfg.Grid.CellOf(ev.Task.Origin))
+			si := e.shardOfCell(e.space.CellOf(ev.Task.Origin))
 			if !e.cfg.AutoDecide {
 				e.taskShardCur[ev.Task.ID] = si
 			}
 			e.shards[si].in <- ev
 		case KindWorkerOnline:
-			si := e.shardOfCell(e.cfg.Grid.CellOf(ev.Worker.Loc))
+			si := e.shardOfCell(e.space.CellOf(ev.Worker.Loc))
 			e.workerShard[ev.Worker.ID] = si
 			e.shards[si].in <- ev
 		case KindWorkerOffline:
@@ -261,7 +291,7 @@ func (e *Engine) route() {
 	}
 }
 
-func (e *Engine) shardOfCell(cell int) int { return cell % len(e.shards) }
+func (e *Engine) shardOfCell(cell int) int { return e.part.ShardOf(cell) }
 
 // pruneRoutes bounds the router's maps. Quoted-task generations rotate
 // every two windows: a quote is answerable for at most two window closes
@@ -378,5 +408,15 @@ func (e *Engine) noteBatch(shard, accepted, served int, revenue float64) {
 	e.accepted += int64(accepted)
 	e.served += int64(served)
 	e.shardRevenue[shard] += revenue
+	e.aggMu.Unlock()
+}
+
+// notePriced records a batch's priced-task count against its shard, the
+// per-shard throughput Stats reports.
+func (e *Engine) notePriced(shard, tasks int) {
+	e.priced.Add(int64(tasks))
+	e.batches.Add(1)
+	e.aggMu.Lock()
+	e.shardTasks[shard] += int64(tasks)
 	e.aggMu.Unlock()
 }

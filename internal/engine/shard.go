@@ -166,14 +166,13 @@ func (s *shard) closeBatch(period int, at time.Time) {
 
 	ix := market.NewWorkerIndex(batchWorkers)
 	graph := ix.BuildGraph(tasks)
-	ctx := core.BuildContext(s.eng.cfg.Grid, period, tasks, batchWorkers, graph)
+	ctx := core.BuildContext(s.eng.space, period, tasks, batchWorkers, graph)
 	prices := s.strat.Prices(ctx)
 	if len(prices) != len(tasks) {
 		panic(fmt.Sprintf("engine: strategy %s returned %d prices for %d tasks",
 			s.strat.Name(), len(prices), len(tasks)))
 	}
-	s.eng.priced.Add(int64(len(tasks)))
-	s.eng.batches.Add(1)
+	s.eng.notePriced(s.id, len(tasks))
 
 	if auto {
 		s.resolve(tasks, ctx, graph, prices, batchWorkers, poolIdx, at)

@@ -25,6 +25,9 @@ type Stats struct {
 	// ShardRevenue breaks Revenue down by shard (one entry in
 	// deterministic mode).
 	ShardRevenue []float64
+	// ShardTasks breaks TasksPriced down by shard — the per-shard
+	// throughput, which shows how evenly the partitioner spread the market.
+	ShardTasks []int64
 	// Batches counts closed non-empty pricing batches.
 	Batches int64
 	// Late counts events that referenced an unknown or already-settled
@@ -55,6 +58,7 @@ func (e *Engine) Stats() Stats {
 	s.Accepted = e.accepted
 	s.Served = e.served
 	s.ShardRevenue = append([]float64(nil), e.shardRevenue...)
+	s.ShardTasks = append([]int64(nil), e.shardTasks...)
 	e.aggMu.Unlock()
 	for _, r := range s.ShardRevenue {
 		s.Revenue += r
@@ -95,6 +99,9 @@ func (s Stats) String() string {
 				b.WriteString("  ")
 			}
 			fmt.Fprintf(&b, "s%d=%.1f", i, r)
+			if i < len(s.ShardTasks) {
+				fmt.Fprintf(&b, "/%dt", s.ShardTasks[i])
+			}
 		}
 		b.WriteString("\n")
 	}

@@ -305,7 +305,7 @@ type gapProbe struct {
 // Prices implements core.Strategy.
 func (g *gapProbe) Prices(ctx *core.PeriodContext) []float64 {
 	out := g.MAPS.Prices(ctx)
-	if gap := core.PriceGap(ctx.Grid, g.MAPS.LastPrices); gap > g.maxGap {
+	if gap := core.PriceGap(ctx.Space, g.MAPS.LastPrices); gap > g.maxGap {
 		g.maxGap = gap
 	}
 	return out

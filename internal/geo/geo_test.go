@@ -288,3 +288,26 @@ func TestCellRectPanics(t *testing.T) {
 	}()
 	g.CellRect(4)
 }
+
+func TestNeighborsAppendMatchesNeighbors(t *testing.T) {
+	g := SquareGrid(9, 3)
+	buf := make([]int, 0, 8)
+	for i := 0; i < g.NumCells(); i++ {
+		want := g.Neighbors(i)
+		buf = g.NeighborsAppend(i, buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("cell %d: append variant returned %v, want %v", i, buf, want)
+		}
+		for j := range buf {
+			if buf[j] != want[j] {
+				t.Fatalf("cell %d: append variant returned %v, want %v", i, buf, want)
+			}
+		}
+	}
+	// Appends after existing content instead of clobbering it.
+	pre := []int{42}
+	out := g.NeighborsAppend(4, pre)
+	if out[0] != 42 || len(out) != 1+len(g.Neighbors(4)) {
+		t.Fatalf("NeighborsAppend clobbered the prefix: %v", out)
+	}
+}

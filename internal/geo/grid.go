@@ -78,9 +78,17 @@ func (g Grid) CellCenter(i int) Point { return g.CellRect(i).Center() }
 // Neighbors returns the indices of the up-to-8 cells adjacent to cell i
 // (including diagonals). Useful for spatial price smoothing.
 func (g Grid) Neighbors(i int) []int {
+	return g.NeighborsAppend(i, make([]int, 0, 8))
+}
+
+// NeighborsAppend appends the indices of the up-to-8 cells adjacent to cell i
+// to out and returns the extended slice, in the same order as Neighbors.
+// Passing a reused buffer keeps repeated queries allocation-free, which
+// matters on per-worker hot paths like repositioning and price smoothing
+// (mirrors kdtree.InRadiusAppend).
+func (g Grid) NeighborsAppend(i int, out []int) []int {
 	cx := i % g.Cols
 	cy := i / g.Cols
-	out := make([]int, 0, 8)
 	for dy := -1; dy <= 1; dy++ {
 		for dx := -1; dx <= 1; dx++ {
 			if dx == 0 && dy == 0 {
@@ -95,6 +103,12 @@ func (g Grid) Neighbors(i int) []int {
 	}
 	return out
 }
+
+// Dist returns the travel distance between two points under the grid's
+// metric: the Euclidean distance of the plane the grid partitions. It makes
+// Grid satisfy the spatial.Space interface directly, so grid-backed code
+// paths pay no wrapper indirection.
+func (g Grid) Dist(a, b Point) float64 { return a.Dist(b) }
 
 // CellsInRange returns the indices of all cells whose rectangle intersects
 // the closed disk of radius r around center. MAPS uses this to enumerate the

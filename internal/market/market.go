@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/stats"
 )
 
@@ -64,13 +65,25 @@ func (t Task) Accepts(price float64) bool { return price <= t.Valuation }
 // unit price: d_r * p.
 func (t Task) Revenue(price float64) float64 { return t.Distance * price }
 
-// Instance is one complete market instance: a grid partition plus all tasks
-// and workers over T periods.
+// Instance is one complete market instance: a spatial partition plus all
+// tasks and workers over T periods. Grid is the uniform-grid geometry every
+// generator historically produced; Space, when set, overrides it with a
+// different spatial backend (e.g. a road network) and Grid is ignored.
 type Instance struct {
 	Grid    geo.Grid
+	Space   spatial.Space // optional; nil means GridSpace over Grid
 	Periods int
 	Tasks   []Task
 	Workers []Worker
+}
+
+// Spatial returns the instance's spatial backend: the configured Space, or
+// the uniform grid when none is set.
+func (in *Instance) Spatial() spatial.Space {
+	if in.Space != nil {
+		return in.Space
+	}
+	return in.Grid
 }
 
 // Validate checks structural sanity of the instance.
@@ -155,9 +168,9 @@ func (m PerCellModel) Dist(cell int) stats.Dist {
 
 // AssignValuations samples a private valuation for every task from the
 // model's per-cell distribution, mutating tasks in place.
-func AssignValuations(tasks []Task, grid geo.Grid, model ValuationModel, rng *rand.Rand) {
+func AssignValuations(tasks []Task, space spatial.Space, model ValuationModel, rng *rand.Rand) {
 	for i := range tasks {
-		cell := grid.CellOf(tasks[i].Origin)
+		cell := space.CellOf(tasks[i].Origin)
 		tasks[i].Valuation = model.Dist(cell).Sample(rng)
 	}
 }

@@ -157,6 +157,64 @@ func (h *nodeHeap) Pop() interface{} {
 	return x
 }
 
+// VisitEdges calls fn for every directed edge out of id, in insertion order.
+// External shortest-path code (e.g. the spatial.RoadSpace bounded searches)
+// uses it to walk the adjacency without the package exposing its edge
+// representation.
+func (nw *Network) VisitEdges(id NodeID, fn func(to NodeID, w float64)) {
+	if id < 0 || int(id) >= len(nw.adj) {
+		return
+	}
+	for _, e := range nw.adj[id] {
+		fn(e.to, e.w)
+	}
+}
+
+// BoundedShortestDist runs Dijkstra from a toward b but abandons the search
+// as soon as the frontier exceeds bound: every later pop would only be
+// farther. It returns Unreachable both when no route exists and when the
+// shortest route is longer than bound, so range checks ("is b within r of
+// a?") never pay the full O(V log V) search on a dense network.
+func (nw *Network) BoundedShortestDist(a, b NodeID, bound float64) float64 {
+	n := len(nw.coords)
+	if int(a) >= n || int(b) >= n || a < 0 || b < 0 || bound < 0 {
+		return Unreachable
+	}
+	if a == b {
+		return 0
+	}
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[a] = 0
+	pq := &nodeHeap{{id: a, f: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeEntry)
+		if cur.f > bound {
+			return Unreachable
+		}
+		if done[cur.id] {
+			continue
+		}
+		done[cur.id] = true
+		if cur.id == b {
+			return dist[b]
+		}
+		for _, e := range nw.adj[cur.id] {
+			if done[e.to] {
+				continue
+			}
+			if d := dist[cur.id] + e.w; d < dist[e.to] {
+				dist[e.to] = d
+				heap.Push(pq, nodeEntry{id: e.to, f: d})
+			}
+		}
+	}
+	return Unreachable
+}
+
 // Nearest returns the network node closest to p (linear scan; networks here
 // are small enough that an index is not warranted).
 func (nw *Network) Nearest(p geo.Point) NodeID {

@@ -14,6 +14,7 @@ import (
 	"spatialcrowd/internal/core"
 	"spatialcrowd/internal/market"
 	"spatialcrowd/internal/match"
+	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/stats"
 )
 
@@ -100,6 +101,7 @@ func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
 		p90Q, _ = stats.NewPSquare(0.9)
 	}
 
+	space := in.Spatial()
 	tasksByPeriod := in.TasksByPeriod()
 	arrivals := in.WorkersByStart()
 
@@ -136,7 +138,7 @@ func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
 		}
 
 		graph := market.BuildBipartiteIndexed(in, tasks, active)
-		ctx := core.BuildContext(in.Grid, t, tasks, active, graph)
+		ctx := core.BuildContext(space, t, tasks, active, graph)
 
 		start := time.Now()
 		prices := strat.Prices(ctx)
@@ -181,7 +183,7 @@ func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
 
 		if cfg.RepositionSpeed > 0 {
 			if gp, ok := strat.(core.GridPricer); ok {
-				repositionWorkers(in, active, gp.GridPrices(), cfg.RepositionSpeed)
+				repositionWorkers(space, active, gp.GridPrices(), cfg.RepositionSpeed)
 			}
 		}
 
@@ -216,20 +218,22 @@ func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
 // best-priced cell among its own and neighboring cells, at the given speed.
 // A worker already in the locally best cell keeps converging to that cell's
 // center, putting it within reach of the cell's demand.
-func repositionWorkers(in *market.Instance, workers []market.Worker, gridPrices map[int]float64, speed float64) {
+func repositionWorkers(space spatial.Space, workers []market.Worker, gridPrices map[int]float64, speed float64) {
 	if len(gridPrices) == 0 {
 		return
 	}
+	var buf []int // reused neighbor buffer: one walk per worker per period
 	for i := range workers {
 		w := &workers[i]
-		cur := in.Grid.CellOf(w.Loc)
+		cur := space.CellOf(w.Loc)
 		bestCell, bestPrice := cur, gridPrices[cur]
-		for _, nb := range in.Grid.Neighbors(cur) {
+		buf = space.NeighborsAppend(cur, buf[:0])
+		for _, nb := range buf {
 			if p, ok := gridPrices[nb]; ok && p > bestPrice {
 				bestCell, bestPrice = nb, p
 			}
 		}
-		target := in.Grid.CellCenter(bestCell)
+		target := space.CellCenter(bestCell)
 		d := w.Loc.Dist(target)
 		if d == 0 {
 			continue

@@ -359,7 +359,7 @@ func TestRepositioningDriftsTowardSurge(t *testing.T) {
 	workers := []market.Worker{{ID: 0, Loc: geo.Point{X: 2, Y: 5}, Radius: 0.5, Duration: 10}}
 	gridPrices := map[int]float64{0: 1.5, 1: 4.5}
 	for i := 0; i < 16; i++ {
-		repositionWorkers(in, workers, gridPrices, 1.0)
+		repositionWorkers(in.Spatial(), workers, gridPrices, 1.0)
 	}
 	target := grid.CellCenter(hot)
 	if workers[0].Loc.Dist(target) > 1e-9 {
@@ -367,7 +367,7 @@ func TestRepositioningDriftsTowardSurge(t *testing.T) {
 	}
 	// Zero speed: no movement.
 	workers = []market.Worker{{ID: 0, Loc: geo.Point{X: 2, Y: 5}}}
-	repositionWorkers(in, workers, gridPrices, 0) // speed<=0 guarded by caller; direct call moves 0
+	repositionWorkers(in.Spatial(), workers, gridPrices, 0) // speed<=0 guarded by caller; direct call moves 0
 	_ = workers
 }
 
@@ -408,3 +408,52 @@ func TestRepositioningChangesOutcome(t *testing.T) {
 		t.Errorf("repositioning should raise revenue: %v vs %v", on.Revenue, off.Revenue)
 	}
 }
+
+// TestRunOverRoadSpace is the offline counterpart of the engine's road
+// replay: sim.Run over an instance whose spatial backend is a road network
+// must complete end to end with revenue flowing, including the repositioning
+// extension walking the road clusters' adjacency.
+func TestRunOverRoadSpace(t *testing.T) {
+	in, _, _, err := workload.BeijingRoad(workload.RoadConfig{
+		Variant: workload.BeijingNight, WorkerDuration: 6, Scale: 150, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := core.NewSDR(core.DefaultParams(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.RepositionSpeed = 0.5 // exercise Neighbors/CellCenter on the road backend
+	res, err := Run(in, &repositioningSDR{SDR: strat}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 || res.Revenue <= 0 {
+		t.Fatalf("road-space run produced nothing: %+v", res)
+	}
+	if res.Served > res.Accepted || res.Accepted > res.Offered {
+		t.Fatalf("funnel violated: %+v", res)
+	}
+}
+
+// repositioningSDR exposes per-cell prices so sim.Run's repositioning path
+// (core.GridPricer) activates on top of the plain SDR heuristic.
+type repositioningSDR struct {
+	*core.SDR
+	last map[int]float64
+}
+
+func (s *repositioningSDR) Prices(ctx *core.PeriodContext) []float64 {
+	out := s.SDR.Prices(ctx)
+	s.last = make(map[int]float64, len(ctx.Cells))
+	for cell, tasks := range ctx.Cells {
+		if len(tasks) > 0 {
+			s.last[cell] = out[tasks[0]]
+		}
+	}
+	return out
+}
+
+func (s *repositioningSDR) GridPrices() map[int]float64 { return s.last }

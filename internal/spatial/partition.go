@@ -1,0 +1,64 @@
+package spatial
+
+// Partitioner maps cells to engine shards. The engine historically hard-wired
+// "cell id mod shards", which balances a uniform grid (cell ids are
+// row-major, so consecutive ids interleave across shards) but can skew
+// backends with irregular cell counts or clustered ids. Backends choose a
+// partitioner; the engine only asks ShardOf.
+type Partitioner interface {
+	// Shards returns the shard count the partitioner was built for.
+	Shards() int
+	// ShardOf returns the shard owning the cell, in [0, Shards()).
+	ShardOf(cell int) int
+}
+
+// modPartition is the legacy interleaved assignment.
+type modPartition int
+
+// ModPartition returns the engine's historical partitioner: cell % shards.
+// It is the default, and on grid backends preserves the exact shard
+// assignment of every earlier release.
+func ModPartition(shards int) Partitioner {
+	if shards < 1 {
+		shards = 1
+	}
+	return modPartition(shards)
+}
+
+func (m modPartition) Shards() int         { return int(m) }
+func (m modPartition) ShardOf(cell int) int { return cell % int(m) }
+
+// blockPartition assigns contiguous cell-id runs of near-equal length.
+type blockPartition struct {
+	shards int
+	cells  int
+}
+
+// BalancedPartition returns a partitioner that splits the space's cells into
+// contiguous runs of near-equal size (shard = cell*shards/numCells). For
+// backends whose cell ids carry locality — road-network clusters, space
+// filling curve indexes — contiguous runs keep adjacent markets on one
+// shard, so the sharding approximation (a worker serves only its shard's
+// cells) cuts fewer viable task-worker edges than interleaving would.
+func BalancedPartition(space Space, shards int) Partitioner {
+	if shards < 1 {
+		shards = 1
+	}
+	cells := space.NumCells()
+	if cells < 1 {
+		cells = 1
+	}
+	return blockPartition{shards: shards, cells: cells}
+}
+
+func (b blockPartition) Shards() int { return b.shards }
+
+func (b blockPartition) ShardOf(cell int) int {
+	if cell < 0 {
+		return 0
+	}
+	if cell >= b.cells {
+		return b.shards - 1
+	}
+	return cell * b.shards / b.cells
+}

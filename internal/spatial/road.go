@@ -1,0 +1,297 @@
+package spatial
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/kdtree"
+	"spatialcrowd/internal/roadnet"
+)
+
+// distCacheSize bounds the RoadSpace shortest-path cache. Markets revisit a
+// small working set of node pairs (hot cells, repeated range checks), so a
+// few thousand entries keep the hit rate high while the cache stays small.
+const distCacheSize = 1 << 12
+
+// RoadSpace is the road-network backend: positions snap to the nearest
+// network node (k-d tree), travel distance is the shortest path over the
+// network, and cells are clusters of nodes built by deterministic
+// farthest-point sampling. Euclidean radii over-estimate reachability on real
+// street geometry — a river or a missing ramp can make a "close" task
+// unreachable — so d_r and the cell structure both follow the network.
+//
+// All query methods are safe for concurrent use; the shortest-path cache is
+// the only mutable state and is mutex-guarded.
+type RoadSpace struct {
+	net  *roadnet.Network
+	snap *kdtree.Tree // over node coordinates; payload = node id
+
+	cellOfNode []int            // node id -> cell
+	seeds      []roadnet.NodeID // cell -> seed node (its coordinate is the center)
+	adj        [][]int          // cell -> sorted neighbor cells
+
+	// LRU cache over node-pair network distances: lookup promotes, insert
+	// evicts the least recently used entry when full.
+	mu    sync.Mutex
+	cache map[uint64]*list.Element // (nodeA<<32|nodeB) -> recency-list element
+	lru   *list.List               // front = most recent; values are cacheEntry
+	hits  int64
+	miss  int64
+}
+
+type cacheEntry struct {
+	key uint64
+	d   float64
+}
+
+// NewRoadSpace clusters the network's nodes into the given number of cells
+// and returns the backend. Cells are seeded by farthest-point sampling from
+// node 0 (deterministic: equal networks and cell counts give equal spaces)
+// and every node joins its nearest seed; cell adjacency is derived from
+// network edges that cross cluster boundaries.
+func NewRoadSpace(net *roadnet.Network, cells int) (*RoadSpace, error) {
+	n := net.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("spatial: road space needs a non-empty network")
+	}
+	if cells <= 0 {
+		return nil, fmt.Errorf("spatial: road space needs a positive cell count, got %d", cells)
+	}
+	if cells > n {
+		cells = n
+	}
+
+	coords := make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		coords[i] = net.Coord(roadnet.NodeID(i))
+	}
+
+	// Farthest-point sampling: start at node 0, then repeatedly take the
+	// node farthest from every chosen seed (ties to the lowest id).
+	seeds := make([]roadnet.NodeID, 0, cells)
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = math.Inf(1)
+	}
+	cur := roadnet.NodeID(0)
+	for len(seeds) < cells {
+		seeds = append(seeds, cur)
+		far, farD := roadnet.NodeID(0), -1.0
+		for i := 0; i < n; i++ {
+			if d := coords[i].SqDist(coords[cur]); d < minD[i] {
+				minD[i] = d
+			}
+			if minD[i] > farD {
+				far, farD = roadnet.NodeID(i), minD[i]
+			}
+		}
+		cur = far
+	}
+
+	cellOfNode := make([]int, n)
+	for i := 0; i < n; i++ {
+		best, bestD := 0, math.Inf(1)
+		for c, s := range seeds {
+			if d := coords[i].SqDist(coords[s]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		cellOfNode[i] = best
+	}
+
+	adj := make([][]int, len(seeds))
+	seen := make(map[uint64]bool)
+	for a := 0; a < n; a++ {
+		ca := cellOfNode[a]
+		net.VisitEdges(roadnet.NodeID(a), func(to roadnet.NodeID, _ float64) {
+			cb := cellOfNode[to]
+			if ca == cb {
+				return
+			}
+			key := uint64(ca)<<32 | uint64(cb)
+			if !seen[key] {
+				seen[key] = true
+				adj[ca] = append(adj[ca], cb)
+			}
+		})
+	}
+	for _, nb := range adj {
+		sort.Ints(nb)
+	}
+
+	return &RoadSpace{
+		net:        net,
+		snap:       kdtree.Build(coords, nil),
+		cellOfNode: cellOfNode,
+		seeds:      seeds,
+		adj:        adj,
+		cache:      make(map[uint64]*list.Element, distCacheSize),
+		lru:        list.New(),
+	}, nil
+}
+
+// Name identifies the backend in flags and banners.
+func (*RoadSpace) Name() string { return "road" }
+
+// Network returns the underlying road graph.
+func (rs *RoadSpace) Network() *roadnet.Network { return rs.net }
+
+// NumCells implements Space.
+func (rs *RoadSpace) NumCells() int { return len(rs.seeds) }
+
+// SnapNode returns the network node nearest to p.
+func (rs *RoadSpace) SnapNode(p geo.Point) roadnet.NodeID {
+	id, _ := rs.snap.Nearest(p)
+	return roadnet.NodeID(id)
+}
+
+// Snap returns the coordinate of the network node nearest to p — the
+// position generators use to emit on-network populations.
+func (rs *RoadSpace) Snap(p geo.Point) geo.Point {
+	return rs.net.Coord(rs.SnapNode(p))
+}
+
+// CellOf implements Space: the cluster of the nearest node.
+func (rs *RoadSpace) CellOf(p geo.Point) int {
+	return rs.cellOfNode[rs.SnapNode(p)]
+}
+
+// CellCenter implements Space with the seed node's coordinate; the seed is
+// its own nearest node, so CellOf(CellCenter(i)) == i.
+func (rs *RoadSpace) CellCenter(cell int) geo.Point {
+	return rs.net.Coord(rs.seeds[cell])
+}
+
+// Neighbors implements Space with the precomputed cluster adjacency. The
+// returned slice is internal; callers must not mutate it.
+func (rs *RoadSpace) Neighbors(cell int) []int { return rs.adj[cell] }
+
+// NeighborsAppend implements Space.
+func (rs *RoadSpace) NeighborsAppend(cell int, out []int) []int {
+	return append(out, rs.adj[cell]...)
+}
+
+// CellsInRange implements Space: the cells of every node within Euclidean
+// distance r of center. For node-snapped populations (everything the road
+// workload generators emit) this is exactly the set of cells that can hold a
+// position within r; off-network positions may snap outside it, so mixed
+// populations should use the k-d tree index (market.BuildBipartiteKD)
+// instead of the cell index.
+func (rs *RoadSpace) CellsInRange(center geo.Point, r float64) []int {
+	nodes := rs.snap.InRadiusAppend(center, r, nil)
+	if len(nodes) == 0 {
+		return nil
+	}
+	mark := make([]bool, len(rs.seeds))
+	out := make([]int, 0, 8)
+	for _, nd := range nodes {
+		if c := rs.cellOfNode[nd]; !mark[c] {
+			mark[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Dist implements Space: walk to the nearest node, ride the network's
+// shortest path, walk from the nearest node. Node-to-node distances go
+// through an LRU cache so repeated queries over the market's working set
+// (range checks, batch pricing over hot cells) skip the search entirely;
+// misses run A* with straight-line pruning. Disconnected pairs fall back to
+// the Euclidean distance, mirroring roadnet.Distance: a fragmented map
+// should degrade pricing inputs, not break them.
+func (rs *RoadSpace) Dist(a, b geo.Point) float64 {
+	na, nb := rs.SnapNode(a), rs.SnapNode(b)
+	walk := a.Dist(rs.net.Coord(na)) + b.Dist(rs.net.Coord(nb))
+	if na == nb {
+		return walk
+	}
+	d := rs.nodeDist(na, nb)
+	if math.IsInf(d, 1) {
+		return a.Dist(b)
+	}
+	return walk + d
+}
+
+// WithinDist reports whether the road distance from a to b is at most r. On
+// a cache hit it is a map lookup; on a miss it runs a Dijkstra bounded at
+// the remaining radius, which abandons the search as soon as the frontier
+// passes r, staying off the full O(V log V) path. Negative results are not
+// cached (the true distance was not found).
+//
+// Note the market's worker range constraint itself stays the Euclidean disk
+// of Definition 4 — the paper's "Euclidean or road-network" choice applies
+// to the travel distance d_r, which Dist serves. WithinDist is for dispatch
+// tooling that wants road-aware feasibility on top (e.g. filtering
+// candidates a river separates from a task despite Euclidean closeness).
+func (rs *RoadSpace) WithinDist(a, b geo.Point, r float64) bool {
+	na, nb := rs.SnapNode(a), rs.SnapNode(b)
+	walk := a.Dist(rs.net.Coord(na)) + b.Dist(rs.net.Coord(nb))
+	if walk > r {
+		return false
+	}
+	if na == nb {
+		return true
+	}
+	key := uint64(na)<<32 | uint64(uint32(nb))
+	if d, ok := rs.lookup(key); ok {
+		return walk+d <= r
+	}
+	d := rs.net.BoundedShortestDist(na, nb, r-walk)
+	if math.IsInf(d, 1) {
+		return false
+	}
+	rs.put(key, d)
+	return true
+}
+
+// nodeDist returns the cached-or-computed network distance between nodes.
+func (rs *RoadSpace) nodeDist(na, nb roadnet.NodeID) float64 {
+	key := uint64(na)<<32 | uint64(uint32(nb))
+	if d, ok := rs.lookup(key); ok {
+		return d
+	}
+	d, _ := rs.net.AStar(na, nb)
+	rs.put(key, d)
+	return d
+}
+
+// lookup consults the cache, promoting the entry to most-recent on a hit.
+func (rs *RoadSpace) lookup(key uint64) (float64, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	el, ok := rs.cache[key]
+	if !ok {
+		rs.miss++
+		return 0, false
+	}
+	rs.hits++
+	rs.lru.MoveToFront(el)
+	return el.Value.(cacheEntry).d, true
+}
+
+// put inserts one cache entry, evicting the least recently used when full.
+func (rs *RoadSpace) put(key uint64, d float64) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if _, ok := rs.cache[key]; ok {
+		return
+	}
+	if len(rs.cache) >= distCacheSize {
+		oldest := rs.lru.Back()
+		rs.lru.Remove(oldest)
+		delete(rs.cache, oldest.Value.(cacheEntry).key)
+	}
+	rs.cache[key] = rs.lru.PushFront(cacheEntry{key: key, d: d})
+}
+
+// CacheStats reports shortest-path cache hits and misses since construction.
+func (rs *RoadSpace) CacheStats() (hits, misses int64) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.hits, rs.miss
+}

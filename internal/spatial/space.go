@@ -1,0 +1,69 @@
+// Package spatial defines the pluggable spatial backend of the pricing
+// system. The paper's model (Definition 1) partitions the region of interest
+// into local markets ("grids") and prices each one per period; nothing in the
+// pricing semantics requires the partition to come from a uniform grid or the
+// travel metric to be Euclidean. Space is that separation: pricing code
+// (core, market, sim, engine) talks to a Space, and backends supply the
+// geometry — the uniform grid of the paper, a road network with node-snapped
+// positions and shortest-path distances, or future indexes (geohash, H3,
+// adaptive quadtrees) without touching pricing code again.
+package spatial
+
+import "spatialcrowd/internal/geo"
+
+// Space is a partition of the plane into cells (local markets) together with
+// a travel metric. Implementations must be safe for concurrent read use: the
+// engine's shard goroutines call CellOf and Dist in parallel.
+//
+// geo.Grid satisfies Space directly, so existing grid-based call sites keep
+// working with zero wrapping cost; GridSpace is the same backend under the
+// name the -space flags and banners use.
+type Space interface {
+	// NumCells returns the number of cells; cell indices are 0..NumCells()-1.
+	NumCells() int
+	// CellOf returns the cell containing (or, for snapped backends, nearest
+	// to) p. Every point maps to a valid cell.
+	CellOf(p geo.Point) int
+	// CellCenter returns a representative point of the cell, satisfying
+	// CellOf(CellCenter(i)) == i. Repositioning walks toward it.
+	CellCenter(cell int) geo.Point
+	// Neighbors returns the cells adjacent to cell. Callers must not mutate
+	// the result (backends may return an internal slice).
+	Neighbors(cell int) []int
+	// NeighborsAppend appends the cells adjacent to cell to out and returns
+	// the extended slice; a reused buffer keeps hot paths allocation-free.
+	NeighborsAppend(cell int, out []int) []int
+	// CellsInRange returns a superset of the cells holding positions within
+	// Euclidean distance r of center — the candidate cells a worker at
+	// center with range constraint r can supply.
+	CellsInRange(center geo.Point, r float64) []int
+	// Dist returns the travel distance d(a, b) under the backend's metric:
+	// Euclidean for grids, shortest-path for road networks.
+	Dist(a, b geo.Point) float64
+}
+
+// GridSpace is the uniform-grid backend: the paper's Definition 1 geometry,
+// wrapping geo.Grid unchanged. Pricing over a GridSpace is bit-for-bit
+// identical to pricing over the raw grid.
+type GridSpace struct {
+	geo.Grid
+}
+
+// NewGridSpace wraps a grid as a named spatial backend.
+func NewGridSpace(g geo.Grid) GridSpace { return GridSpace{Grid: g} }
+
+// Name identifies the backend in flags and banners.
+func (GridSpace) Name() string { return "grid" }
+
+// BackendName reports the backend name of a Space for banners and error
+// messages: the backend's own Name() when it has one, "grid" for a raw
+// geo.Grid, and "custom" otherwise.
+func BackendName(s Space) string {
+	if n, ok := s.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	if _, ok := s.(geo.Grid); ok {
+		return "grid"
+	}
+	return "custom"
+}

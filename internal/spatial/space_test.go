@@ -1,0 +1,349 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/roadnet"
+)
+
+// TestGridSpaceDelegates pins the zero-behavior-change guarantee: every
+// Space method of GridSpace (and of a raw geo.Grid used as a Space) answers
+// exactly like the underlying grid.
+func TestGridSpaceDelegates(t *testing.T) {
+	g := geo.SquareGrid(100, 10)
+	gs := NewGridSpace(g)
+	var asSpace Space = g // raw grid must satisfy Space too
+	rng := rand.New(rand.NewSource(1))
+
+	if gs.NumCells() != g.NumCells() || asSpace.NumCells() != g.NumCells() {
+		t.Fatalf("NumCells mismatch")
+	}
+	for i := 0; i < 200; i++ {
+		p := geo.Point{X: rng.Float64()*120 - 10, Y: rng.Float64()*120 - 10}
+		if gs.CellOf(p) != g.CellOf(p) {
+			t.Fatalf("CellOf(%v) diverged", p)
+		}
+		q := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		if gs.Dist(p, q) != p.Dist(q) {
+			t.Fatalf("Dist(%v,%v) diverged", p, q)
+		}
+		r := rng.Float64() * 30
+		a, b := gs.CellsInRange(p, r), g.CellsInRange(p, r)
+		if len(a) != len(b) {
+			t.Fatalf("CellsInRange(%v,%v) diverged: %v vs %v", p, r, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("CellsInRange(%v,%v) diverged: %v vs %v", p, r, a, b)
+			}
+		}
+	}
+	for c := 0; c < g.NumCells(); c++ {
+		if gs.CellCenter(c) != g.CellCenter(c) {
+			t.Fatalf("CellCenter(%d) diverged", c)
+		}
+		want := g.Neighbors(c)
+		got := gs.NeighborsAppend(c, nil)
+		if len(got) != len(want) {
+			t.Fatalf("Neighbors(%d) diverged: %v vs %v", c, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("Neighbors(%d) diverged: %v vs %v", c, got, want)
+			}
+		}
+	}
+	if BackendName(gs) != "grid" || BackendName(asSpace) != "grid" {
+		t.Fatalf("BackendName: got %q / %q, want grid", BackendName(gs), BackendName(asSpace))
+	}
+}
+
+// bruteDijkstra is an O(V^2) reference shortest-path for small networks.
+func bruteDijkstra(nw *roadnet.Network, src roadnet.NodeID) []float64 {
+	n := nw.NumNodes()
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			return dist
+		}
+		done[u] = true
+		nw.VisitEdges(roadnet.NodeID(u), func(to roadnet.NodeID, w float64) {
+			if d := dist[u] + w; d < dist[to] {
+				dist[to] = d
+			}
+		})
+	}
+}
+
+// randomNetwork builds a connected-ish random road graph.
+func randomNetwork(rng *rand.Rand, nodes int) *roadnet.Network {
+	nw := roadnet.New()
+	for i := 0; i < nodes; i++ {
+		nw.AddNode(geo.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50})
+	}
+	// A random spanning chain plus extra chords.
+	for i := 1; i < nodes; i++ {
+		nw.AddRoad(roadnet.NodeID(rng.Intn(i)), roadnet.NodeID(i))
+	}
+	for k := 0; k < nodes; k++ {
+		a, b := roadnet.NodeID(rng.Intn(nodes)), roadnet.NodeID(rng.Intn(nodes))
+		if a != b {
+			nw.AddRoad(a, b)
+		}
+	}
+	return nw
+}
+
+// TestRoadSpaceDistMatchesBruteForce checks RoadSpace.Dist against a
+// brute-force Dijkstra on random small networks, querying from node
+// positions so the walk legs are zero and the comparison is exact.
+func TestRoadSpaceDistMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		nodes := 15 + rng.Intn(40)
+		nw := randomNetwork(rng, nodes)
+		rs, err := NewRoadSpace(nw, 1+rng.Intn(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 20; q++ {
+			a := roadnet.NodeID(rng.Intn(nodes))
+			b := roadnet.NodeID(rng.Intn(nodes))
+			want := bruteDijkstra(nw, a)[b]
+			got := rs.Dist(nw.Coord(a), nw.Coord(b))
+			if math.IsInf(want, 1) {
+				// Disconnected: Dist falls back to Euclidean.
+				if e := nw.Coord(a).Dist(nw.Coord(b)); math.Abs(got-e) > 1e-9 {
+					t.Fatalf("trial %d: unreachable pair (%d,%d): got %v, want Euclidean %v", trial, a, b, got, e)
+				}
+				continue
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: Dist(%d,%d) = %v, want %v", trial, a, b, got, want)
+			}
+			// WithinDist must agree with the true distance on both sides.
+			if want > 0 {
+				if !rs.WithinDist(nw.Coord(a), nw.Coord(b), want+1e-9) {
+					t.Fatalf("trial %d: WithinDist(%d,%d,%v) = false", trial, a, b, want)
+				}
+				if rs.WithinDist(nw.Coord(a), nw.Coord(b), want*0.99-1e-9) {
+					t.Fatalf("trial %d: WithinDist(%d,%d,%v) = true under the true distance %v", trial, a, b, want*0.99, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRoadSpaceCellInvariants checks the clustering contract: every cell is
+// non-empty, centers map back to their own cell, neighbors are valid cells,
+// and CellsInRange covers the cell of every node within the radius.
+func TestRoadSpaceCellInvariants(t *testing.T) {
+	nw, err := roadnet.GridCity(roadnet.GridCityConfig{
+		Region: geo.Square(50), Cols: 10, Rows: 10, Jitter: 0.2, DropProb: 0.05, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRoadSpace(nw, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.NumCells() != 12 {
+		t.Fatalf("NumCells = %d, want 12", rs.NumCells())
+	}
+	counts := make([]int, rs.NumCells())
+	for i := 0; i < nw.NumNodes(); i++ {
+		counts[rs.CellOf(nw.Coord(roadnet.NodeID(i)))]++
+	}
+	for c, n := range counts {
+		if n == 0 {
+			t.Fatalf("cell %d has no nodes", c)
+		}
+	}
+	for c := 0; c < rs.NumCells(); c++ {
+		if got := rs.CellOf(rs.CellCenter(c)); got != c {
+			t.Fatalf("CellOf(CellCenter(%d)) = %d", c, got)
+		}
+		for _, nb := range rs.Neighbors(c) {
+			if nb < 0 || nb >= rs.NumCells() || nb == c {
+				t.Fatalf("cell %d has invalid neighbor %d", c, nb)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	for q := 0; q < 50; q++ {
+		center := geo.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+		r := rng.Float64() * 15
+		in := map[int]bool{}
+		for _, c := range rs.CellsInRange(center, r) {
+			in[c] = true
+		}
+		for i := 0; i < nw.NumNodes(); i++ {
+			p := nw.Coord(roadnet.NodeID(i))
+			if p.Dist(center) <= r && !in[rs.CellOf(p)] {
+				t.Fatalf("CellsInRange(%v,%v) misses cell %d of node %d", center, r, rs.CellOf(p), i)
+			}
+		}
+	}
+	if BackendName(rs) != "road" {
+		t.Fatalf("BackendName = %q, want road", BackendName(rs))
+	}
+}
+
+// TestPartitioners pins ModPartition to the legacy assignment and checks
+// BalancedPartition spreads an irregular cell count within one cell of even.
+func TestPartitioners(t *testing.T) {
+	mod := ModPartition(4)
+	if mod.Shards() != 4 {
+		t.Fatalf("mod shards = %d", mod.Shards())
+	}
+	for c := 0; c < 100; c++ {
+		if mod.ShardOf(c) != c%4 {
+			t.Fatalf("ModPartition(4).ShardOf(%d) = %d, want %d", c, mod.ShardOf(c), c%4)
+		}
+	}
+
+	g := geo.SquareGrid(10, 9) // 81 cells, not divisible by 4
+	bal := BalancedPartition(g, 4)
+	counts := make([]int, 4)
+	prev := 0
+	for c := 0; c < g.NumCells(); c++ {
+		s := bal.ShardOf(c)
+		if s < 0 || s >= 4 {
+			t.Fatalf("ShardOf(%d) = %d out of range", c, s)
+		}
+		if s < prev {
+			t.Fatalf("BalancedPartition not contiguous: cell %d on shard %d after shard %d", c, s, prev)
+		}
+		prev = s
+		counts[s]++
+	}
+	min, max := counts[0], counts[0]
+	for _, n := range counts[1:] {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("BalancedPartition skewed: %v", counts)
+	}
+	// Out-of-range cells clamp instead of panicking (router defensiveness).
+	if bal.ShardOf(-1) != 0 || bal.ShardOf(10_000) != 3 {
+		t.Fatalf("BalancedPartition clamp: %d / %d", bal.ShardOf(-1), bal.ShardOf(10_000))
+	}
+}
+
+// TestRoadSpaceDeterministic checks that equal networks and cell counts give
+// identical spaces (clustering is seeded by farthest-point sampling, not
+// randomness).
+func TestRoadSpaceDeterministic(t *testing.T) {
+	build := func() *RoadSpace {
+		nw, err := roadnet.GridCity(roadnet.GridCityConfig{
+			Region: geo.Square(30), Cols: 6, Rows: 6, Jitter: 0.3, DropProb: 0.1, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewRoadSpace(nw, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	a, b := build(), build()
+	for i := 0; i < a.Network().NumNodes(); i++ {
+		p := a.Network().Coord(roadnet.NodeID(i))
+		if a.CellOf(p) != b.CellOf(p) {
+			t.Fatalf("node %d: cells diverged across identical builds", i)
+		}
+	}
+}
+
+// BenchmarkRoadSpaceDistCached pins the cached-lookup cost of
+// RoadSpace.Dist: a working set of node pairs far smaller than the cache, so
+// after the first pass every query is snap + map hit.
+func BenchmarkRoadSpaceDistCached(b *testing.B) {
+	nw, err := roadnet.GridCity(roadnet.GridCityConfig{
+		Region: geo.Square(100), Cols: 20, Rows: 20, Jitter: 0.25, DropProb: 0.05, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, err := NewRoadSpace(nw, 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const pairs = 512
+	from := make([]geo.Point, pairs)
+	to := make([]geo.Point, pairs)
+	for i := range from {
+		from[i] = nw.Coord(roadnet.NodeID(rng.Intn(nw.NumNodes())))
+		to[i] = nw.Coord(roadnet.NodeID(rng.Intn(nw.NumNodes())))
+		rs.Dist(from[i], to[i]) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Dist(from[i%pairs], to[i%pairs])
+	}
+	b.StopTimer()
+	hits, misses := rs.CacheStats()
+	b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
+}
+
+// TestDistCacheIsLRU checks the eviction policy: an entry kept hot by
+// lookups survives insertion pressure that evicts cold entries.
+func TestDistCacheIsLRU(t *testing.T) {
+	nw := roadnet.New()
+	// A long chain: every adjacent pair is a distinct cacheable node pair.
+	n := distCacheSize + 100
+	for i := 0; i < n; i++ {
+		nw.AddNode(geo.Point{X: float64(i), Y: 0})
+		if i > 0 {
+			nw.AddRoad(roadnet.NodeID(i-1), roadnet.NodeID(i))
+		}
+	}
+	rs, err := NewRoadSpace(nw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := uint64(0)<<32 | uint64(uint32(1))
+	rs.put(hot, 1)
+	// Fill the cache past capacity, touching the hot entry along the way.
+	for i := 1; i < n-1; i++ {
+		rs.put(uint64(i)<<32|uint64(uint32(i+1)), 1)
+		if i%64 == 0 {
+			if _, ok := rs.lookup(hot); !ok {
+				t.Fatalf("hot entry evicted after %d inserts despite recent use", i)
+			}
+		}
+	}
+	if _, ok := rs.lookup(hot); !ok {
+		t.Fatal("hot entry evicted under pressure: cache is not LRU")
+	}
+	if len(rs.cache) > distCacheSize {
+		t.Fatalf("cache grew to %d entries, cap %d", len(rs.cache), distCacheSize)
+	}
+	// A cold early entry (never touched again) must be gone.
+	if _, ok := rs.cache[uint64(1)<<32|uint64(uint32(2))]; ok {
+		t.Fatal("cold entry survived eviction pressure")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"spatialcrowd/internal/geo"
 	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/stats"
 )
 
@@ -201,15 +202,16 @@ func beijingTemporal(v BeijingVariant) func(*rand.Rand) int {
 // beijingDemandModel assigns per-cell valuation distributions: hotspot cells
 // (with more competition for rides) carry slightly higher willingness to
 // pay, matching the paper's observation that imbalanced areas sustain
-// higher prices.
-func beijingDemandModel(v BeijingVariant, grid geo.Grid, hot hotspotMix, rng *rand.Rand) (market.ValuationModel, error) {
+// higher prices. It works over any spatial backend: cells are whatever the
+// space partitions the region into (uniform grid or road clusters).
+func beijingDemandModel(v BeijingVariant, space spatial.Space, hot hotspotMix, rng *rand.Rand) (market.ValuationModel, error) {
 	base := 2.0
 	if v == BeijingNight {
 		base = 2.3 // late-night riders pay more
 	}
-	cells := make(map[int]stats.Dist, grid.NumCells())
-	for g := 0; g < grid.NumCells(); g++ {
-		center := grid.CellCenter(g)
+	cells := make(map[int]stats.Dist, space.NumCells())
+	for g := 0; g < space.NumCells(); g++ {
+		center := space.CellCenter(g)
 		// Proximity to the nearest hotspot raises the local mean.
 		nearest := math.Inf(1)
 		for _, c := range hot.centers {

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/roadnet"
+	"spatialcrowd/internal/spatial"
+)
+
+// RoadConfig parameterizes the road-network Beijing-like generator: the same
+// Table 4 populations, temporal profiles, and hotspot mixtures as
+// BeijingLike, but laid over a synthetic street network. Every position
+// (task origin, task destination, worker location) sits on a network node,
+// travel distances d_r are shortest paths over the streets, and the market's
+// cells are the road clusters of the resulting spatial.RoadSpace rather than
+// uniform grid rectangles.
+type RoadConfig struct {
+	Variant BeijingVariant
+	// WorkerDuration is delta_w: periods each worker stays available.
+	WorkerDuration int
+	// Scale shrinks both populations by the given divisor (0 or 1 = full
+	// Table 4 size).
+	Scale int
+	Seed  int64
+
+	// Cols x Rows intersections of the street lattice (default 24 x 20 —
+	// ~0.75 km blocks over the ~17 km Beijing rectangle).
+	Cols, Rows int
+	// Jitter displaces intersections by up to this fraction of a block
+	// (default 0.3), DropProb removes street segments (default 0.05),
+	// producing dead ends and detours that make road distances genuinely
+	// exceed Euclidean ones.
+	Jitter   float64
+	DropProb float64
+	// Cells is the number of road clusters (local markets); default 80,
+	// matching the 10x8 grid of the flat Beijing workload so revenue is
+	// comparable across backends.
+	Cells int
+}
+
+// withDefaults fills zero fields.
+func (cfg RoadConfig) withDefaults() RoadConfig {
+	if cfg.Cols == 0 {
+		cfg.Cols = 24
+	}
+	if cfg.Rows == 0 {
+		cfg.Rows = 20
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.3
+	}
+	if cfg.DropProb == 0 {
+		cfg.DropProb = 0.05
+	}
+	if cfg.Cells == 0 {
+		cfg.Cells = BeijingCols * BeijingRows
+	}
+	return cfg
+}
+
+// BeijingRoad generates a road-network Beijing-like market instance. The
+// returned instance carries the RoadSpace in Instance.Space, so the
+// simulator, the streaming engine, and the bipartite cell index all operate
+// over road clusters and shortest-path distances. The valuation model (for
+// calibration oracles) is keyed by road cluster.
+func BeijingRoad(cfg RoadConfig) (*market.Instance, market.ValuationModel, *spatial.RoadSpace, error) {
+	if cfg.WorkerDuration <= 0 {
+		return nil, nil, nil, fmt.Errorf("workload: need positive WorkerDuration, got %d", cfg.WorkerDuration)
+	}
+	c := cfg.withDefaults()
+	scale := c.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	nw, nr := BeijingConfig{Variant: c.Variant}.populations()
+	nw, nr = nw/scale, nr/scale
+	if nw == 0 || nr == 0 {
+		return nil, nil, nil, fmt.Errorf("workload: scale %d leaves an empty market", c.Scale)
+	}
+
+	region := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: BeijingWidthKM, Y: BeijingHeightKM})
+	city, err := roadnet.GridCity(roadnet.GridCityConfig{
+		Region:   region,
+		Cols:     c.Cols,
+		Rows:     c.Rows,
+		Jitter:   c.Jitter,
+		DropProb: c.DropProb,
+		Seed:     c.Seed + 1,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	space, err := spatial.NewRoadSpace(city, c.Cells)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	hot := hotspots(c.Variant)
+	model, err := beijingDemandModel(c.Variant, space, hot, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	timeOf := beijingTemporal(c.Variant)
+
+	// Grid stays zero: the road clusters are the only cell structure, and a
+	// reference grid would carry cell ids that disagree with them —
+	// consumers that reached for in.Grid instead of in.Spatial() would
+	// compute wrong cells silently. A zero grid fails loudly instead.
+	in := &market.Instance{
+		Space:   space,
+		Periods: BeijingPeriods,
+		Tasks:   make([]market.Task, 0, nr),
+		Workers: make([]market.Worker, 0, nw),
+	}
+	tripLen := func() float64 {
+		d := math.Exp(math.Log(4.0) + 0.55*rng.NormFloat64())
+		return math.Min(d, 15)
+	}
+	for i := 0; i < nr; i++ {
+		origin := space.Snap(hot.sample(rng, region))
+		ang := rng.Float64() * 2 * math.Pi
+		d := tripLen()
+		dest := space.Snap(region.Clamp(geo.Point{
+			X: origin.X + d*math.Cos(ang),
+			Y: origin.Y + d*math.Sin(ang),
+		}))
+		cell := space.CellOf(origin)
+		in.Tasks = append(in.Tasks, market.Task{
+			ID:        i,
+			Period:    timeOf(rng),
+			Origin:    origin,
+			Dest:      dest,
+			Distance:  space.Dist(origin, dest),
+			Valuation: model.Dist(cell).Sample(rng),
+		})
+	}
+	for i := 0; i < nw; i++ {
+		in.Workers = append(in.Workers, market.Worker{
+			ID:       i,
+			Period:   timeOf(rng),
+			Loc:      space.Snap(hot.sample(rng, region)),
+			Radius:   BeijingRadiusKM,
+			Duration: c.WorkerDuration,
+		})
+	}
+	return in, model, space, nil
+}

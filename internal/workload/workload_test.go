@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/spatial"
 )
 
 func TestSyntheticDefaults(t *testing.T) {
@@ -298,5 +299,45 @@ func TestUnknownMetricRejected(t *testing.T) {
 	cfg := SyntheticConfig{Workers: 5, Requests: 5, DistanceMetric: Metric(99), Seed: 1}
 	if _, _, err := Synthetic(cfg); err == nil {
 		t.Error("unknown metric should error")
+	}
+}
+
+func TestBeijingRoadGenerator(t *testing.T) {
+	in, model, space, err := BeijingRoad(RoadConfig{
+		Variant: BeijingRush, WorkerDuration: 10, Scale: 100, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Space == nil || in.Spatial() != spatial.Space(space) {
+		t.Fatal("instance must carry its RoadSpace")
+	}
+	if space.NumCells() != BeijingCols*BeijingRows {
+		t.Fatalf("cells = %d, want %d", space.NumCells(), BeijingCols*BeijingRows)
+	}
+	if model == nil {
+		t.Fatal("nil valuation model")
+	}
+	// Every position sits on a network node and every trip's road distance
+	// is at least the straight line.
+	for i, task := range in.Tasks {
+		if task.Origin != space.Snap(task.Origin) || task.Dest != space.Snap(task.Dest) {
+			t.Fatalf("task %d not node-snapped", i)
+		}
+		if task.Distance < task.Origin.Dist(task.Dest)-1e-9 {
+			t.Fatalf("task %d: road distance %v beats the straight line %v",
+				i, task.Distance, task.Origin.Dist(task.Dest))
+		}
+	}
+	for i, w := range in.Workers {
+		if w.Loc != space.Snap(w.Loc) {
+			t.Fatalf("worker %d not node-snapped", i)
+		}
+	}
+	if _, _, _, err := BeijingRoad(RoadConfig{Variant: BeijingRush}); err == nil {
+		t.Error("zero WorkerDuration should error")
 	}
 }

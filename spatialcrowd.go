@@ -48,7 +48,9 @@ import (
 	"spatialcrowd/internal/market"
 	"spatialcrowd/internal/match"
 	"spatialcrowd/internal/pworld"
+	"spatialcrowd/internal/roadnet"
 	"spatialcrowd/internal/sim"
+	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/stats"
 	"spatialcrowd/internal/workload"
 )
@@ -66,11 +68,47 @@ type (
 	Task = market.Task
 	// Worker is a crowd worker with a location and range constraint.
 	Worker = market.Worker
-	// Instance is a complete market: grid, periods, tasks, and workers.
+	// Instance is a complete market: spatial partition, periods, tasks, and
+	// workers.
 	Instance = market.Instance
 	// ValuationModel is the hidden per-grid demand distribution.
 	ValuationModel = market.ValuationModel
 )
+
+// Spatial backends (the pluggable geometry layer; see internal/spatial).
+type (
+	// Space is the spatial-backend interface every pricing layer depends
+	// on: a partition of the plane into cells plus a travel metric. Grid
+	// satisfies it directly.
+	Space = spatial.Space
+	// GridSpace is the uniform-grid backend of the paper's Definition 1.
+	GridSpace = spatial.GridSpace
+	// RoadSpace is the road-network backend: node-snapped positions,
+	// shortest-path distances with an LRU cache, cells from node clusters.
+	RoadSpace = spatial.RoadSpace
+	// Partitioner maps cells to engine shards.
+	Partitioner = spatial.Partitioner
+	// RoadNetwork is a directed weighted street graph embedded in the plane.
+	RoadNetwork = roadnet.Network
+)
+
+// NewGridSpace wraps a grid as a named spatial backend.
+func NewGridSpace(g Grid) GridSpace { return spatial.NewGridSpace(g) }
+
+// NewRoadSpace clusters a road network's nodes into the given number of
+// cells and returns the road backend.
+func NewRoadSpace(net *RoadNetwork, cells int) (*RoadSpace, error) {
+	return spatial.NewRoadSpace(net, cells)
+}
+
+// ModPartition returns the engine's historical cell-mod-shards partitioner.
+func ModPartition(shards int) Partitioner { return spatial.ModPartition(shards) }
+
+// BalancedPartition splits a space's cells into contiguous near-equal runs —
+// the partitioner of choice for backends with irregular cell counts.
+func BalancedPartition(space Space, shards int) Partitioner {
+	return spatial.BalancedPartition(space, shards)
+}
 
 // Pricing strategies.
 type (
@@ -111,6 +149,10 @@ type (
 	SyntheticConfig = workload.SyntheticConfig
 	// BeijingConfig parameterizes the Beijing-like real-data stand-in.
 	BeijingConfig = workload.BeijingConfig
+	// BeijingVariant selects the rush-hour or late-night time window.
+	BeijingVariant = workload.BeijingVariant
+	// RoadConfig parameterizes the road-network Beijing-like workload.
+	RoadConfig = workload.RoadConfig
 	// Runner executes the paper's experiments.
 	Runner = exp.Runner
 	// Series is one figure column: a parameter sweep across strategies.
@@ -209,15 +251,16 @@ func NewParametricMAPS(p Params, basePrice float64) (*ParametricMAPS, error) {
 }
 
 // SmoothPrices applies one pass of spatial price smoothing across
-// neighboring grids (Section 4.2.3's practical note).
-func SmoothPrices(grid Grid, prices map[int]float64, w float64) map[int]float64 {
-	return core.SmoothPrices(grid, prices, w)
+// neighboring cells (Section 4.2.3's practical note). Any spatial backend
+// works; a Grid passes directly.
+func SmoothPrices(space Space, prices map[int]float64, w float64) map[int]float64 {
+	return core.SmoothPrices(space, prices, w)
 }
 
 // PriceGap returns the largest absolute price difference between
-// neighboring priced grids.
-func PriceGap(grid Grid, prices map[int]float64) float64 {
-	return core.PriceGap(grid, prices)
+// neighboring priced cells.
+func PriceGap(space Space, prices map[int]float64) float64 {
+	return core.PriceGap(space, prices)
 }
 
 // DefaultParams returns the paper's experimental pricing parameters:
@@ -262,17 +305,26 @@ func BeijingLike(cfg BeijingConfig) (*Instance, ValuationModel, error) {
 	return workload.BeijingLike(cfg)
 }
 
+// BeijingRoad generates the road-network Beijing-like workload: the Table 4
+// populations on a synthetic street network, with node-snapped positions,
+// shortest-path travel distances, and road-cluster local markets. The
+// returned instance carries the RoadSpace in Instance.Space.
+func BeijingRoad(cfg RoadConfig) (*Instance, ValuationModel, *RoadSpace, error) {
+	return workload.BeijingRoad(cfg)
+}
+
 // NewRunner returns the experiment runner with paper-scale defaults.
 func NewRunner() *Runner { return exp.NewRunner() }
 
 // BuildPeriodContext assembles the strategy-facing view of one period:
 // task projections, the range-constraint bipartite graph, and per-cell
 // groupings. Library users driving strategies outside the simulator (e.g.
-// pricing live data one batch at a time) use this as the entry point.
-func BuildPeriodContext(grid Grid, period int, tasks []Task, workers []Worker) *PeriodContext {
-	in := &Instance{Grid: grid, Periods: period + 1}
+// pricing live data one batch at a time) use this as the entry point. Any
+// spatial backend works; a Grid passes directly.
+func BuildPeriodContext(space Space, period int, tasks []Task, workers []Worker) *PeriodContext {
+	in := &Instance{Space: space, Periods: period + 1}
 	graph := market.BuildBipartiteIndexed(in, tasks, workers)
-	return core.BuildContext(grid, period, tasks, workers, graph)
+	return core.BuildContext(space, period, tasks, workers, graph)
 }
 
 // OracleFromModel adapts a valuation model into a calibration oracle with
@@ -296,12 +348,12 @@ func (o *modelOracle) Probe(cell int, price float64) bool {
 // `tasks` at `prices` against known acceptance probabilities, by full
 // possible-world enumeration (Definitions 5–6). It is exponential in the
 // task count (limit 20) and intended for analysis and testing.
-func ExpectedRevenueExact(grid Grid, tasks []Task, workers []Worker, prices []float64, model ValuationModel) (float64, error) {
+func ExpectedRevenueExact(space Space, tasks []Task, workers []Worker, prices []float64, model ValuationModel) (float64, error) {
 	graph := market.BuildBipartite(tasks, workers)
 	probs := make([]float64, len(tasks))
 	weights := make([]float64, len(tasks))
 	for i := range tasks {
-		cell := grid.CellOf(tasks[i].Origin)
+		cell := space.CellOf(tasks[i].Origin)
 		probs[i] = stats.Accept(model.Dist(cell), prices[i])
 		weights[i] = tasks[i].Distance * prices[i]
 	}
