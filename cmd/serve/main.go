@@ -12,6 +12,7 @@
 //	serve -beijing rush -duration 15
 //	serve -space road             # road-network backend: street-snapped workload
 //	serve -det                    # deterministic single-threaded mode
+//	serve -mobility 0.3           # synthetic worker mobility: moves + cross-shard migrations
 //	serve -requests 100000 -workers 25000
 package main
 
@@ -57,6 +58,7 @@ func main() {
 		shards   = flag.Int("shards", runtime.NumCPU(), "shard goroutines (market partitions)")
 		window   = flag.Int("window", 1, "periods per pricing batch")
 		det      = flag.Bool("det", false, "deterministic single-threaded mode (ignores -shards)")
+		mobility = flag.Float64("mobility", 0, "per-worker per-period move probability (0 disables the mobility trace)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		probes   = flag.Int("probes", 200, "base-pricing calibration probes per price")
 	)
@@ -98,11 +100,27 @@ func main() {
 	}
 	if nShards > 0 && spatial.BackendName(sp) != "grid" {
 		// Irregular cell structures load-balance better in contiguous runs.
-		cfg.Partitioner = spatial.BalancedPartition(sp, nShards)
+		// BalancedPartition clamps to the cell count; size the engine from
+		// the partitioner it actually built.
+		p := spatial.BalancedPartition(sp, nShards)
+		cfg.Partitioner = p
+		if p.Shards() != nShards {
+			fmt.Printf("note: %d shards clamped to %d (space has only that many cells)\n",
+				nShards, p.Shards())
+			nShards = p.Shards()
+			cfg.Shards = nShards
+		}
 	}
 	eng, err := engine.New(cfg)
 	if err != nil {
 		fatal(err)
+	}
+
+	var moves []market.Move
+	if *mobility > 0 {
+		moves = workload.MobilityTrace(in, workload.MobilityConfig{
+			MoveProb: *mobility, Seed: *seed + 2,
+		})
 	}
 
 	mode := fmt.Sprintf("%d shards", nShards)
@@ -112,8 +130,11 @@ func main() {
 	fmt.Printf("replaying %d tasks / %d workers / %d periods through %s (%s, window %d, p_b %.2f)\n",
 		len(in.Tasks), len(in.Workers), in.Periods, *strategy, mode, *window, pb)
 	fmt.Printf("spatial backend: %s (%d cells)\n", spatial.BackendName(sp), sp.NumCells())
+	if len(moves) > 0 {
+		fmt.Printf("mobility trace: %d moves (p=%.2f)\n", len(moves), *mobility)
+	}
 
-	n, err := engine.Replay(eng, in)
+	n, err := engine.ReplayMobility(eng, in, moves)
 	if err != nil {
 		fatal(err)
 	}

@@ -33,6 +33,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,15 @@ type Config struct {
 	// tasks' private valuations (simulation replay). When false the engine
 	// emits Quoted decisions and waits for AcceptDecision events.
 	AutoDecide bool
+	// CellIndexGraphs builds batch bipartite graphs with the spatial cell
+	// index (market.BuildBipartiteCellIndex — the offline simulator's
+	// construction) instead of a per-batch k-d tree. The edge sets are
+	// identical either way; the adjacency order differs, which steers tie
+	// breaks in the greedy matching. With CellIndexGraphs a deterministic
+	// AutoDecide replay consumes exactly the workers sim.Run consumes, so
+	// replayed revenue matches the simulator bit for bit (the equivalence
+	// tests rely on this); the k-d tree default is faster on large pools.
+	CellIndexGraphs bool
 	// Buffer is the router and per-shard channel depth (default 4096).
 	Buffer int
 	// OnDecision, when set, receives every decision instead of the Poll
@@ -102,15 +112,17 @@ type Engine struct {
 	// Router-owned routing state. Quoted-task entries live in a
 	// two-generation rotation (rotated every two windows, by which time
 	// their batch has certainly finalized) so unanswered quotes cannot
-	// accumulate forever. Worker entries are erased when shards report
-	// consumed/expired workers through retired.
+	// accumulate forever. Worker entries live in the lifecycle table and
+	// are erased when shards report retirements through the note mailbox,
+	// so both structures stay bounded by the live population.
 	taskShardCur  map[int]int // quoted task ID -> shard (current generation)
 	taskShardPrev map[int]int // previous generation
 	taskRotated   int         // period of the last generation rotation
-	workerShard   map[int]int // worker ID -> shard
+	workers       *workerTable
+	routerPeriod  int // last tick period the router broadcast
 
-	retiredMu sync.Mutex
-	retired   []int // worker IDs removed inside shards, pending map cleanup
+	notesMu sync.Mutex
+	notes   []lifecycleNote // shard-reported pool transitions, pending application
 
 	// Hot counters (atomic; bumped from shard goroutines).
 	events  atomic.Int64
@@ -118,6 +130,21 @@ type Engine struct {
 	quoted  atomic.Int64
 	batches atomic.Int64
 	late    atomic.Int64 // decisions/offlines for unknown or settled targets
+
+	// Lifecycle counters (atomic; see LifecycleStats). pooled is a gauge of
+	// workers currently in shard pools; tracked mirrors the router table
+	// size so Stats can read it without touching router-owned state.
+	lcOnlines    atomic.Int64
+	lcDuplicates atomic.Int64
+	lcMoves      atomic.Int64
+	lcPinned     atomic.Int64
+	lcMigrations atomic.Int64
+	lcAssigned   atomic.Int64
+	lcExpired    atomic.Int64
+	lcOffline    atomic.Int64
+	pooled       atomic.Int64
+	tracked      atomic.Int64
+	trackedHeld  atomic.Int64
 
 	// Batch-grain aggregates. Revenue is kept per shard only (each shard
 	// accumulates its own batches in a deterministic order) and totaled in
@@ -190,12 +217,20 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: Partitioner built for %d shards, Config.Shards is %d",
 			e.part.Shards(), cfg.Shards)
 	}
+	// A partitioner answering outside [0, Shards) would index shards out of
+	// range (or silently strand cells); probe every cell once up front.
+	for c := 0; c < space.NumCells(); c++ {
+		if si := e.part.ShardOf(c); si < 0 || si >= cfg.Shards {
+			return nil, fmt.Errorf("engine: Partitioner maps cell %d to shard %d, outside [0,%d)",
+				c, si, cfg.Shards)
+		}
+	}
 	e.shardRevenue = make([]float64, cfg.Shards)
 	e.shardTasks = make([]int64, cfg.Shards)
 	e.in = make(chan Event, cfg.Buffer)
 	e.taskShardCur = make(map[int]int)
 	e.taskShardPrev = make(map[int]int)
-	e.workerShard = make(map[int]int)
+	e.workers = newWorkerTable()
 	e.routerDone = make(chan struct{})
 	// Construct every shard before starting any goroutine so a failing
 	// factory cannot leak goroutines blocked on never-closed channels.
@@ -244,13 +279,21 @@ func (e *Engine) Submit(ev Event) error {
 	return nil
 }
 
-// route is the router goroutine: it owns the task/worker shard maps and
-// forwards each event to the shard owning its cell. Ticks broadcast.
+// route is the router goroutine: it owns the task map and the worker
+// lifecycle table and forwards each event to the shard owning its cell.
+// Ticks broadcast.
 func (e *Engine) route() {
 	defer close(e.routerDone)
+	// Start below any real period so worker admissions before the first
+	// tick sort strictly earlier than any note a shard can emit (notes
+	// flush at ticks).
+	e.routerPeriod = math.MinInt
 	for ev := range e.in {
 		switch ev.Kind {
 		case KindTick:
+			if ev.Period > e.routerPeriod {
+				e.routerPeriod = ev.Period
+			}
 			e.pruneRoutes(ev.Period)
 			for _, s := range e.shards {
 				s.in <- ev
@@ -263,15 +306,29 @@ func (e *Engine) route() {
 			e.shards[si].in <- ev
 		case KindWorkerOnline:
 			si := e.shardOfCell(e.space.CellOf(ev.Worker.Loc))
-			e.workerShard[ev.Worker.ID] = si
+			if prev, dup := e.workers.online(ev.Worker.ID, si, e.routerPeriod); dup {
+				// Duplicate online: the worker is (still) attributed to a
+				// shard. Retire the stale copy there before admitting the
+				// fresh one, so no ghost supply survives in the old shard;
+				// a same-shard duplicate is replaced in place by the shard.
+				e.late.Add(1)
+				e.lcDuplicates.Add(1)
+				if prev.shard != si {
+					e.shards[prev.shard].in <- Event{Kind: kindEvict, WorkerID: ev.Worker.ID, at: ev.at}
+				}
+			}
+			e.syncTableGauges()
 			e.shards[si].in <- ev
 		case KindWorkerOffline:
-			if si, ok := e.workerShard[ev.WorkerID]; ok {
-				delete(e.workerShard, ev.WorkerID)
-				e.shards[si].in <- ev
+			if ent, ok := e.workers.get(ev.WorkerID); ok {
+				e.workers.retire(ev.WorkerID)
+				e.syncTableGauges()
+				e.shards[ent.shard].in <- ev
 			} else {
 				e.late.Add(1)
 			}
+		case KindWorkerMove:
+			e.routeMove(ev)
 		case KindAcceptDecision:
 			si, ok := e.taskShardCur[ev.TaskID]
 			if ok {
@@ -291,39 +348,94 @@ func (e *Engine) route() {
 	}
 }
 
+// routeMove resolves a worker relocation. A move inside the owning shard is
+// forwarded as-is (the shard updates the pool entry in place). A move whose
+// target cell belongs to a different shard runs the migration handshake:
+// the router sends a synchronous migrate-out to the old shard and waits for
+// the worker record, then admits it into the new shard — so at every point
+// in the event order the worker is pooled in at most one shard, and no
+// later event can observe a half-finished migration. The old shard answers
+// pinned (and applies the move in place) when a pending quoted batch still
+// references the worker: a provisional assignment must not be yanked out
+// from under its batch, so the worker migrates only after the batch
+// finalizes and a later move re-targets it.
+func (e *Engine) routeMove(ev Event) {
+	ent, ok := e.workers.get(ev.WorkerID)
+	if !ok {
+		e.late.Add(1)
+		return
+	}
+	si := e.shardOfCell(e.space.CellOf(ev.Loc))
+	if si == ent.shard {
+		e.shards[ent.shard].in <- ev
+		return
+	}
+	mev := ev
+	mev.mig = &migration{reply: make(chan migrateReply, 1)}
+	e.shards[ent.shard].in <- mev
+	rep := <-mev.mig.reply
+	switch {
+	case !rep.ok:
+		// The old shard no longer pools the worker (consumed or expired,
+		// retirement note still in flight): the move targets a settled
+		// worker. Drop the stale table entry rather than waiting for the
+		// note.
+		e.workers.retire(ev.WorkerID)
+		e.syncTableGauges()
+		e.late.Add(1)
+	case rep.pinned:
+		e.lcPinned.Add(1)
+	default:
+		e.workers.migrate(ev.WorkerID, si, e.routerPeriod)
+		e.lcMigrations.Add(1)
+		e.shards[si].in <- Event{Kind: kindAdmit, Worker: rep.worker, at: ev.at}
+	}
+}
+
 func (e *Engine) shardOfCell(cell int) int { return e.part.ShardOf(cell) }
 
 // pruneRoutes bounds the router's maps. Quoted-task generations rotate
 // every two windows: a quote is answerable for at most two window closes
 // (its batch finalizes at the next close), so anything still in the
-// previous generation by then is unanswerable and can be dropped. Worker
-// routes for IDs the shards retired (consumed or expired) are erased.
+// previous generation by then is unanswerable and can be dropped. Pending
+// lifecycle notes (quoted-batch holds/releases, retirements the router did
+// not itself initiate — assignments and expiries) fold into the worker
+// table.
 func (e *Engine) pruneRoutes(period int) {
 	if period >= e.taskRotated+2*e.cfg.Window {
 		e.taskShardPrev = e.taskShardCur
 		e.taskShardCur = make(map[int]int)
 		e.taskRotated = period
 	}
-	e.retiredMu.Lock()
-	retired := e.retired
-	e.retired = nil
-	e.retiredMu.Unlock()
-	for _, id := range retired {
-		delete(e.workerShard, id)
+	e.notesMu.Lock()
+	notes := e.notes
+	e.notes = nil
+	e.notesMu.Unlock()
+	for _, n := range notes {
+		e.workers.apply(n)
 	}
+	e.syncTableGauges()
 }
 
-// noteRetired records worker IDs a shard removed from its pool (consumed by
-// an assignment or expired) so the router can drop their routing entries.
-// Shards call it at batch grain, not per event.
-func (e *Engine) noteRetired(ids []int) {
-	if e.det != nil || len(ids) == 0 {
+// syncTableGauges mirrors the router table's size and held count into
+// atomics so Stats can read them without touching router-owned state.
+func (e *Engine) syncTableGauges() {
+	e.tracked.Store(int64(e.workers.size()))
+	e.trackedHeld.Store(int64(e.workers.heldCount()))
+}
+
+// noteLifecycle records pool transitions a shard performed so the router
+// can update the worker table. Shards call it at batch grain, not per
+// event; deterministic mode has no router and keeps no table.
+func (e *Engine) noteLifecycle(notes []lifecycleNote) {
+	if e.det != nil || len(notes) == 0 {
 		return
 	}
-	e.retiredMu.Lock()
-	e.retired = append(e.retired, ids...)
-	e.retiredMu.Unlock()
+	e.notesMu.Lock()
+	e.notes = append(e.notes, notes...)
+	e.notesMu.Unlock()
 }
+
 
 // Close drains the event stream and stops the shard goroutines, finalizing
 // in-flight quoted batches (unanswered quotes count as rejections). It is

@@ -3,6 +3,7 @@ package engine
 import (
 	"time"
 
+	"spatialcrowd/internal/geo"
 	"spatialcrowd/internal/market"
 )
 
@@ -20,12 +21,32 @@ const (
 	// worker holds a provisional assignment in an in-flight batch, the
 	// matching is repaired around it.
 	KindWorkerOffline
+	// KindWorkerMove relocates an online worker (by ID) to a new position.
+	// Within a shard the pool entry moves in place; when the new position's
+	// cell belongs to a different shard, the router migrates the worker with
+	// a retire-in-old-shard / admit-in-new-shard handshake so no ghost copy
+	// survives. A worker referenced by a pending quoted batch is pinned: the
+	// location updates in place and the worker stays in its shard until the
+	// batch finalizes.
+	KindWorkerMove
 	// KindAcceptDecision is a requester's reply to a price quote (only
 	// meaningful when the engine runs with AutoDecide disabled).
 	KindAcceptDecision
 	// KindTick advances the engine clock to a period; crossing a window
 	// boundary closes and prices the open batch of every shard.
 	KindTick
+
+	// Internal kinds (Submit rejects anything above KindTick; only the
+	// router fabricates these).
+
+	// kindEvict removes a stale pool copy from a shard without lifecycle
+	// accounting: the retire-in-old-shard half of a duplicate online. A
+	// provisional assignment held by the evicted copy is repaired exactly
+	// like a worker going offline.
+	kindEvict
+	// kindAdmit inserts a migrated worker into its new shard's pool: the
+	// admit-in-new-shard half of the cross-shard migration handshake.
+	kindAdmit
 )
 
 // Event is one element of the engine's input stream. Use the constructors;
@@ -33,13 +54,31 @@ const (
 type Event struct {
 	Kind     Kind
 	Task     market.Task   // KindTaskArrival
-	Worker   market.Worker // KindWorkerOnline
-	WorkerID int           // KindWorkerOffline
+	Worker   market.Worker // KindWorkerOnline, kindAdmit
+	WorkerID int           // KindWorkerOffline, KindWorkerMove, kindEvict
+	Loc      geo.Point     // KindWorkerMove: the worker's new position
 	TaskID   int           // KindAcceptDecision
 	Accept   bool          // KindAcceptDecision
 	Period   int           // KindTick
 
-	at time.Time // stamped by Submit; decision latencies measure from here
+	at  time.Time  // stamped by Submit; decision latencies measure from here
+	mig *migration // router-owned cross-shard migration handshake
+}
+
+// migration carries the reply channel of the synchronous migrate-out
+// request the router sends to a worker's current shard. The shard answers
+// on reply before processing its next event; the router blocks until then,
+// so a migration is fully resolved (retired from the old shard, ready to
+// admit into the new one) before any later event routes — the ordering
+// guarantee that keeps sharded runs deterministic for a fixed input.
+type migration struct {
+	reply chan migrateReply
+}
+
+type migrateReply struct {
+	worker market.Worker // the migrating worker, location updated (ok && !pinned)
+	ok     bool          // the old shard still pooled the worker
+	pinned bool          // a pending quoted batch holds the worker: moved in place, not migrated
 }
 
 // TaskArrival returns a task-arrival event.
@@ -50,6 +89,12 @@ func WorkerOnline(w market.Worker) Event { return Event{Kind: KindWorkerOnline, 
 
 // WorkerOffline returns a worker-offline event for the given worker ID.
 func WorkerOffline(id int) Event { return Event{Kind: KindWorkerOffline, WorkerID: id} }
+
+// WorkerMove returns a worker-relocation event: the worker with the given ID
+// is now at to.
+func WorkerMove(id int, to geo.Point) Event {
+	return Event{Kind: KindWorkerMove, WorkerID: id, Loc: to}
+}
 
 // AcceptDecision returns a requester's accept/reject reply for a quoted task.
 func AcceptDecision(taskID int, accept bool) Event {

@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/sim"
+	"spatialcrowd/internal/spatial"
+)
+
+// collector gathers the decision stream from shard goroutines.
+type collector struct {
+	mu sync.Mutex
+	ds []Decision
+}
+
+func (c *collector) add(d Decision) {
+	c.mu.Lock()
+	c.ds = append(c.ds, d)
+	c.mu.Unlock()
+}
+
+func (c *collector) last() map[int]Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[int]Decision{}
+	for _, d := range c.ds {
+		if !d.Quoted {
+			out[d.TaskID] = d
+		}
+	}
+	return out
+}
+
+// TestGhostWorkerRegression pins the duplicate-online fix: a worker that
+// re-onlines from a cell owned by a different shard must be retired from
+// its old shard first. Before the fix the old shard kept a ghost copy that
+// could still serve tasks there, double-counting supply.
+//
+// Geometry (10x10 grid over [0,100], ModPartition(2)): cell ids are
+// row-major, so (5,5) is cell 0 (shard 0) and (15,5) is cell 1 (shard 1).
+func TestGhostWorkerRegression(t *testing.T) {
+	out := &collector{}
+	e, err := New(Config{
+		Grid:        geo.SquareGrid(100, 10),
+		Shards:      2,
+		NewStrategy: func(int) core.Strategy { return &fixedPrice{price: 2} },
+		AutoDecide:  true,
+		OnDecision:  out.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldLoc := geo.Point{X: 5, Y: 5}
+	newLoc := geo.Point{X: 15, Y: 5}
+	mustSubmit(t, e,
+		Tick(0),
+		WorkerOnline(market.Worker{ID: 1, Loc: oldLoc, Radius: 3, Duration: 100}),
+		// Duplicate online from a different cell/shard: the shard-0 copy
+		// must be evicted, not left behind.
+		WorkerOnline(market.Worker{ID: 1, Loc: newLoc, Radius: 3, Duration: 100}),
+		TaskArrival(market.Task{ID: 10, Origin: oldLoc, Distance: 2, Valuation: 5}),
+		TaskArrival(market.Task{ID: 11, Origin: newLoc, Distance: 2, Valuation: 5}),
+		Tick(1),
+	)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	last := out.last()
+	if d := last[10]; d.Served {
+		t.Fatalf("task at the stale location was served by a ghost copy: %+v", d)
+	}
+	if d := last[11]; !d.Served || d.WorkerID != 1 {
+		t.Fatalf("task at the fresh location not served: %+v", d)
+	}
+	st := e.Stats()
+	if st.Late != 1 || st.Lifecycle.DuplicateOnlines != 1 {
+		t.Fatalf("late=%d duplicates=%d, want 1/1", st.Late, st.Lifecycle.DuplicateOnlines)
+	}
+	if st.Served != 1 {
+		t.Fatalf("served=%d, want 1", st.Served)
+	}
+}
+
+// TestDuplicateOnlineDeterministic checks the same hazard inside one pool:
+// a duplicate online replaces the entry in place (never a second copy).
+func TestDuplicateOnlineDeterministic(t *testing.T) {
+	strat := &fixedPrice{price: 2}
+	e, err := New(Config{Grid: geo.SquareGrid(100, 10), Strategy: strat, AutoDecide: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, e,
+		Tick(0),
+		WorkerOnline(market.Worker{ID: 1, Loc: geo.Point{X: 5, Y: 5}, Radius: 3, Duration: 100}),
+		WorkerOnline(market.Worker{ID: 1, Loc: geo.Point{X: 55, Y: 55}, Radius: 3, Duration: 100}),
+		TaskArrival(market.Task{ID: 10, Origin: geo.Point{X: 5, Y: 5}, Distance: 2, Valuation: 5}),
+		TaskArrival(market.Task{ID: 11, Origin: geo.Point{X: 55, Y: 55}, Distance: 2, Valuation: 5}),
+		Tick(1),
+	)
+	st := e.Stats()
+	if st.Lifecycle.Pooled != 0 { // the one copy was consumed by task 11
+		t.Fatalf("pooled=%d after assignment, want 0 (no ghost copy)", st.Lifecycle.Pooled)
+	}
+	if st.Served != 1 || st.Late != 1 || st.Lifecycle.DuplicateOnlines != 1 {
+		t.Fatalf("served=%d late=%d dup=%d, want 1/1/1", st.Served, st.Late, st.Lifecycle.DuplicateOnlines)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerMoveDeterministic: an in-place move relocates supply — the
+// worker serves at the new position, not the old one.
+func TestWorkerMoveDeterministic(t *testing.T) {
+	e, err := New(Config{Grid: geo.SquareGrid(100, 10), Strategy: &fixedPrice{price: 2}, AutoDecide: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, e,
+		Tick(0),
+		WorkerOnline(market.Worker{ID: 1, Loc: geo.Point{X: 5, Y: 5}, Radius: 3, Duration: 100}),
+		WorkerMove(1, geo.Point{X: 55, Y: 55}),
+		TaskArrival(market.Task{ID: 10, Origin: geo.Point{X: 5, Y: 5}, Distance: 2, Valuation: 5}),
+		TaskArrival(market.Task{ID: 11, Origin: geo.Point{X: 55, Y: 55}, Distance: 2, Valuation: 5}),
+		Tick(1),
+		WorkerMove(99, geo.Point{X: 1, Y: 1}), // unknown worker: late
+	)
+	st := e.Stats()
+	if st.Served != 1 || st.Lifecycle.Moves != 1 {
+		t.Fatalf("served=%d moves=%d, want 1/1", st.Served, st.Lifecycle.Moves)
+	}
+	if st.Late != 1 {
+		t.Fatalf("late=%d, want 1 (move for unknown worker)", st.Late)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossShardMigration drives the retire-in-old / admit-in-new
+// handshake: after the move the worker supplies only its new shard.
+func TestCrossShardMigration(t *testing.T) {
+	out := &collector{}
+	e, err := New(Config{
+		Grid:        geo.SquareGrid(100, 10),
+		Shards:      2,
+		NewStrategy: func(int) core.Strategy { return &fixedPrice{price: 2} },
+		AutoDecide:  true,
+		OnDecision:  out.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldLoc := geo.Point{X: 5, Y: 5}  // cell 0, shard 0
+	newLoc := geo.Point{X: 15, Y: 5} // cell 1, shard 1
+	mustSubmit(t, e,
+		Tick(0),
+		WorkerOnline(market.Worker{ID: 1, Loc: oldLoc, Radius: 3, Duration: 100}),
+		WorkerMove(1, newLoc),
+		TaskArrival(market.Task{ID: 10, Origin: oldLoc, Distance: 2, Valuation: 5}),
+		TaskArrival(market.Task{ID: 11, Origin: newLoc, Distance: 2, Valuation: 5}),
+		Tick(1),
+	)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	last := out.last()
+	if d := last[10]; d.Served {
+		t.Fatalf("task in the departed shard served: %+v (ghost supply)", d)
+	}
+	if d := last[11]; !d.Served || d.WorkerID != 1 {
+		t.Fatalf("task in the destination shard not served: %+v", d)
+	}
+	st := e.Stats()
+	if st.Lifecycle.Migrations != 1 || st.Late != 0 {
+		t.Fatalf("migrations=%d late=%d, want 1/0", st.Lifecycle.Migrations, st.Late)
+	}
+}
+
+// TestQuotedHeldPinsMigration: a worker referenced by a pending quoted
+// batch must not migrate out from under its provisional assignment — the
+// move applies in place and the assignment survives finalization.
+func TestQuotedHeldPinsMigration(t *testing.T) {
+	out := &collector{}
+	e, err := New(Config{
+		Grid:        geo.SquareGrid(100, 10),
+		Shards:      2,
+		NewStrategy: func(int) core.Strategy { return &fixedPrice{price: 2} },
+		OnDecision:  out.add, // quoted mode
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := geo.Point{X: 5, Y: 5}     // shard 0
+	away := geo.Point{X: 15, Y: 5}   // shard 1
+	mustSubmit(t, e,
+		Tick(0),
+		WorkerOnline(market.Worker{ID: 1, Loc: loc, Radius: 3, Duration: 100}),
+		TaskArrival(market.Task{ID: 10, Origin: loc, Distance: 2}),
+		Tick(1),                  // quote the batch; worker 1 is now quoted-held
+		AcceptDecision(10, true), // provisional assignment to worker 1
+		WorkerMove(1, away),      // cross-shard move while held: must pin
+		Tick(2),                  // finalize
+	)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Lifecycle.PinnedMoves != 1 || st.Lifecycle.Migrations != 0 {
+		t.Fatalf("pinned=%d migrations=%d, want 1/0", st.Lifecycle.PinnedMoves, st.Lifecycle.Migrations)
+	}
+	if st.Served != 1 || st.Revenue != 4 {
+		t.Fatalf("served=%d revenue=%v, want the held assignment to survive (1, 4)", st.Served, st.Revenue)
+	}
+	if d := out.last()[10]; !d.Served || d.WorkerID != 1 {
+		t.Fatalf("final decision %+v, want served by worker 1", d)
+	}
+}
+
+// TestMobilityReplayExact is the mobility acceptance criterion: a
+// deterministic AutoDecide engine in cell-index-graph mode, replaying the
+// simulator's own recorded mobility trace, reproduces sim.Run's revenue
+// bit for bit — batch construction, adjacency order, tie breaks, pool
+// drift, and repositioning all align.
+func TestMobilityReplayExact(t *testing.T) {
+	in, model := testInstance(t)
+	basep := calibratedBase(t, in, model)
+	pb := basep.BasePrice()
+
+	mkStrat := func() core.Strategy {
+		m, err := core.NewMAPS(core.DefaultParams(), pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		basep.WarmStart(m.CellStats)
+		return m
+	}
+
+	var moves []market.Move
+	simCfg := sim.Config{
+		Params:          core.DefaultParams(),
+		RepositionSpeed: 2,
+		OnMove:          func(m market.Move) { moves = append(moves, m) },
+	}
+	simRes, err := sim.Run(in, mkStrat(), simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("simulator recorded no moves; the test needs mobility")
+	}
+
+	e, err := New(Config{Grid: in.Grid, Strategy: mkStrat(), AutoDecide: true,
+		CellIndexGraphs: true, OnDecision: func(Decision) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayMobility(e, in, moves); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	t.Logf("sim revenue %.6f served %d; engine revenue %.6f served %d; %d moves replayed",
+		simRes.Revenue, simRes.Served, st.Revenue, st.Served, len(moves))
+	if simRes.Revenue <= 0 {
+		t.Fatalf("sim revenue %v, want > 0", simRes.Revenue)
+	}
+	if st.Revenue != simRes.Revenue {
+		t.Fatalf("engine revenue %v != sim revenue %v (exact equality required)", st.Revenue, simRes.Revenue)
+	}
+	if st.Served != int64(simRes.Served) || st.Accepted != int64(simRes.Accepted) ||
+		st.TasksPriced != int64(simRes.Offered) {
+		t.Fatalf("funnel mismatch: engine %d/%d/%d, sim %d/%d/%d",
+			st.TasksPriced, st.Accepted, st.Served, simRes.Offered, simRes.Accepted, simRes.Served)
+	}
+}
+
+// TestPartitionerValidation: engine.New must reject partitioners that map
+// cells outside [0, Shards).
+func TestPartitionerValidation(t *testing.T) {
+	_, err := New(Config{
+		Grid:        geo.SquareGrid(100, 10),
+		Shards:      2,
+		NewStrategy: func(int) core.Strategy { return &fixedPrice{price: 2} },
+		Partitioner: badPartitioner{},
+	})
+	if err == nil {
+		t.Fatal("out-of-range partitioner accepted")
+	}
+	// A clamped BalancedPartition (more shards than cells) no longer
+	// matches Config.Shards and must be rejected rather than leaving
+	// shards without cells.
+	tiny := spatial.NewGridSpace(geo.SquareGrid(100, 2)) // 4 cells
+	p := spatial.BalancedPartition(tiny, 9)
+	if p.Shards() != 4 {
+		t.Fatalf("BalancedPartition(4 cells, 9 shards).Shards() = %d, want clamped to 4", p.Shards())
+	}
+	if _, err := New(Config{
+		Space:       tiny,
+		Shards:      9,
+		NewStrategy: func(int) core.Strategy { return &fixedPrice{price: 2} },
+		Partitioner: p,
+	}); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+}
+
+type badPartitioner struct{}
+
+func (badPartitioner) Shards() int          { return 2 }
+func (badPartitioner) ShardOf(cell int) int { return cell } // escapes [0,2) on cell 2+

@@ -14,11 +14,26 @@ import (
 // On a deterministic AutoDecide engine this is the streaming equivalent of
 // sim.Run on the same instance.
 func Replay(e *Engine, in *market.Instance) (int, error) {
+	return ReplayMobility(e, in, nil)
+}
+
+// ReplayMobility is Replay with a mobility trace interleaved: each move of
+// period t becomes a KindWorkerMove event submitted right after the Tick
+// that closes period t's batch — the same ordering as the offline
+// simulator, which repositions workers after a period's assignment. A
+// deterministic AutoDecide engine in cell-index-graph mode replaying
+// sim.Run's own recorded moves (sim.Config.OnMove) reproduces the
+// simulator's revenue exactly.
+func ReplayMobility(e *Engine, in *market.Instance, moves []market.Move) (int, error) {
 	if err := in.Validate(); err != nil {
 		return 0, err
 	}
 	tasksByPeriod := in.TasksByPeriod()
 	arrivals := in.WorkersByStart()
+	movesByPeriod := make(map[int][]market.Move, len(moves))
+	for _, m := range moves {
+		movesByPeriod[m.Period] = append(movesByPeriod[m.Period], m)
+	}
 	n := 0
 	submit := func(ev Event) error {
 		if err := e.Submit(ev); err != nil {
@@ -30,6 +45,11 @@ func Replay(e *Engine, in *market.Instance) (int, error) {
 	for t := 0; t < in.Periods; t++ {
 		if err := submit(Tick(t)); err != nil {
 			return n, err
+		}
+		for _, m := range movesByPeriod[t-1] {
+			if err := submit(WorkerMove(m.WorkerID, m.To)); err != nil {
+				return n, err
+			}
 		}
 		for _, w := range arrivals[t] {
 			if err := submit(WorkerOnline(w)); err != nil {
@@ -46,6 +66,15 @@ func Replay(e *Engine, in *market.Instance) (int, error) {
 	final := ((in.Periods + w - 1) / w) * w
 	if err := submit(Tick(final)); err != nil {
 		return n, err
+	}
+	// The last periods' moves land after the final batch closed; submit
+	// them anyway so lifecycle accounting sees the full trace.
+	for t := in.Periods - 1; t < final; t++ {
+		for _, m := range movesByPeriod[t] {
+			if err := submit(WorkerMove(m.WorkerID, m.To)); err != nil {
+				return n, err
+			}
+		}
 	}
 	return n, nil
 }

@@ -22,11 +22,12 @@ type shard struct {
 	window int
 
 	batchStart int // first period of the open window
+	lastTick   int // highest tick period seen (stamps lifecycle notes)
 
 	tasks   []market.Task   // the open window's tasks, in arrival order
 	pool    []market.Worker // online workers, in arrival order
 	pending *pendingBatch   // quoted batch awaiting requester decisions
-	retired []int           // worker IDs removed since the last flush to the router
+	notes   []lifecycleNote // pool transitions since the last flush to the router
 }
 
 // pendingBatch is a priced batch whose requesters have not all replied
@@ -55,7 +56,7 @@ func (s *shard) run() {
 		s.handle(ev)
 	}
 	s.finalizePending(time.Now())
-	s.flushRetired()
+	s.flushNotes()
 }
 
 func (s *shard) handle(ev Event) {
@@ -65,11 +66,129 @@ func (s *shard) handle(ev Event) {
 	case KindTaskArrival:
 		s.tasks = append(s.tasks, ev.Task)
 	case KindWorkerOnline:
-		s.pool = append(s.pool, ev.Worker)
+		s.workerOnline(ev.Worker)
 	case KindWorkerOffline:
 		s.workerOffline(ev.WorkerID, ev.at)
+	case KindWorkerMove:
+		s.workerMove(ev)
 	case KindAcceptDecision:
 		s.decide(ev)
+	case kindEvict:
+		s.evictStale(ev.WorkerID, ev.at)
+	case kindAdmit:
+		s.admit(ev.Worker)
+	}
+}
+
+// workerOnline admits a worker into the pool. A duplicate online (the ID is
+// already pooled) replaces the entry in place — never appends a second copy,
+// which would double-count supply within the shard. In deterministic mode
+// the shard also does the router's duplicate accounting.
+//
+// The duplicate scan is linear in the pool, like every by-ID pool
+// operation here: the pool discipline (arrival-ordered slice, positional
+// consume shared with the offline simulator) keeps batch construction and
+// replay equivalence simple, and steady-state pools stay small because
+// assignment and expiry continuously drain them. An ID index would only
+// pay off for adversarial streams that park huge idle pools in one shard.
+func (s *shard) workerOnline(w market.Worker) {
+	for i := range s.pool {
+		if s.pool[i].ID == w.ID {
+			s.pool[i] = w
+			if s.eng.det != nil {
+				s.eng.late.Add(1)
+				s.eng.lcDuplicates.Add(1)
+			}
+			return
+		}
+	}
+	s.pool = append(s.pool, w)
+	s.eng.pooled.Add(1)
+	s.eng.lcOnlines.Add(1)
+}
+
+// admit inserts a migrated worker (the admit half of the cross-shard
+// handshake). The ID cannot already be pooled here — the router resolved
+// the previous owner synchronously — but replace defensively if it is.
+func (s *shard) admit(w market.Worker) {
+	for i := range s.pool {
+		if s.pool[i].ID == w.ID {
+			s.pool[i] = w
+			return
+		}
+	}
+	s.pool = append(s.pool, w)
+	s.eng.pooled.Add(1)
+}
+
+// workerMove relocates a pooled worker. With ev.mig set this is the
+// migrate-out half of the cross-shard handshake: hand the worker record to
+// the router, unless a pending quoted batch still references the worker, in
+// which case the move applies in place and the worker stays pinned to this
+// shard. Without ev.mig it is an in-place move (deterministic mode, or the
+// new cell stayed in this shard); the pending batch's stable worker copies
+// are never touched — quoted prices and the matching were computed against
+// the old position and remain committed.
+func (s *shard) workerMove(ev Event) {
+	if ev.mig != nil {
+		for i := range s.pool {
+			if s.pool[i].ID != ev.WorkerID {
+				continue
+			}
+			if s.heldByPending(ev.WorkerID) {
+				s.pool[i].Loc = ev.Loc
+				ev.mig.reply <- migrateReply{ok: true, pinned: true}
+				return
+			}
+			w := s.pool[i]
+			w.Loc = ev.Loc
+			s.pool = append(s.pool[:i], s.pool[i+1:]...)
+			s.eng.pooled.Add(-1)
+			ev.mig.reply <- migrateReply{ok: true, worker: w}
+			return
+		}
+		ev.mig.reply <- migrateReply{}
+		return
+	}
+	for i := range s.pool {
+		if s.pool[i].ID == ev.WorkerID {
+			s.pool[i].Loc = ev.Loc
+			s.eng.lcMoves.Add(1)
+			return
+		}
+	}
+	// Unknown or already-settled worker (mirrors the router's accounting).
+	s.eng.late.Add(1)
+}
+
+// heldByPending reports whether the pending quoted batch still references
+// the worker (it appears on the batch's right side and has not been removed
+// from the matcher).
+func (s *shard) heldByPending(id int) bool {
+	pb := s.pending
+	if pb == nil {
+		return false
+	}
+	for r := range pb.workers {
+		if pb.workers[r].ID == id && !pb.inc.Removed(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// evictStale removes a ghost pool copy after a duplicate online re-homed
+// the worker to another shard. No late or lifecycle accounting — the router
+// already counted the duplicate — but a provisional assignment held by the
+// stale copy is repaired exactly like an offline.
+func (s *shard) evictStale(id int, at time.Time) {
+	s.repairPending(id, at)
+	for i := range s.pool {
+		if s.pool[i].ID == id {
+			s.pool = append(s.pool[:i], s.pool[i+1:]...)
+			s.eng.pooled.Add(-1)
+			return
+		}
 	}
 }
 
@@ -78,6 +197,9 @@ func (s *shard) handle(ev Event) {
 // fast-forwarded in one step so a sparse tick sequence costs O(1), not one
 // iteration per skipped window.
 func (s *shard) advanceTo(p int, at time.Time) {
+	if p > s.lastTick {
+		s.lastTick = p
+	}
 	for p >= s.batchStart+s.window {
 		if len(s.tasks) == 0 && s.pending == nil {
 			k := (p - s.batchStart) / s.window
@@ -88,17 +210,40 @@ func (s *shard) advanceTo(p int, at time.Time) {
 		s.closeBatch(s.batchStart+s.window-1, at)
 		s.batchStart += s.window
 	}
-	s.flushRetired()
+	s.flushNotes()
 }
 
-// flushRetired reports the workers removed since the last tick to the
-// router, which drops their routing entries (batch-grain, one lock).
-func (s *shard) flushRetired() {
-	if len(s.retired) == 0 {
+// flushNotes reports the pool transitions since the last tick to the
+// router, which folds them into the worker table (batch-grain, one lock).
+func (s *shard) flushNotes() {
+	if len(s.notes) == 0 {
 		return
 	}
-	s.eng.noteRetired(s.retired)
-	s.retired = s.retired[:0]
+	s.eng.noteLifecycle(s.notes)
+	s.notes = s.notes[:0]
+}
+
+// note queues one lifecycle note for the router, stamped with the tick
+// period this shard is processing. Deterministic mode keeps no table and
+// discards notes.
+func (s *shard) note(id int, kind noteKind) {
+	if s.eng.det != nil {
+		return
+	}
+	s.notes = append(s.notes, lifecycleNote{id: id, shard: s.id, period: s.lastTick, kind: kind})
+}
+
+// countRetire bumps the engine's per-reason retirement counter (identical
+// in both modes).
+func (s *shard) countRetire(why RetireReason) {
+	switch why {
+	case RetireAssigned:
+		s.eng.lcAssigned.Add(1)
+	case RetireExpired:
+		s.eng.lcExpired.Add(1)
+	case RetireOffline:
+		s.eng.lcOffline.Add(1)
+	}
 }
 
 // workerExpired reports whether w's availability has lapsed by period t.
@@ -118,9 +263,11 @@ func (s *shard) evictExpired(period int) {
 		if !workerExpired(w, period) {
 			live = append(live, w)
 		} else {
-			s.retired = append(s.retired, w.ID)
+			s.countRetire(RetireExpired)
+			s.note(w.ID, noteRetire)
 		}
 	}
+	s.eng.pooled.Add(int64(len(live) - len(s.pool)))
 	s.pool = live
 }
 
@@ -164,8 +311,12 @@ func (s *shard) closeBatch(period int, at time.Time) {
 		poolIdx = nil
 	}
 
-	ix := market.NewWorkerIndex(batchWorkers)
-	graph := ix.BuildGraph(tasks)
+	var graph *match.Graph
+	if s.eng.cfg.CellIndexGraphs {
+		graph = market.BuildBipartiteCellIndex(s.eng.space, tasks, batchWorkers)
+	} else {
+		graph = market.NewWorkerIndex(batchWorkers).BuildGraph(tasks)
+	}
 	ctx := core.BuildContext(s.eng.space, period, tasks, batchWorkers, graph)
 	prices := s.strat.Prices(ctx)
 	if len(prices) != len(tasks) {
@@ -255,6 +406,12 @@ func (s *shard) quote(ctx *core.PeriodContext, graph *match.Graph, prices []floa
 			Price: prices[i], Quoted: true, WorkerID: -1}
 	}
 	s.pending = pb
+	// The batch holds its workers until finalization: quoted-held pins them
+	// to this shard (migrations apply in place) and the router's lifecycle
+	// table reflects the hold.
+	for i := range batchWorkers {
+		s.note(batchWorkers[i].ID, noteHeld)
+	}
 	s.eng.quoted.Add(int64(n))
 	s.eng.emitAll(ds, at)
 }
@@ -326,6 +483,7 @@ func (s *shard) finalizePending(at time.Time) {
 	s.pending = nil
 	m := pb.inc.Matching()
 	var lapsed []Decision
+	matched := make([]bool, len(pb.workers))
 	acceptedCount, served, revenue := 0, 0, 0.0
 	for i, acc := range pb.accepted {
 		if !acc {
@@ -338,9 +496,17 @@ func (s *shard) finalizePending(at time.Time) {
 		}
 		acceptedCount++
 		if r := m.LeftTo[i]; r >= 0 {
+			matched[r] = true
 			served++
 			revenue += pb.ctx.Tasks[i].Distance * pb.prices[i]
-			s.removeWorkerID(pb.workers[r].ID)
+			s.removeWorkerID(pb.workers[r].ID, RetireAssigned)
+		}
+	}
+	// Release the batch's hold on every unconsumed worker: back to plain
+	// online in the lifecycle table, migratable again.
+	for r := range pb.workers {
+		if !matched[r] {
+			s.note(pb.workers[r].ID, noteReleased)
 		}
 	}
 	s.eng.noteBatch(s.id, acceptedCount, served, revenue)
@@ -348,47 +514,61 @@ func (s *shard) finalizePending(at time.Time) {
 	s.eng.emitAll(lapsed, at)
 }
 
-// workerOffline withdraws a worker from the pool and, if it holds a
-// provisional assignment in the pending batch, repairs the matching around
-// it: the orphaned task is re-augmented if any path remains, and a
-// superseding decision is emitted either way.
+// workerOffline withdraws a worker from the pool and repairs any
+// provisional assignment it holds in the pending batch.
 func (s *shard) workerOffline(id int, at time.Time) {
-	found := false
-	if pb := s.pending; pb != nil {
-		for r := range pb.workers {
-			if pb.workers[r].ID != id || pb.inc.Removed(r) {
-				continue
-			}
-			found = true
-			if freed := pb.inc.RemoveRight(r); freed >= 0 {
-				tv := pb.ctx.Tasks[freed]
-				d := Decision{TaskID: tv.ID, Period: pb.ctx.Period, Cell: tv.Cell,
-					Price: pb.prices[freed], Accepted: true, WorkerID: -1}
-				if s.augmentQuoted(pb, freed, at) {
-					r2 := pb.inc.Matching().LeftTo[freed]
-					d.Served = true
-					d.WorkerID = pb.workers[r2].ID
-					d.Revenue = tv.Distance * pb.prices[freed]
-				}
-				s.eng.emit(d, at)
-			}
-			break
+	found := s.repairPending(id, at)
+	if s.removeWorkerID(id, RetireOffline) || found {
+		return
+	}
+	// Unknown worker (mirrors the router's accounting, so Stats.Late
+	// behaves identically in deterministic and sharded mode).
+	s.eng.late.Add(1)
+}
+
+// repairPending withdraws the worker from the pending batch's matcher, if a
+// batch references it: the orphaned task is re-augmented if any path
+// remains, and a superseding decision is emitted either way. Reports
+// whether the batch referenced the worker.
+func (s *shard) repairPending(id int, at time.Time) bool {
+	pb := s.pending
+	if pb == nil {
+		return false
+	}
+	for r := range pb.workers {
+		if pb.workers[r].ID != id || pb.inc.Removed(r) {
+			continue
 		}
+		if freed := pb.inc.RemoveRight(r); freed >= 0 {
+			tv := pb.ctx.Tasks[freed]
+			d := Decision{TaskID: tv.ID, Period: pb.ctx.Period, Cell: tv.Cell,
+				Price: pb.prices[freed], Accepted: true, WorkerID: -1}
+			if s.augmentQuoted(pb, freed, at) {
+				r2 := pb.inc.Matching().LeftTo[freed]
+				d.Served = true
+				d.WorkerID = pb.workers[r2].ID
+				d.Revenue = tv.Distance * pb.prices[freed]
+			}
+			s.eng.emit(d, at)
+		}
+		return true
 	}
-	if !s.removeWorkerID(id) && !found {
-		// Unknown worker (mirrors the router's accounting, so Stats.Late
-		// behaves identically in deterministic and sharded mode).
-		s.eng.late.Add(1)
-	}
+	return false
 }
 
 // removeWorkerID drops the first pool entry with the given ID, preserving
-// arrival order, and reports whether the worker was pooled.
-func (s *shard) removeWorkerID(id int) bool {
+// arrival order, and reports whether the worker was pooled. Assignment and
+// expiry retirements are noted to the router; offline retirements are not
+// (the router initiated those and already dropped the entry).
+func (s *shard) removeWorkerID(id int, why RetireReason) bool {
 	for i := range s.pool {
 		if s.pool[i].ID == id {
 			s.pool = append(s.pool[:i], s.pool[i+1:]...)
-			s.retired = append(s.retired, id)
+			s.eng.pooled.Add(-1)
+			s.countRetire(why)
+			if why != RetireOffline {
+				s.note(id, noteRetire)
+			}
 			return true
 		}
 	}
@@ -411,8 +591,10 @@ func (s *shard) consume(positions []int) {
 		if !drop[i] {
 			live = append(live, s.pool[i])
 		} else {
-			s.retired = append(s.retired, s.pool[i].ID)
+			s.countRetire(RetireAssigned)
+			s.note(s.pool[i].ID, noteRetire)
 		}
 	}
+	s.eng.pooled.Add(int64(len(live) - len(s.pool)))
 	s.pool = live
 }

@@ -1,0 +1,338 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/spatial"
+)
+
+// The randomized soak harness: a seeded generator drives tens of thousands
+// of interleaved arrivals / onlines / moves / duplicate onlines / offlines
+// / decisions / ticks through the engine in quoted mode — deterministic and
+// sharded — and asserts the lifecycle invariants:
+//
+//   - no worker is pooled in two shards (no ghost supply)
+//   - the funnel holds: served <= accepted <= quoted <= priced... (quoted
+//     mode: served <= accepted <= quoted, priced == quoted)
+//   - shard revenues sum to the total, and the committed decision stream
+//     carries exactly the finalized revenue
+//   - the router's maps stay bounded by the live population / recent quotes
+//
+// Environment knobs (CI pins them for reproduction):
+//
+//	SOAK_SEED          generator seed (default 1)
+//	SOAK_EVENTS        approximate event budget (default 60000; -short 15000)
+//	SOAK_ARTIFACT_DIR  when set, a failing run writes soak-failure-seed.txt
+//	                   there so CI can upload it as an artifact
+
+func soakSeed() int64 {
+	if s := os.Getenv("SOAK_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 1
+}
+
+func soakEvents(t *testing.T) int {
+	if s := os.Getenv("SOAK_EVENTS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	if testing.Short() {
+		return 15_000
+	}
+	return 60_000
+}
+
+// reportFailureSeed persists the failing seed for artifact upload.
+func reportFailureSeed(t *testing.T, seed int64, events int) {
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		dir := os.Getenv("SOAK_ARTIFACT_DIR")
+		if dir == "" {
+			return
+		}
+		_ = os.MkdirAll(dir, 0o755)
+		body := fmt.Sprintf("test=%s\nSOAK_SEED=%d\nSOAK_EVENTS=%d\n", t.Name(), seed, events)
+		path := filepath.Join(dir, "soak-failure-seed.txt")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Logf("could not write failure seed artifact: %v", err)
+		} else {
+			t.Logf("failure seed written to %s", path)
+		}
+	})
+}
+
+func TestSoakRandomizedLifecycle(t *testing.T) {
+	seed, budget := soakSeed(), soakEvents(t)
+	for _, shards := range []int{0, 4} {
+		t.Run("shards="+strconv.Itoa(shards), func(t *testing.T) {
+			reportFailureSeed(t, seed, budget)
+			runSoak(t, seed, budget, shards)
+		})
+	}
+}
+
+func runSoak(t *testing.T, seed int64, budget, shards int) {
+	t.Helper()
+	grid := geo.SquareGrid(100, 8) // 64 cells
+	cfg := Config{Grid: grid, Shards: shards}
+	if shards > 0 {
+		cfg.Partitioner = spatial.BalancedPartition(spatial.NewGridSpace(grid), shards)
+		cfg.NewStrategy = func(int) core.Strategy {
+			s, _ := core.NewSDR(core.DefaultParams(), 2)
+			return s
+		}
+	} else {
+		s, _ := core.NewSDR(core.DefaultParams(), 2)
+		cfg.Strategy = s
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	randPoint := func() geo.Point {
+		return geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+
+	type liveWorker struct {
+		id    int
+		until int // first period the worker is expired
+	}
+	var (
+		online     []liveWorker // workers the harness believes are online (may include consumed)
+		openQuotes []int
+		nextWorker = 1
+		nextTask   = 1
+		submitted  = 0
+		maxPerTick = 0
+		everOnline = map[int]bool{}
+		last       = map[int]Decision{} // committed (non-quoted) pairing per task
+	)
+	sub := func(ev Event) {
+		if err := e.Submit(ev); err != nil {
+			t.Fatalf("event %d: %v", submitted+1, err)
+		}
+		submitted++
+	}
+	drain := func() {
+		for _, d := range e.Poll() {
+			if !d.Quoted {
+				last[d.TaskID] = d
+			}
+		}
+	}
+
+	// Event mix per period; tuned so ~budget events span a few thousand
+	// periods with constant churn.
+	period := 0
+	for submitted < budget {
+		sub(Tick(period))
+
+		// Answer ~70% of the previous window's quotes (random accepts).
+		for _, id := range openQuotes {
+			if rng.Float64() < 0.7 {
+				sub(AcceptDecision(id, rng.Float64() < 0.6))
+			}
+		}
+		openQuotes = openQuotes[:0]
+		drain()
+
+		// Forget workers whose availability lapsed, so most mobility events
+		// target genuinely live workers (consumed ones still slip through
+		// and must be absorbed as late).
+		live := online[:0]
+		for _, w := range online {
+			if w.until > period {
+				live = append(live, w)
+			}
+		}
+		online = live
+
+		tasksThisTick := 0
+		// Fresh onlines.
+		for i := rng.Intn(4); i > 0; i-- {
+			id := nextWorker
+			nextWorker++
+			everOnline[id] = true
+			dur := 2 + rng.Intn(12)
+			online = append(online, liveWorker{id: id, until: period + dur})
+			sub(WorkerOnline(market.Worker{
+				ID: id, Period: period, Loc: randPoint(),
+				Radius: 5 + rng.Float64()*10, Duration: dur,
+			}))
+		}
+		// Duplicate onlines: an already-known worker re-onlines from a new
+		// random location (often a different shard) — the ghost hazard.
+		if len(online) > 0 && rng.Float64() < 0.25 {
+			i := rng.Intn(len(online))
+			dur := 2 + rng.Intn(12)
+			online[i].until = period + dur
+			sub(WorkerOnline(market.Worker{
+				ID: online[i].id, Period: period, Loc: randPoint(),
+				Radius: 5 + rng.Float64()*10, Duration: dur,
+			}))
+		}
+		// Moves: known workers teleport to random points, which usually
+		// crosses cells and often crosses shards (migration handshake);
+		// moves landing on consumed workers must be absorbed as late.
+		for i := rng.Intn(3); i > 0; i-- {
+			if len(online) == 0 {
+				break
+			}
+			sub(WorkerMove(online[rng.Intn(len(online))].id, randPoint()))
+		}
+		// Unknown-worker noise.
+		if rng.Float64() < 0.05 {
+			sub(WorkerMove(-7, randPoint()))
+		}
+		// Task arrivals (their quotes are answerable next period).
+		for i := rng.Intn(5); i > 0; i-- {
+			id := nextTask
+			nextTask++
+			tasksThisTick++
+			sub(TaskArrival(market.Task{
+				ID: id, Period: period, Origin: randPoint(),
+				Distance: 0.5 + rng.Float64()*4,
+			}))
+			openQuotes = append(openQuotes, id)
+		}
+		// Offlines.
+		if len(online) > 0 && rng.Float64() < 0.2 {
+			i := rng.Intn(len(online))
+			sub(WorkerOffline(online[i].id))
+			online = append(online[:i], online[i+1:]...)
+		}
+		if tasksThisTick > maxPerTick {
+			maxPerTick = tasksThisTick
+		}
+		period++
+
+		// Mid-run coherence probes (cheap, snapshot-safe).
+		if period%512 == 0 {
+			st := e.Stats()
+			if st.Served > st.Accepted || st.Accepted > st.Quoted {
+				t.Fatalf("period %d: funnel violated: %+v", period, st)
+			}
+			if st.Lifecycle.Pooled < 0 {
+				t.Fatalf("period %d: negative pool gauge: %+v", period, st.Lifecycle)
+			}
+		}
+	}
+	sub(Tick(period))
+	sub(Tick(period + 1))
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+
+	st := e.Stats()
+	t.Logf("soak shards=%d seed=%d: %d events, %d periods, %d quoted, %d served, revenue %.1f, late %d, lifecycle %+v",
+		shards, seed, submitted, period, st.Quoted, st.Served, st.Revenue, st.Late, st.Lifecycle)
+
+	// Invariant: the funnel.
+	if st.TasksPriced == 0 || st.Quoted == 0 || st.Served == 0 {
+		t.Fatalf("degenerate run (nothing flowed): %+v", st)
+	}
+	if st.Served > st.Accepted || st.Accepted > st.Quoted || st.Quoted != st.TasksPriced {
+		t.Fatalf("funnel violated: %+v", st)
+	}
+
+	// Invariant: revenue conservation across shards.
+	sum := 0.0
+	for _, r := range st.ShardRevenue {
+		sum += r
+	}
+	if math.Abs(sum-st.Revenue) > 1e-6*(1+st.Revenue) {
+		t.Fatalf("shard revenues sum to %v, total %v", sum, st.Revenue)
+	}
+
+	// Invariant: no worker pooled in two shards, and every pooled worker is
+	// one the harness actually onlined. Safe to inspect after Close (shard
+	// goroutines have exited).
+	pools := [][]market.Worker{}
+	if e.det != nil {
+		pools = append(pools, e.det.pool)
+	}
+	for _, s := range e.shards {
+		pools = append(pools, s.pool)
+	}
+	seen := map[int]int{}
+	pooled := 0
+	for si, pool := range pools {
+		for _, w := range pool {
+			pooled++
+			if prev, dup := seen[w.ID]; dup {
+				t.Fatalf("worker %d pooled in shards %d and %d (ghost supply)", w.ID, prev, si)
+			}
+			seen[w.ID] = si
+			if !everOnline[w.ID] {
+				t.Fatalf("pool holds worker %d the harness never onlined", w.ID)
+			}
+		}
+	}
+	if int64(pooled) != st.Lifecycle.Pooled {
+		t.Fatalf("pool gauge %d != actual pooled %d", st.Lifecycle.Pooled, pooled)
+	}
+
+	// Invariant: router maps bounded. The lifecycle table tracks at most
+	// the workers that ever onlined and never more than onlines minus
+	// permanent retirements it has heard about; the quoted-task maps hold
+	// at most the last two generations of quotes.
+	if e.workers != nil {
+		if n := e.workers.size(); n > len(everOnline) {
+			t.Fatalf("worker table tracks %d workers, only %d ever onlined", n, len(everOnline))
+		}
+		if lc := st.Lifecycle; lc.TrackedHeld < 0 || lc.TrackedHeld > lc.Tracked {
+			t.Fatalf("held gauge out of range: held=%d tracked=%d", lc.TrackedHeld, lc.Tracked)
+		}
+		taskEntries := len(e.taskShardCur) + len(e.taskShardPrev)
+		if bound := 4 * (maxPerTick + 1) * e.Window(); taskEntries > bound {
+			t.Fatalf("task routing maps hold %d entries, bound %d (leak?)", taskEntries, bound)
+		}
+	}
+
+	// Invariant: the committed decision stream carries the finalized
+	// matching (deterministic mode: Poll saw every decision in order).
+	var served int64
+	decRevenue := 0.0
+	for _, d := range last {
+		if d.Served {
+			served++
+			decRevenue += d.Revenue
+		}
+	}
+	if served != st.Served {
+		t.Fatalf("decision stream commits %d served, stats say %d", served, st.Served)
+	}
+	if math.Abs(decRevenue-st.Revenue) > 1e-6*(1+st.Revenue) {
+		t.Fatalf("decision stream revenue %v, stats revenue %v", decRevenue, st.Revenue)
+	}
+
+	// Lifecycle ledger: pool admissions (fresh onlines; migration admits
+	// cancel against migration removals) equal current pool plus reasoned
+	// retirements plus stale-copy evictions, and the latter cannot exceed
+	// the duplicate onlines that caused them:
+	//   pooled + retired <= onlines <= pooled + retired + duplicates
+	lc := st.Lifecycle
+	retired := lc.RetiredAssigned + lc.RetiredExpired + lc.RetiredOffline
+	if lc.Onlines < lc.Pooled+retired || lc.Onlines > lc.Pooled+retired+lc.DuplicateOnlines {
+		t.Fatalf("lifecycle ledger broken: onlines=%d pooled=%d retired=%d dup=%d mig=%d",
+			lc.Onlines, lc.Pooled, retired, lc.DuplicateOnlines, lc.Migrations)
+	}
+}

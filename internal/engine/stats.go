@@ -31,9 +31,11 @@ type Stats struct {
 	// Batches counts closed non-empty pricing batches.
 	Batches int64
 	// Late counts events that referenced an unknown or already-settled
-	// target (duplicate decisions, offlines for unknown workers, replies
-	// after their batch finalized).
+	// target (duplicate decisions, offlines or moves for unknown workers,
+	// duplicate onlines, replies after their batch finalized).
 	Late int64
+	// Lifecycle aggregates the worker-lifecycle counters.
+	Lifecycle LifecycleStats
 	// P50Latency / P99Latency are online P² quantile estimates of decision
 	// latency: the time from the triggering event's Submit to the decision.
 	P50Latency time.Duration
@@ -42,6 +44,33 @@ type Stats struct {
 	// EventsPerSec is Events over Elapsed.
 	Elapsed      time.Duration
 	EventsPerSec float64
+}
+
+// LifecycleStats counts worker-lifecycle transitions (see lifecycle.go).
+type LifecycleStats struct {
+	// Onlines counts fresh pool admissions; DuplicateOnlines counts online
+	// events for an ID the engine was already tracking (the stale copy is
+	// retired first — no ghost supply — and the event also counts as Late).
+	Onlines          int64
+	DuplicateOnlines int64
+	// Moves counts in-place relocations (the new cell stayed in the same
+	// shard, or deterministic mode); Migrations counts completed cross-shard
+	// retire/admit handshakes; PinnedMoves counts cross-shard moves applied
+	// in place because a pending quoted batch held the worker.
+	Moves      int64
+	Migrations int64
+	PinnedMoves int64
+	// Retirements by reason.
+	RetiredAssigned int64
+	RetiredExpired  int64
+	RetiredOffline  int64
+	// Pooled is the current number of workers across shard pools; Tracked
+	// is the router lifecycle-table size and TrackedHeld how many of those
+	// entries are in the quoted-held state (both 0 in deterministic mode).
+	// All are bounded by the live population — the soak harness asserts it.
+	Pooled      int64
+	Tracked     int64
+	TrackedHeld int64
 }
 
 // Stats snapshots the engine's counters. Safe to call concurrently with
@@ -53,6 +82,19 @@ func (e *Engine) Stats() Stats {
 		Quoted:      e.quoted.Load(),
 		Batches:     e.batches.Load(),
 		Late:        e.late.Load(),
+		Lifecycle: LifecycleStats{
+			Onlines:          e.lcOnlines.Load(),
+			DuplicateOnlines: e.lcDuplicates.Load(),
+			Moves:            e.lcMoves.Load(),
+			Migrations:       e.lcMigrations.Load(),
+			PinnedMoves:      e.lcPinned.Load(),
+			RetiredAssigned:  e.lcAssigned.Load(),
+			RetiredExpired:   e.lcExpired.Load(),
+			RetiredOffline:   e.lcOffline.Load(),
+			Pooled:           e.pooled.Load(),
+			Tracked:          e.tracked.Load(),
+			TrackedHeld:      e.trackedHeld.Load(),
+		},
 	}
 	e.aggMu.Lock()
 	s.Accepted = e.accepted
@@ -106,6 +148,13 @@ func (s Stats) String() string {
 		b.WriteString("\n")
 	}
 	fmt.Fprintf(&b, "latency     p50=%v p99=%v\n", s.P50Latency.Round(time.Microsecond), s.P99Latency.Round(time.Microsecond))
+	lc := s.Lifecycle
+	fmt.Fprintf(&b, "workers     %d online (%d pooled now), %d assigned, %d expired, %d offline\n",
+		lc.Onlines, lc.Pooled, lc.RetiredAssigned, lc.RetiredExpired, lc.RetiredOffline)
+	if lc.Moves+lc.Migrations+lc.PinnedMoves+lc.DuplicateOnlines > 0 {
+		fmt.Fprintf(&b, "mobility    %d moves, %d migrations, %d pinned, %d duplicate onlines\n",
+			lc.Moves, lc.Migrations, lc.PinnedMoves, lc.DuplicateOnlines)
+	}
 	if s.Late > 0 {
 		fmt.Fprintf(&b, "late        %d\n", s.Late)
 	}

@@ -41,6 +41,18 @@ type Worker struct {
 	Duration int       // periods of availability; <= 0 means one period
 }
 
+// Move is one worker relocation: at the end of Period, the worker with ID
+// WorkerID stands at To. The simulator emits moves as its supply responds to
+// prices (sim.Config.OnMove), the mobility generator fabricates them
+// (workload.MobilityTrace), and the streaming engine replays them as
+// KindWorkerMove events — one shared trace format across the offline and
+// online paths.
+type Move struct {
+	Period   int
+	WorkerID int
+	To       geo.Point
+}
+
 // ActiveAt reports whether the worker is available in period t, assuming it
 // has not been consumed by an assignment.
 func (w Worker) ActiveAt(t int) bool {

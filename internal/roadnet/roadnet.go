@@ -176,12 +176,24 @@ func (nw *Network) VisitEdges(id NodeID, fn func(to NodeID, w float64)) {
 // shortest route is longer than bound, so range checks ("is b within r of
 // a?") never pay the full O(V log V) search on a dense network.
 func (nw *Network) BoundedShortestDist(a, b NodeID, bound float64) float64 {
+	d, _ := nw.BoundedShortestDistInfo(a, b, bound)
+	return d
+}
+
+// BoundedShortestDistInfo is BoundedShortestDist distinguishing the two
+// Unreachable outcomes: disconnected is true when the search exhausted a's
+// component without reaching b — no route exists at ANY distance — and
+// false when the search was merely cut off at bound (the route, if any, is
+// longer than bound). Callers caching negative range checks need the
+// distinction: disconnection is permanent and cacheable as an exact
+// Unreachable, a bound cutoff only establishes a lower bound.
+func (nw *Network) BoundedShortestDistInfo(a, b NodeID, bound float64) (d float64, disconnected bool) {
 	n := len(nw.coords)
 	if int(a) >= n || int(b) >= n || a < 0 || b < 0 || bound < 0 {
-		return Unreachable
+		return Unreachable, false
 	}
 	if a == b {
-		return 0
+		return 0, false
 	}
 	dist := make([]float64, n)
 	done := make([]bool, n)
@@ -193,14 +205,14 @@ func (nw *Network) BoundedShortestDist(a, b NodeID, bound float64) float64 {
 	for pq.Len() > 0 {
 		cur := heap.Pop(pq).(nodeEntry)
 		if cur.f > bound {
-			return Unreachable
+			return Unreachable, false
 		}
 		if done[cur.id] {
 			continue
 		}
 		done[cur.id] = true
 		if cur.id == b {
-			return dist[b]
+			return dist[b], false
 		}
 		for _, e := range nw.adj[cur.id] {
 			if done[e.to] {
@@ -212,7 +224,7 @@ func (nw *Network) BoundedShortestDist(a, b NodeID, bound float64) float64 {
 			}
 		}
 	}
-	return Unreachable
+	return Unreachable, true
 }
 
 // Nearest returns the network node closest to p (linear scan; networks here

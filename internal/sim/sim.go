@@ -35,6 +35,12 @@ type Config struct {
 	// anticipates ("higher unit price ... will motivate more drivers to move
 	// to these regions"). 0 disables repositioning.
 	RepositionSpeed float64
+	// OnMove, when set, receives every repositioning step as a
+	// market.Move — the mobility trace of the run. Replaying the instance
+	// through a deterministic engine with the same trace
+	// (engine.ReplayMobility) reproduces this run event for event, so
+	// replay equivalence covers mobility.
+	OnMove func(market.Move)
 }
 
 // PeriodStats is one period's slice of the simulation trace.
@@ -183,7 +189,7 @@ func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
 
 		if cfg.RepositionSpeed > 0 {
 			if gp, ok := strat.(core.GridPricer); ok {
-				repositionWorkers(space, active, gp.GridPrices(), cfg.RepositionSpeed)
+				repositionWorkers(space, t, active, gp.GridPrices(), cfg.RepositionSpeed, cfg.OnMove)
 			}
 		}
 
@@ -217,8 +223,11 @@ func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
 // repositionWorkers drifts each idle worker toward the center of the
 // best-priced cell among its own and neighboring cells, at the given speed.
 // A worker already in the locally best cell keeps converging to that cell's
-// center, putting it within reach of the cell's demand.
-func repositionWorkers(space spatial.Space, workers []market.Worker, gridPrices map[int]float64, speed float64) {
+// center, putting it within reach of the cell's demand. Every actual
+// relocation is reported through onMove (when set) as the move of the given
+// period, so the run's mobility can be replayed elsewhere.
+func repositionWorkers(space spatial.Space, period int, workers []market.Worker,
+	gridPrices map[int]float64, speed float64, onMove func(market.Move)) {
 	if len(gridPrices) == 0 {
 		return
 	}
@@ -240,9 +249,12 @@ func repositionWorkers(space spatial.Space, workers []market.Worker, gridPrices 
 		}
 		if d <= speed {
 			w.Loc = target
-			continue
+		} else {
+			w.Loc = w.Loc.Add(target.Add(w.Loc.Scale(-1)).Scale(speed / d))
 		}
-		w.Loc = w.Loc.Add(target.Add(w.Loc.Scale(-1)).Scale(speed / d))
+		if onMove != nil {
+			onMove(market.Move{Period: period, WorkerID: w.ID, To: w.Loc})
+		}
 	}
 }
 

@@ -359,7 +359,7 @@ func TestRepositioningDriftsTowardSurge(t *testing.T) {
 	workers := []market.Worker{{ID: 0, Loc: geo.Point{X: 2, Y: 5}, Radius: 0.5, Duration: 10}}
 	gridPrices := map[int]float64{0: 1.5, 1: 4.5}
 	for i := 0; i < 16; i++ {
-		repositionWorkers(in.Spatial(), workers, gridPrices, 1.0)
+		repositionWorkers(in.Spatial(), 0, workers, gridPrices, 1.0, nil)
 	}
 	target := grid.CellCenter(hot)
 	if workers[0].Loc.Dist(target) > 1e-9 {
@@ -367,7 +367,7 @@ func TestRepositioningDriftsTowardSurge(t *testing.T) {
 	}
 	// Zero speed: no movement.
 	workers = []market.Worker{{ID: 0, Loc: geo.Point{X: 2, Y: 5}}}
-	repositionWorkers(in.Spatial(), workers, gridPrices, 0) // speed<=0 guarded by caller; direct call moves 0
+	repositionWorkers(in.Spatial(), 0, workers, gridPrices, 0, nil) // speed<=0 guarded by caller; direct call moves 0
 	_ = workers
 }
 

@@ -1,0 +1,151 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/roadnet"
+)
+
+// twoIslands builds a road network with two disconnected components (no
+// edge crosses between them) and returns the space plus one point on each
+// island.
+func twoIslands(t *testing.T) (*RoadSpace, geo.Point, geo.Point) {
+	t.Helper()
+	nw := roadnet.New()
+	a0 := nw.AddNode(geo.Point{X: 0, Y: 0})
+	a1 := nw.AddNode(geo.Point{X: 10, Y: 0})
+	b0 := nw.AddNode(geo.Point{X: 100, Y: 0})
+	b1 := nw.AddNode(geo.Point{X: 110, Y: 0})
+	nw.AddRoad(a0, a1)
+	nw.AddRoad(b0, b1)
+	rs, err := NewRoadSpace(nw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs, geo.Point{X: 1, Y: 0}, geo.Point{X: 101, Y: 0}
+}
+
+// TestDisconnectedDistCached pins the A*-storm fix: the first Dist over a
+// disconnected pair pays the full-component search and caches the
+// unreachable sentinel; repeats are pure cache hits (misses stop growing).
+func TestDisconnectedDistCached(t *testing.T) {
+	rs, pa, pb := twoIslands(t)
+	first := rs.Dist(pa, pb)
+	if want := pa.Dist(pb); first != want {
+		t.Fatalf("disconnected Dist = %v, want Euclidean fallback %v", first, want)
+	}
+	_, misses := rs.CacheStats()
+	for i := 0; i < 10; i++ {
+		if got := rs.Dist(pa, pb); got != first {
+			t.Fatalf("repeat Dist = %v, want %v", got, first)
+		}
+	}
+	hits, missesAfter := rs.CacheStats()
+	if missesAfter != misses {
+		t.Fatalf("misses grew from %d to %d on repeated disconnected Dist (Inf not cached)", misses, missesAfter)
+	}
+	if hits < 10 {
+		t.Fatalf("hits = %d, want >= 10", hits)
+	}
+}
+
+// TestWithinDistNegativeCached: negative range checks must be cached too —
+// as the exact unreachable sentinel for disconnected pairs, and as a
+// distance lower bound when the bounded search was cut off at the radius.
+func TestWithinDistNegativeCached(t *testing.T) {
+	rs, pa, pb := twoIslands(t)
+	if rs.WithinDist(pa, pb, 500) {
+		t.Fatal("disconnected pair reported in range")
+	}
+	_, misses := rs.CacheStats()
+	for i := 0; i < 10; i++ {
+		if rs.WithinDist(pa, pb, 500) {
+			t.Fatal("disconnected pair reported in range")
+		}
+	}
+	if _, m := rs.CacheStats(); m != misses {
+		t.Fatalf("misses grew from %d to %d on repeated negative WithinDist", misses, m)
+	}
+
+	// Connected but out of range: the cutoff caches a lower bound that
+	// answers any repeat with the same or smaller radius.
+	nw := roadnet.New()
+	n0 := nw.AddNode(geo.Point{X: 0, Y: 0})
+	n1 := nw.AddNode(geo.Point{X: 50, Y: 0})
+	n2 := nw.AddNode(geo.Point{X: 100, Y: 0})
+	nw.AddRoad(n0, n1)
+	nw.AddRoad(n1, n2)
+	far, err := NewRoadSpace(nw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, qb := geo.Point{X: 0, Y: 0}, geo.Point{X: 100, Y: 0}
+	if far.WithinDist(qa, qb, 30) {
+		t.Fatal("pair 100 apart reported within 30")
+	}
+	_, misses = far.CacheStats()
+	for i := 0; i < 10; i++ {
+		if far.WithinDist(qa, qb, 30) || far.WithinDist(qa, qb, 20) {
+			t.Fatal("out-of-range pair reported in range")
+		}
+	}
+	if _, m := far.CacheStats(); m != misses {
+		t.Fatalf("misses grew from %d to %d on repeated bounded-negative WithinDist", misses, m)
+	}
+	// A wider radius must still find the true route: the lower bound is
+	// upgraded to the exact distance, and positives stay correct.
+	if !far.WithinDist(qa, qb, 150) {
+		t.Fatal("pair 100 apart not within 150 after negative caching")
+	}
+	if d := far.Dist(qa, qb); math.Abs(d-100) > 1e-9 {
+		t.Fatalf("Dist = %v, want 100", d)
+	}
+}
+
+// TestPartitionFuzz drives both partitioners over random cell/shard
+// combinations: every cell must land in [0, Shards()), and whenever there
+// are at least as many cells as shards no shard may be left empty.
+func TestPartitionFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 500; iter++ {
+		cols, rows := 1+rng.Intn(12), 1+rng.Intn(12)
+		space := NewGridSpace(geo.NewGrid(geo.Rect{Max: geo.Point{X: 100, Y: 100}}, cols, rows))
+		cells := space.NumCells()
+		asked := 1 + rng.Intn(80)
+		for name, p := range map[string]Partitioner{
+			"mod":      ModPartition(asked),
+			"balanced": BalancedPartition(space, asked),
+		} {
+			shards := p.Shards()
+			if name == "balanced" && shards != min(asked, cells) {
+				t.Fatalf("balanced(%d cells, %d shards).Shards() = %d, want clamp to %d",
+					cells, asked, shards, min(asked, cells))
+			}
+			owned := make([]int, shards)
+			for c := 0; c < cells; c++ {
+				si := p.ShardOf(c)
+				if si < 0 || si >= shards {
+					t.Fatalf("%s: cell %d of %d -> shard %d outside [0,%d)", name, c, cells, si, shards)
+				}
+				owned[si]++
+			}
+			if cells >= shards {
+				for si, n := range owned {
+					if n == 0 {
+						t.Fatalf("%s: shard %d/%d owns no cells (cells=%d asked=%d)", name, si, shards, cells, asked)
+					}
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -40,6 +40,13 @@ type blockPartition struct {
 // filling curve indexes — contiguous runs keep adjacent markets on one
 // shard, so the sharding approximation (a worker serves only its shard's
 // cells) cuts fewer viable task-worker edges than interleaving would.
+//
+// The shard count is clamped to the cell count: asking for more shards than
+// cells would leave some shards owning no cells at all (idle goroutines
+// that skew per-shard statistics) while others got a skewed interleaving.
+// Callers must therefore size the engine from the returned partitioner —
+// Config.Shards = Partitioner.Shards() — not from the requested count;
+// engine.New rejects a mismatch.
 func BalancedPartition(space Space, shards int) Partitioner {
 	if shards < 1 {
 		shards = 1
@@ -47,6 +54,9 @@ func BalancedPartition(space Space, shards int) Partitioner {
 	cells := space.NumCells()
 	if cells < 1 {
 		cells = 1
+	}
+	if shards > cells {
+		shards = cells
 	}
 	return blockPartition{shards: shards, cells: cells}
 }

@@ -43,9 +43,18 @@ type RoadSpace struct {
 	miss  int64
 }
 
+// cacheEntry is one cached node-pair distance fact. Exact entries (lb ==
+// false) carry the true network distance, including the +Inf unreachable
+// sentinel for disconnected pairs — without it every repeat query over a
+// fragmented map re-runs a full-component A* (the "A*-storm"). Lower-bound
+// entries (lb == true) record "the true distance exceeds d", the most a
+// bounded range search that was cut off at its radius can prove; they
+// answer any future WithinDist whose radius the bound already covers, and
+// are upgraded in place when a deeper search learns more.
 type cacheEntry struct {
 	key uint64
 	d   float64
+	lb  bool
 }
 
 // NewRoadSpace clusters the network's nodes into the given number of cells
@@ -220,8 +229,11 @@ func (rs *RoadSpace) Dist(a, b geo.Point) float64 {
 // WithinDist reports whether the road distance from a to b is at most r. On
 // a cache hit it is a map lookup; on a miss it runs a Dijkstra bounded at
 // the remaining radius, which abandons the search as soon as the frontier
-// passes r, staying off the full O(V log V) path. Negative results are not
-// cached (the true distance was not found).
+// passes r, staying off the full O(V log V) path. Negative results are
+// cached too: a disconnected pair becomes an exact unreachable sentinel, a
+// bound cutoff becomes a "distance exceeds r - walk" lower bound that
+// answers every repeat query with the same (or smaller) radius without
+// searching again.
 //
 // Note the market's worker range constraint itself stays the Euclidean disk
 // of Definition 4 — the paper's "Euclidean or road-network" choice applies
@@ -238,47 +250,73 @@ func (rs *RoadSpace) WithinDist(a, b geo.Point, r float64) bool {
 		return true
 	}
 	key := uint64(na)<<32 | uint64(uint32(nb))
-	if d, ok := rs.lookup(key); ok {
-		return walk+d <= r
+	if ent, ok := rs.lookup(key); ok {
+		if !ent.lb {
+			return walk+ent.d <= r
+		}
+		if walk+ent.d >= r { // true distance > ent.d >= r - walk: out of range
+			return false
+		}
+		// The cached bound is weaker than this query's radius: the search
+		// still runs, so this lookup avoided nothing — count it as a miss.
+		rs.demoteHit()
 	}
-	d := rs.net.BoundedShortestDist(na, nb, r-walk)
-	if math.IsInf(d, 1) {
+	d, disconnected := rs.net.BoundedShortestDistInfo(na, nb, r-walk)
+	if disconnected {
+		rs.put(key, math.Inf(1), false)
 		return false
 	}
-	rs.put(key, d)
+	if math.IsInf(d, 1) {
+		rs.put(key, r-walk, true)
+		return false
+	}
+	rs.put(key, d, false)
 	return true
 }
 
 // nodeDist returns the cached-or-computed network distance between nodes.
+// A lower-bound entry cannot answer an exact-distance query, so it falls
+// through to A* and is upgraded with the exact result (the unreachable
+// sentinel included).
 func (rs *RoadSpace) nodeDist(na, nb roadnet.NodeID) float64 {
 	key := uint64(na)<<32 | uint64(uint32(nb))
-	if d, ok := rs.lookup(key); ok {
-		return d
+	if ent, ok := rs.lookup(key); ok {
+		if !ent.lb {
+			return ent.d
+		}
+		rs.demoteHit() // a bound cannot answer an exact query; A* still runs
 	}
 	d, _ := rs.net.AStar(na, nb)
-	rs.put(key, d)
+	rs.put(key, d, false)
 	return d
 }
 
 // lookup consults the cache, promoting the entry to most-recent on a hit.
-func (rs *RoadSpace) lookup(key uint64) (float64, bool) {
+func (rs *RoadSpace) lookup(key uint64) (cacheEntry, bool) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	el, ok := rs.cache[key]
 	if !ok {
 		rs.miss++
-		return 0, false
+		return cacheEntry{}, false
 	}
 	rs.hits++
 	rs.lru.MoveToFront(el)
-	return el.Value.(cacheEntry).d, true
+	return el.Value.(cacheEntry), true
 }
 
-// put inserts one cache entry, evicting the least recently used when full.
-func (rs *RoadSpace) put(key uint64, d float64) {
+// put inserts or upgrades one cache entry, evicting the least recently used
+// when full. Exact facts are final; a lower bound is replaced by an exact
+// distance or by a larger lower bound, never the other way around.
+func (rs *RoadSpace) put(key uint64, d float64, lb bool) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	if _, ok := rs.cache[key]; ok {
+	if el, ok := rs.cache[key]; ok {
+		ent := el.Value.(cacheEntry)
+		if ent.lb && (!lb || d > ent.d) {
+			el.Value = cacheEntry{key: key, d: d, lb: lb}
+			rs.lru.MoveToFront(el)
+		}
 		return
 	}
 	if len(rs.cache) >= distCacheSize {
@@ -286,7 +324,17 @@ func (rs *RoadSpace) put(key uint64, d float64) {
 		rs.lru.Remove(oldest)
 		delete(rs.cache, oldest.Value.(cacheEntry).key)
 	}
-	rs.cache[key] = rs.lru.PushFront(cacheEntry{key: key, d: d})
+	rs.cache[key] = rs.lru.PushFront(cacheEntry{key: key, d: d, lb: lb})
+}
+
+// demoteHit reclassifies the most recent lookup hit as a miss: the entry
+// existed but was too weak to answer, so a search ran anyway. Keeps
+// CacheStats an honest measure of avoided searches.
+func (rs *RoadSpace) demoteHit() {
+	rs.mu.Lock()
+	rs.hits--
+	rs.miss++
+	rs.mu.Unlock()
 }
 
 // CacheStats reports shortest-path cache hits and misses since construction.

@@ -326,10 +326,10 @@ func TestDistCacheIsLRU(t *testing.T) {
 		t.Fatal(err)
 	}
 	hot := uint64(0)<<32 | uint64(uint32(1))
-	rs.put(hot, 1)
+	rs.put(hot, 1, false)
 	// Fill the cache past capacity, touching the hot entry along the way.
 	for i := 1; i < n-1; i++ {
-		rs.put(uint64(i)<<32|uint64(uint32(i+1)), 1)
+		rs.put(uint64(i)<<32|uint64(uint32(i+1)), 1, false)
 		if i%64 == 0 {
 			if _, ok := rs.lookup(hot); !ok {
 				t.Fatalf("hot entry evicted after %d inserts despite recent use", i)

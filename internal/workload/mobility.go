@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"spatialcrowd/internal/market"
+)
+
+// MobilityConfig parameterizes the synthetic mobility-trace generator.
+type MobilityConfig struct {
+	// MoveProb is the per-worker per-active-period probability of a
+	// relocation (default 0.2).
+	MoveProb float64
+	// Jitter displaces each move's target from the chosen cell center by up
+	// to this many distance units per axis (default 1), so moved workers do
+	// not pile up on exact centers.
+	Jitter float64
+	Seed   int64
+}
+
+// MobilityTrace fabricates a worker mobility trace for an instance: each
+// period, every worker whose availability covers the period relocates with
+// probability MoveProb to a jittered point near the center of a uniformly
+// chosen neighbor of its current cell (or its own cell), walking the
+// instance's spatial backend. Moves chain — a second move starts from the
+// first move's target — so the trace is a plausible random drift rather
+// than independent teleports.
+//
+// The trace ignores assignment (it cannot know which workers a pricing run
+// will consume); replaying it produces late moves for consumed workers,
+// which is exactly the churn the engine's lifecycle handling absorbs. For
+// the demand-following trace of a specific simulation run, record
+// sim.Config.OnMove instead.
+func MobilityTrace(in *market.Instance, cfg MobilityConfig) []market.Move {
+	if cfg.MoveProb <= 0 {
+		cfg.MoveProb = 0.2
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	space := in.Spatial()
+
+	// Iterate workers in ID order each period so the trace is independent
+	// of the instance's worker-slice ordering.
+	workers := append([]market.Worker(nil), in.Workers...)
+	sort.Slice(workers, func(i, j int) bool { return workers[i].ID < workers[j].ID })
+
+	var moves []market.Move
+	var buf []int
+	for t := 0; t < in.Periods; t++ {
+		for i := range workers {
+			w := &workers[i]
+			if !w.ActiveAt(t) || rng.Float64() >= cfg.MoveProb {
+				continue
+			}
+			cur := space.CellOf(w.Loc)
+			buf = append(buf[:0], cur)
+			buf = space.NeighborsAppend(cur, buf)
+			target := space.CellCenter(buf[rng.Intn(len(buf))])
+			target.X += (rng.Float64()*2 - 1) * cfg.Jitter
+			target.Y += (rng.Float64()*2 - 1) * cfg.Jitter
+			w.Loc = target
+			moves = append(moves, market.Move{Period: t, WorkerID: w.ID, To: target})
+		}
+	}
+	return moves
+}

@@ -341,3 +341,65 @@ func TestBeijingRoadGenerator(t *testing.T) {
 		t.Error("zero WorkerDuration should error")
 	}
 }
+
+// TestMobilityTrace pins the generator's contract: deterministic for a
+// seed, moves only reference workers of the instance within their active
+// window, targets stay inside the spatial partition, and consecutive moves
+// of one worker chain (each starts where the previous ended).
+func TestMobilityTrace(t *testing.T) {
+	in, _, err := Synthetic(SyntheticConfig{Workers: 300, Requests: 600, Periods: 40, GridSide: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MobilityConfig{MoveProb: 0.3, Seed: 9}
+	a := MobilityTrace(in, cfg)
+	b := MobilityTrace(in, cfg)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace not deterministic: %d vs %d moves", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace not deterministic at move %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	byID := map[int]market.Worker{}
+	for _, w := range in.Workers {
+		byID[w.ID] = w
+	}
+	space := in.Spatial()
+	lastPeriod := -1
+	for _, m := range a {
+		w, ok := byID[m.WorkerID]
+		if !ok {
+			t.Fatalf("move for unknown worker %d", m.WorkerID)
+		}
+		if !w.ActiveAt(m.Period) {
+			t.Fatalf("worker %d moved in period %d outside its window [%d,%d)",
+				m.WorkerID, m.Period, w.Period, w.Period+w.Duration)
+		}
+		if m.Period < lastPeriod {
+			t.Fatalf("trace not period-ordered: %d after %d", m.Period, lastPeriod)
+		}
+		lastPeriod = m.Period
+		if c := space.CellOf(m.To); c < 0 || c >= space.NumCells() {
+			t.Fatalf("move target %v maps to invalid cell %d", m.To, c)
+		}
+	}
+	// A different seed diverges.
+	c := MobilityTrace(in, MobilityConfig{MoveProb: 0.3, Seed: 10})
+	same := len(c) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}

@@ -68,6 +68,10 @@ type (
 	Task = market.Task
 	// Worker is a crowd worker with a location and range constraint.
 	Worker = market.Worker
+	// Move is one worker relocation (Period, WorkerID, To) — the shared
+	// mobility-trace format of the simulator (SimConfig.OnMove), the
+	// mobility generator (MobilityTrace), and the engine's replay.
+	Move = market.Move
 	// Instance is a complete market: spatial partition, periods, tasks, and
 	// workers.
 	Instance = market.Instance
@@ -153,6 +157,8 @@ type (
 	BeijingVariant = workload.BeijingVariant
 	// RoadConfig parameterizes the road-network Beijing-like workload.
 	RoadConfig = workload.RoadConfig
+	// MobilityConfig parameterizes the synthetic mobility-trace generator.
+	MobilityConfig = workload.MobilityConfig
 	// Runner executes the paper's experiments.
 	Runner = exp.Runner
 	// Series is one figure column: a parameter sweep across strategies.
@@ -169,8 +175,15 @@ type (
 	// EngineConfig parameterizes NewEngine (shards, window, strategy).
 	EngineConfig = engine.Config
 	// EngineStats is a snapshot of engine throughput, latency quantiles,
-	// and per-shard revenue.
+	// per-shard revenue, and worker-lifecycle counters.
 	EngineStats = engine.Stats
+	// EngineLifecycleStats counts worker-lifecycle transitions: onlines,
+	// duplicate onlines, moves, cross-shard migrations, pinned moves, and
+	// retirements by reason.
+	EngineLifecycleStats = engine.LifecycleStats
+	// WorkerState is one stage of the engine's per-worker state machine
+	// (offline, online, quoted-held, assigned, retired).
+	WorkerState = engine.WorkerState
 	// EngineEvent is one element of the engine's input stream.
 	EngineEvent = engine.Event
 	// Decision is one element of the engine's output stream: a quote,
@@ -189,6 +202,25 @@ func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 // engine this is the streaming equivalent of Run.
 func ReplayInstance(e *Engine, in *Instance) (int, error) { return engine.Replay(e, in) }
 
+// ReplayInstanceMobility is ReplayInstance with a mobility trace
+// interleaved: each move of period t becomes a worker-move event right
+// after the tick that closes period t's batch, matching the simulator's
+// reposition-after-assignment ordering. A deterministic AutoDecide engine
+// with EngineConfig.CellIndexGraphs set, replaying the moves Run recorded
+// through SimConfig.OnMove, reproduces Run's revenue exactly.
+func ReplayInstanceMobility(e *Engine, in *Instance, moves []Move) (int, error) {
+	return engine.ReplayMobility(e, in, moves)
+}
+
+// GenerateMobilityTrace fabricates a random per-period worker mobility
+// trace for an instance (workers drift toward neighboring cells), for
+// stress-testing the engine's move/migration path. For the
+// demand-following trace of a specific simulation, record SimConfig.OnMove
+// instead.
+func GenerateMobilityTrace(in *Instance, cfg MobilityConfig) []Move {
+	return workload.MobilityTrace(in, cfg)
+}
+
 // TaskArrivalEvent announces a new task to the engine.
 func TaskArrivalEvent(t Task) EngineEvent { return engine.TaskArrival(t) }
 
@@ -198,6 +230,11 @@ func WorkerOnlineEvent(w Worker) EngineEvent { return engine.WorkerOnline(w) }
 // WorkerOfflineEvent withdraws a worker by ID, repairing any provisional
 // assignment it holds.
 func WorkerOfflineEvent(id int) EngineEvent { return engine.WorkerOffline(id) }
+
+// WorkerMoveEvent relocates an online worker. Within a shard the pool entry
+// moves in place; across shards the engine migrates the worker with a
+// retire/admit handshake so no ghost supply survives.
+func WorkerMoveEvent(id int, to Point) EngineEvent { return engine.WorkerMove(id, to) }
 
 // AcceptDecisionEvent is a requester's reply to a price quote (engines
 // running with AutoDecide disabled).

@@ -262,3 +262,79 @@ func TestPublicEngineReplayMatchesRun(t *testing.T) {
 		t.Fatal("no decisions emitted")
 	}
 }
+
+// TestPublicMobilityReplay exercises the worker-lifecycle surface through
+// the facade: a generated mobility trace replays through a sharded engine
+// (moves, cross-shard migrations) with lifecycle accounting exposed in the
+// stats, and an explicit WorkerMoveEvent relocates supply.
+func TestPublicMobilityReplay(t *testing.T) {
+	cfg := spatialcrowd.SyntheticConfig{
+		Workers: 200, Requests: 1000, Periods: 50, GridSide: 4, Seed: 1,
+	}
+	instance, _, err := spatialcrowd.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := spatialcrowd.GenerateMobilityTrace(instance, spatialcrowd.MobilityConfig{MoveProb: 0.3, Seed: 5})
+	if len(moves) == 0 {
+		t.Fatal("empty mobility trace")
+	}
+	params := spatialcrowd.DefaultParams()
+	eng, err := spatialcrowd.NewEngine(spatialcrowd.EngineConfig{
+		Grid:   instance.Grid,
+		Shards: 2,
+		NewStrategy: func(int) spatialcrowd.Strategy {
+			s, _ := spatialcrowd.NewSDR(params, 2)
+			return s
+		},
+		AutoDecide: true,
+		OnDecision: func(spatialcrowd.Decision) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spatialcrowd.ReplayInstanceMobility(eng, instance, moves); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lc := eng.Stats().Lifecycle
+	if lc.Onlines == 0 || lc.Moves+lc.Migrations == 0 {
+		t.Fatalf("lifecycle counters flat: %+v", lc)
+	}
+
+	// Explicit move through the event API: supply follows the worker.
+	det, err := spatialcrowd.NewEngine(spatialcrowd.EngineConfig{
+		Grid: spatialcrowd.NewSquareGrid(100, 10), Strategy: mustSDR(t, params), AutoDecide: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []spatialcrowd.EngineEvent{
+		spatialcrowd.TickEvent(0),
+		spatialcrowd.WorkerOnlineEvent(spatialcrowd.Worker{ID: 1, Loc: spatialcrowd.Point{X: 5, Y: 5}, Radius: 3, Duration: 10}),
+		spatialcrowd.WorkerMoveEvent(1, spatialcrowd.Point{X: 55, Y: 55}),
+		spatialcrowd.TaskArrivalEvent(spatialcrowd.Task{ID: 1, Origin: spatialcrowd.Point{X: 55, Y: 55}, Distance: 2, Valuation: 100}),
+		spatialcrowd.TickEvent(1),
+	} {
+		if err := det.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := det.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := det.Stats(); st.Served != 1 {
+		t.Fatalf("moved worker did not serve the task at its new position: %+v", st)
+	}
+}
+
+func mustSDR(t *testing.T, p spatialcrowd.Params) spatialcrowd.Strategy {
+	t.Helper()
+	s, err := spatialcrowd.NewSDR(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
