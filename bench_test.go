@@ -284,7 +284,9 @@ func BenchmarkMAPSPricesOnePeriod(b *testing.B) {
 }
 
 // BenchmarkBipartiteBuild measures indexed graph construction, the hot path
-// of every simulated period.
+// of every simulated period: the cell-index builder with and without the
+// reusable scratch arena, and the k-d tree builder with a reused index and
+// graph (the streaming engine's steady-state construction).
 func BenchmarkBipartiteBuild(b *testing.B) {
 	rng := rand.New(rand.NewSource(11))
 	in := &market.Instance{Grid: geo.SquareGrid(100, 10), Periods: 1}
@@ -299,10 +301,36 @@ func BenchmarkBipartiteBuild(b *testing.B) {
 			Loc:    geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
 			Radius: 10}
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		market.BuildBipartiteIndexed(in, tasks, workers)
-	}
+	b.Run("cell-fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			market.BuildBipartiteIndexed(in, tasks, workers)
+		}
+	})
+	b.Run("cell-scratch", func(b *testing.B) {
+		sc := &market.CellIndexScratch{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			market.BuildBipartiteCellIndexScratch(in.Spatial(), tasks, workers, sc)
+		}
+	})
+	b.Run("kd-fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			market.BuildBipartiteKD(tasks, workers)
+		}
+	})
+	b.Run("kd-scratch", func(b *testing.B) {
+		ix := market.NewWorkerIndex(workers)
+		g := match.NewGraph(0, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.Reindex(workers)
+			ix.BuildGraphInto(tasks, g)
+		}
+	})
 }
 
 // BenchmarkPossibleWorldExact measures the exact expected-revenue

@@ -1,0 +1,202 @@
+// Command benchgate turns `go test -bench` output into a committed JSON
+// baseline and gates CI on it: parse a bench run, optionally write the
+// parsed results as BENCH_engine.json, and optionally compare them against a
+// committed baseline, failing (exit 1) when a benchmark regressed its
+// throughput by more than the allowed fraction.
+//
+// Usage:
+//
+//	go test -run xxx -bench EngineThroughput -benchmem . | \
+//	    go run ./cmd/benchgate -baseline BENCH_engine.json -max-regress 0.20
+//	go test -run xxx -bench . -benchmem . | \
+//	    go run ./cmd/benchgate -write BENCH_engine.json
+//
+// Benchmark names are normalized by stripping the -GOMAXPROCS suffix, so a
+// baseline recorded on one core count gates runs on another. ns/op is the
+// gated throughput measure (ops/s is its reciprocal); allocs/op and B/op are
+// recorded in the baseline so the allocation trajectory is versioned, and
+// allocs/op regressions are reported as warnings without failing the gate
+// (they are machine-independent but workload-version dependent).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the committed BENCH_engine.json schema.
+type Baseline struct {
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
+}
+
+var maxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	input := flag.String("input", "-", "bench output file (- for stdin)")
+	baselinePath := flag.String("baseline", "", "committed baseline JSON to gate against")
+	writePath := flag.String("write", "", "write parsed results as a new baseline JSON")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional throughput regression")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	for _, res := range results {
+		fmt.Printf("parsed %-55s %12.0f ns/op %10.0f allocs/op\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp)
+	}
+
+	if *writePath != "" {
+		out := Baseline{
+			Note:    "committed perf baseline; regenerate with: go test -run xxx -bench 'EngineThroughput|ShardBatch|BipartiteBuild' -benchmem -benchtime 5x ./... | go run ./cmd/benchgate -write BENCH_engine.json",
+			Results: results,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*writePath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d results)\n", *writePath, len(results))
+	}
+
+	if *baselinePath == "" {
+		return
+	}
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *baselinePath, err))
+	}
+	baseByName := make(map[string]Result, len(base.Results))
+	for _, res := range base.Results {
+		baseByName[res.Name] = res
+	}
+
+	failed := false
+	compared := 0
+	for _, cur := range results {
+		old, ok := baseByName[cur.Name]
+		if !ok || old.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		// Throughput regression: ops/s dropping by fraction f means ns/op
+		// growing to old/(1-f).
+		limit := old.NsPerOp / (1 - *maxRegress)
+		change := cur.NsPerOp/old.NsPerOp - 1
+		status := "ok"
+		if cur.NsPerOp > limit {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-4s %-55s ns/op %12.0f -> %12.0f (%+.1f%%, limit %+.1f%%)\n",
+			status, cur.Name, old.NsPerOp, cur.NsPerOp, change*100,
+			(limit/old.NsPerOp-1)*100)
+		if old.AllocsPerOp > 0 && cur.AllocsPerOp > old.AllocsPerOp*1.05 {
+			fmt.Printf("warn %-55s allocs/op %10.0f -> %10.0f (not gated)\n",
+				cur.Name, old.AllocsPerOp, cur.AllocsPerOp)
+		}
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no benchmarks in common between run and baseline %s", *baselinePath))
+	}
+	if failed {
+		fmt.Println("benchgate: throughput regression beyond the allowed budget")
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within the %.0f%% regression budget\n",
+		compared, *maxRegress*100)
+}
+
+// parse extracts benchmark result lines from go test -bench output.
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		res := Result{
+			Name:       maxprocsSuffix.ReplaceAllString(fields[0], ""),
+			Iterations: iters,
+			NsPerOp:    ns,
+		}
+		// Remaining fields come in (value, unit) pairs: -benchmem's B/op and
+		// allocs/op plus any b.ReportMetric units.
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[fields[i+1]] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/market"
+)
+
+// TestBuildContextScratchMatchesFresh drives the reusable context builder
+// through many windows of varying shape and checks each context equals a
+// freshly built one: same views, same per-cell grouping (content and task
+// order), and crucially no stale cells leaking from earlier windows.
+func TestBuildContextScratchMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	grid := geo.SquareGrid(100, 6)
+	sc := &ContextScratch{}
+	for round := 0; round < 60; round++ {
+		nt := rng.Intn(50)
+		tasks := make([]market.Task, nt)
+		for i := range tasks {
+			o := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			d := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			tasks[i] = market.Task{ID: round*1000 + i, Origin: o, Dest: d, Distance: o.Dist(d)}
+		}
+		workers := make([]market.Worker, rng.Intn(30))
+		for i := range workers {
+			workers[i] = market.Worker{ID: i, Loc: geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}, Radius: 10}
+		}
+		graph := market.BuildBipartite(tasks, workers)
+		got := BuildContextScratch(grid, round, tasks, workers, graph, sc)
+		want := BuildContext(grid, round, tasks, workers, graph)
+		if got.Period != want.Period || len(got.Tasks) != len(want.Tasks) {
+			t.Fatalf("round %d: context shape diverges", round)
+		}
+		for i := range want.Tasks {
+			if got.Tasks[i] != want.Tasks[i] {
+				t.Fatalf("round %d task %d: view %+v, want %+v", round, i, got.Tasks[i], want.Tasks[i])
+			}
+		}
+		if len(got.Cells) != len(want.Cells) {
+			t.Fatalf("round %d: %d cells (stale leak?), want %d: %v vs %v",
+				round, len(got.Cells), len(want.Cells), got.Cells, want.Cells)
+		}
+		for cell, wIdx := range want.Cells {
+			gIdx, ok := got.Cells[cell]
+			if !ok || len(gIdx) != len(wIdx) {
+				t.Fatalf("round %d cell %d: grouping %v, want %v", round, cell, gIdx, wIdx)
+			}
+			for i := range wIdx {
+				if gIdx[i] != wIdx[i] {
+					t.Fatalf("round %d cell %d: task order %v, want %v", round, cell, gIdx, wIdx)
+				}
+			}
+		}
+	}
+}

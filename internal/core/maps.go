@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -45,6 +44,17 @@ type MAPS struct {
 	LastSupply map[int]int
 	// LastPrices exposes the final per-grid prices of the last Prices call.
 	LastPrices map[int]float64
+
+	// Per-period working state, reused across Prices calls (strategies
+	// serve one goroutine; the engine gives each shard a private instance).
+	// The greedy loop's structures — pre-matching, proposal heap, cell
+	// rounds — allocate nothing in steady state; the returned price slice
+	// and the exported LastSupply/LastPrices maps are still fresh per call,
+	// because callers may retain them across periods.
+	pre       preMatcher
+	h         deltaHeap
+	rounds    map[int]*cellRound
+	roundFree []*cellRound
 }
 
 // NewMAPS builds a MAPS strategy around a base price (typically
@@ -99,19 +109,52 @@ type heapEntry struct {
 	delta float64 // +Inf on the initialization round
 }
 
-// deltaHeap is the max-heap H keyed by Δ^g.
+// deltaHeap is the max-heap H keyed by Δ^g. It is a typed implementation of
+// the container/heap sift rules (identical element movement, so pop order —
+// including between equal keys — matches what container/heap would do)
+// without the interface boxing that allocates one heap.Push per proposal.
 type deltaHeap []heapEntry
 
-func (h deltaHeap) Len() int            { return len(h) }
-func (h deltaHeap) Less(i, j int) bool  { return h[i].delta > h[j].delta }
-func (h deltaHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *deltaHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
-func (h *deltaHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h deltaHeap) less(i, j int) bool { return h[i].delta > h[j].delta }
+
+func (h *deltaHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *deltaHeap) pop() heapEntry {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift the new root down over the first n elements.
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s.less(j2, j1) {
+			j = j2
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	e := s[n]
+	*h = s[:n]
+	return e
 }
 
 // cellRound is MAPS's per-period working state for one grid cell.
@@ -124,6 +167,19 @@ type cellRound struct {
 	price     float64 // current tentative price
 	lval      float64 // L^g at the committed (n, price)
 	finalized bool
+}
+
+// takeRound pops a recycled cellRound (or allocates the pool's first), reset
+// to zero state except for the reusable prefix arena.
+func (m *MAPS) takeRound() *cellRound {
+	n := len(m.roundFree)
+	if n == 0 {
+		return &cellRound{}
+	}
+	cr := m.roundFree[n-1]
+	m.roundFree = m.roundFree[:n-1]
+	*cr = cellRound{prefix: cr.prefix[:0]}
+	return cr
 }
 
 // topDistSum returns D = Σ of the top-n distances.
@@ -147,15 +203,33 @@ func (m *MAPS) Prices(ctx *PeriodContext) []float64 {
 	}
 
 	// Pre-matching M′ over the period's bipartite graph (line 1–2).
-	pre := newPreMatcher(ctx)
+	m.pre.reset(ctx)
+	pre := &m.pre
 
-	rounds := make(map[int]*cellRound, len(ctx.Cells))
-	h := &deltaHeap{}
+	// Recycle the previous period's working rounds and heap.
+	rounds := m.rounds
+	if rounds == nil {
+		rounds = make(map[int]*cellRound, len(ctx.Cells))
+		m.rounds = rounds
+	}
+	for c, cr := range rounds {
+		m.roundFree = append(m.roundFree, cr)
+		delete(rounds, c)
+	}
+	h := &m.h
+	*h = (*h)[:0]
 	// Lines 3–4: one entry per grid with Δ = ∞ so every grid is evaluated
 	// once before any admission.
 	for cell, tasks := range ctx.Cells {
-		cr := &cellRound{cellID: cell, tasks: tasks, price: m.basePrice}
-		cr.prefix = make([]float64, len(tasks))
+		cr := m.takeRound()
+		cr.cellID = cell
+		cr.tasks = tasks
+		cr.price = m.basePrice
+		if cap(cr.prefix) >= len(tasks) {
+			cr.prefix = cr.prefix[:len(tasks)]
+		} else {
+			cr.prefix = make([]float64, len(tasks))
+		}
 		run := 0.0
 		for i, ti := range tasks {
 			d := ctx.Tasks[ti].Distance
@@ -164,12 +238,12 @@ func (m *MAPS) Prices(ctx *PeriodContext) []float64 {
 		}
 		cr.sumDist = run
 		rounds[cell] = cr
-		heap.Push(h, heapEntry{cell: cell, nNew: 0, pNew: m.basePrice, delta: math.Inf(1)})
+		h.push(heapEntry{cell: cell, nNew: 0, pNew: m.basePrice, delta: math.Inf(1)})
 	}
 
 	// Lines 5–21: the greedy supply-distribution loop.
-	for h.Len() > 0 {
-		e := heap.Pop(h).(heapEntry)
+	for len(*h) > 0 {
+		e := h.pop()
 		cr := rounds[e.cell]
 		if cr.finalized {
 			continue
@@ -211,17 +285,17 @@ func (m *MAPS) Prices(ctx *PeriodContext) []float64 {
 				// realized assignment.
 				price, _ = m.maximizer(cr, 1)
 			}
-			heap.Push(h, heapEntry{cell: e.cell, nNew: cr.n, pNew: price, delta: 0})
+			h.push(heapEntry{cell: e.cell, nNew: cr.n, pNew: price, delta: 0})
 			continue
 		}
 		nNext := cr.n + 1
 		pNext, lNext := m.maximizer(cr, nNext)
 		delta := lNext - cr.lval
 		if delta <= 1e-12 {
-			heap.Push(h, heapEntry{cell: e.cell, nNew: cr.n, pNew: pNext, delta: 0})
+			h.push(heapEntry{cell: e.cell, nNew: cr.n, pNew: pNext, delta: 0})
 			continue
 		}
-		heap.Push(h, heapEntry{cell: e.cell, nNew: nNext, pNew: pNext, delta: delta})
+		h.push(heapEntry{cell: e.cell, nNew: nNext, pNew: pNext, delta: delta})
 	}
 
 	// Emit per-task prices; task-free grids never appear in ctx.Cells and

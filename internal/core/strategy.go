@@ -117,23 +117,69 @@ func (p Params) Clamp(price float64) float64 {
 // groups tasks per cell of the spatial backend with distances sorted
 // descending. A geo.Grid passes directly as the space.
 func BuildContext(space spatial.Space, period int, tasks []market.Task, workers []market.Worker, graph *match.Graph) *PeriodContext {
-	views := make([]TaskView, len(tasks))
-	cells := make(map[int][]int)
+	return BuildContextScratch(space, period, tasks, workers, graph, nil)
+}
+
+// ContextScratch is reusable working state for BuildContextScratch: the
+// context, its task-view array, and the per-cell grouping map survive across
+// pricing windows, so a caller building one context per window allocates
+// nothing in steady state. One instance serves one goroutine; the returned
+// context is valid until the scratch's next use.
+type ContextScratch struct {
+	ctx   PeriodContext
+	views []TaskView
+	cells map[int][]int
+	used  []int   // cells grouped this window (live map keys)
+	free  [][]int // retired per-cell index slices, recycled next window
+}
+
+// BuildContextScratch is BuildContext with caller-owned scratch state. A nil
+// scratch allocates fresh state (exactly BuildContext). Grouping content is
+// identical either way; only map identity differs.
+func BuildContextScratch(space spatial.Space, period int, tasks []market.Task, workers []market.Worker, graph *match.Graph, sc *ContextScratch) *PeriodContext {
+	if sc == nil {
+		sc = &ContextScratch{}
+	}
+	if cap(sc.views) >= len(tasks) {
+		sc.views = sc.views[:len(tasks)]
+	} else {
+		sc.views = make([]TaskView, len(tasks))
+	}
+	if sc.cells == nil {
+		sc.cells = make(map[int][]int)
+	}
+	// Strategies iterate ctx.Cells, so stale keys must truly leave the map;
+	// their index slices are parked on a free list for the new grouping.
+	for _, c := range sc.used {
+		sc.free = append(sc.free, sc.cells[c][:0])
+		delete(sc.cells, c)
+	}
+	sc.used = sc.used[:0]
+	views, cells := sc.views, sc.cells
 	for i, t := range tasks {
 		cell := space.CellOf(t.Origin)
 		views[i] = TaskView{
 			ID: t.ID, Origin: t.Origin, Dest: t.Dest,
 			Distance: t.Distance, Cell: cell,
 		}
-		cells[cell] = append(cells[cell], i)
+		idx, ok := cells[cell]
+		if !ok {
+			sc.used = append(sc.used, cell)
+			if n := len(sc.free); n > 0 {
+				idx = sc.free[n-1]
+				sc.free = sc.free[:n-1]
+			}
+		}
+		cells[cell] = append(idx, i)
 	}
-	for _, idx := range cells {
-		sortByDistanceDesc(views, idx)
+	for _, c := range sc.used {
+		sortByDistanceDesc(views, cells[c])
 	}
-	return &PeriodContext{
+	sc.ctx = PeriodContext{
 		Period: period, Space: space, Tasks: views, Workers: workers,
 		Graph: graph, Cells: cells,
 	}
+	return &sc.ctx
 }
 
 // sortByDistanceDesc sorts idx (task indices) by views' distance descending;

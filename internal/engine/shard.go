@@ -14,6 +14,13 @@ import (
 // private strategy instance. In concurrent mode each shard is driven by its
 // own goroutine reading from its channel, so none of this state needs locks;
 // in deterministic mode a single shard is driven inline by Submit.
+//
+// Pool discipline: the pool is an unordered set with O(1) by-ID operations
+// (swap-delete plus the poolPos index), and every entry carries the arrival
+// sequence number poolSeq. Batch construction — the only consumer that
+// depends on order, because right-vertex order steers matching tie breaks
+// and therefore replay equivalence — restores arrival order by sorting on
+// the sequence numbers at batch-build time (see sortPoolByArrival).
 type shard struct {
 	id     int
 	eng    *Engine
@@ -25,9 +32,38 @@ type shard struct {
 	lastTick   int // highest tick period seen (stamps lifecycle notes)
 
 	tasks   []market.Task   // the open window's tasks, in arrival order
-	pool    []market.Worker // online workers, in arrival order
+	pool    []market.Worker // online workers (unordered; see poolSeq)
+	poolSeq []uint64        // arrival sequence per pool entry (parallel to pool)
+	poolPos map[int]int     // worker ID -> pool index
+	nextSeq uint64          // next arrival sequence number
+
 	pending *pendingBatch   // quoted batch awaiting requester decisions
 	notes   []lifecycleNote // pool transitions since the last flush to the router
+
+	scratch batchScratch // per-batch arenas, reused every window
+}
+
+// batchScratch is the shard's reusable per-batch working state. One pricing
+// window fully consumes a batch before the next window rebuilds it (a quoted
+// batch is finalized by the next closeBatch before any arena is reused), so
+// every arena below is recycled window over window and the steady-state hot
+// path allocates nothing beyond what strategies return.
+type batchScratch struct {
+	ix      *market.WorkerIndex      // k-d candidate index (kd mode), rebuilt in place
+	kdGraph *match.Graph             // bipartite graph arena (kd mode)
+	cellIx  market.CellIndexScratch  // graph builder arena (cell-index mode)
+	ctx     core.ContextScratch      // PeriodContext arena
+	mw      match.MaxWeightScratch   // greedy assignment arena (AutoDecide)
+	inc     *match.Incremental       // quoted-batch matcher, reset per quote
+	pb      pendingBatch             // quoted-batch shell, reused per quote
+	batchW  []market.Worker          // filtered/stable batch worker copies
+	poolIdx []int                    // batch index -> pool position (AutoDecide filter)
+	acc     []bool                   // per-task accept flags (AutoDecide)
+	weights []float64                // per-task matching weights (AutoDecide)
+	cons    []int                    // consumed pool positions (AutoDecide)
+	ds      []Decision               // decision batch buffer (copied on emit)
+	matched []bool                   // per-right matched flags (finalizePending)
+	drop    []bool                   // per-position drop marks (consume)
 }
 
 // pendingBatch is a priced batch whose requesters have not all replied
@@ -45,7 +81,8 @@ type pendingBatch struct {
 }
 
 func newShard(id int, eng *Engine, strat core.Strategy) *shard {
-	return &shard{id: id, eng: eng, strat: strat, window: eng.cfg.Window}
+	return &shard{id: id, eng: eng, strat: strat, window: eng.cfg.Window,
+		poolPos: make(map[int]int)}
 }
 
 // run drains the shard's channel until the router closes it, then finalizes
@@ -80,29 +117,46 @@ func (s *shard) handle(ev Event) {
 	}
 }
 
+// poolAppend admits a worker at the tail of the pool with a fresh arrival
+// sequence number.
+func (s *shard) poolAppend(w market.Worker) {
+	s.poolPos[w.ID] = len(s.pool)
+	s.pool = append(s.pool, w)
+	s.poolSeq = append(s.poolSeq, s.nextSeq)
+	s.nextSeq++
+}
+
+// poolRemoveAt drops the pool entry at index i in O(1) by swapping the last
+// entry into the hole. Arrival order is not preserved here; batch
+// construction restores it from the sequence numbers.
+func (s *shard) poolRemoveAt(i int) {
+	id := s.pool[i].ID
+	last := len(s.pool) - 1
+	if i != last {
+		s.pool[i] = s.pool[last]
+		s.poolSeq[i] = s.poolSeq[last]
+		s.poolPos[s.pool[i].ID] = i
+	}
+	s.pool = s.pool[:last]
+	s.poolSeq = s.poolSeq[:last]
+	delete(s.poolPos, id)
+}
+
 // workerOnline admits a worker into the pool. A duplicate online (the ID is
 // already pooled) replaces the entry in place — never appends a second copy,
-// which would double-count supply within the shard. In deterministic mode
-// the shard also does the router's duplicate accounting.
-//
-// The duplicate scan is linear in the pool, like every by-ID pool
-// operation here: the pool discipline (arrival-ordered slice, positional
-// consume shared with the offline simulator) keeps batch construction and
-// replay equivalence simple, and steady-state pools stay small because
-// assignment and expiry continuously drain them. An ID index would only
-// pay off for adversarial streams that park huge idle pools in one shard.
+// which would double-count supply within the shard — and keeps the original
+// arrival sequence, preserving the worker's batch-order slot. In
+// deterministic mode the shard also does the router's duplicate accounting.
 func (s *shard) workerOnline(w market.Worker) {
-	for i := range s.pool {
-		if s.pool[i].ID == w.ID {
-			s.pool[i] = w
-			if s.eng.det != nil {
-				s.eng.late.Add(1)
-				s.eng.lcDuplicates.Add(1)
-			}
-			return
+	if i, ok := s.poolPos[w.ID]; ok {
+		s.pool[i] = w
+		if s.eng.det != nil {
+			s.eng.late.Add(1)
+			s.eng.lcDuplicates.Add(1)
 		}
+		return
 	}
-	s.pool = append(s.pool, w)
+	s.poolAppend(w)
 	s.eng.pooled.Add(1)
 	s.eng.lcOnlines.Add(1)
 }
@@ -111,13 +165,11 @@ func (s *shard) workerOnline(w market.Worker) {
 // handshake). The ID cannot already be pooled here — the router resolved
 // the previous owner synchronously — but replace defensively if it is.
 func (s *shard) admit(w market.Worker) {
-	for i := range s.pool {
-		if s.pool[i].ID == w.ID {
-			s.pool[i] = w
-			return
-		}
+	if i, ok := s.poolPos[w.ID]; ok {
+		s.pool[i] = w
+		return
 	}
-	s.pool = append(s.pool, w)
+	s.poolAppend(w)
 	s.eng.pooled.Add(1)
 }
 
@@ -131,31 +183,27 @@ func (s *shard) admit(w market.Worker) {
 // the old position and remain committed.
 func (s *shard) workerMove(ev Event) {
 	if ev.mig != nil {
-		for i := range s.pool {
-			if s.pool[i].ID != ev.WorkerID {
-				continue
-			}
-			if s.heldByPending(ev.WorkerID) {
-				s.pool[i].Loc = ev.Loc
-				ev.mig.reply <- migrateReply{ok: true, pinned: true}
-				return
-			}
-			w := s.pool[i]
-			w.Loc = ev.Loc
-			s.pool = append(s.pool[:i], s.pool[i+1:]...)
-			s.eng.pooled.Add(-1)
-			ev.mig.reply <- migrateReply{ok: true, worker: w}
+		i, ok := s.poolPos[ev.WorkerID]
+		if !ok {
+			ev.mig.reply <- migrateReply{}
 			return
 		}
-		ev.mig.reply <- migrateReply{}
+		if s.heldByPending(ev.WorkerID) {
+			s.pool[i].Loc = ev.Loc
+			ev.mig.reply <- migrateReply{ok: true, pinned: true}
+			return
+		}
+		w := s.pool[i]
+		w.Loc = ev.Loc
+		s.poolRemoveAt(i)
+		s.eng.pooled.Add(-1)
+		ev.mig.reply <- migrateReply{ok: true, worker: w}
 		return
 	}
-	for i := range s.pool {
-		if s.pool[i].ID == ev.WorkerID {
-			s.pool[i].Loc = ev.Loc
-			s.eng.lcMoves.Add(1)
-			return
-		}
+	if i, ok := s.poolPos[ev.WorkerID]; ok {
+		s.pool[i].Loc = ev.Loc
+		s.eng.lcMoves.Add(1)
+		return
 	}
 	// Unknown or already-settled worker (mirrors the router's accounting).
 	s.eng.late.Add(1)
@@ -183,12 +231,9 @@ func (s *shard) heldByPending(id int) bool {
 // stale copy is repaired exactly like an offline.
 func (s *shard) evictStale(id int, at time.Time) {
 	s.repairPending(id, at)
-	for i := range s.pool {
-		if s.pool[i].ID == id {
-			s.pool = append(s.pool[:i], s.pool[i+1:]...)
-			s.eng.pooled.Add(-1)
-			return
-		}
+	if i, ok := s.poolPos[id]; ok {
+		s.poolRemoveAt(i)
+		s.eng.pooled.Add(-1)
 	}
 }
 
@@ -257,35 +302,87 @@ func workerExpired(w market.Worker, t int) bool {
 	return t >= w.Period+d
 }
 
+// evictExpired compacts lapsed workers out of the pool (relative order of
+// the survivors is preserved; absolute order is irrelevant between batches)
+// and refreshes the position index for every surviving entry.
 func (s *shard) evictExpired(period int) {
-	live := s.pool[:0]
-	for _, w := range s.pool {
-		if !workerExpired(w, period) {
-			live = append(live, w)
-		} else {
+	kept := 0
+	for i := range s.pool {
+		w := s.pool[i]
+		if workerExpired(w, period) {
 			s.countRetire(RetireExpired)
 			s.note(w.ID, noteRetire)
+			delete(s.poolPos, w.ID)
+			continue
+		}
+		if kept != i {
+			s.pool[kept] = w
+			s.poolSeq[kept] = s.poolSeq[i]
+			s.poolPos[w.ID] = kept
+		}
+		kept++
+	}
+	s.eng.pooled.Add(int64(kept - len(s.pool)))
+	s.pool = s.pool[:kept]
+	s.poolSeq = s.poolSeq[:kept]
+}
+
+// sortPoolByArrival restores the pool to arrival order (ascending sequence
+// numbers) before a batch is built, repairing the permutation left by
+// swap-deletes. Sequence numbers are unique, so the order — and therefore
+// the batch's right-vertex order, matching tie breaks, and deterministic
+// replay — does not depend on the removal history. Insertion sort: the pool
+// is nearly sorted (only entries displaced by swap-deletes since the last
+// batch are out of place), so the common cost is O(n + inversions) with no
+// allocation.
+func (s *shard) sortPoolByArrival() {
+	seq, pool := s.poolSeq, s.pool
+	sorted := true
+	for i := 1; i < len(seq); i++ {
+		if seq[i] < seq[i-1] {
+			sorted = false
+		}
+		j := i
+		for j > 0 && seq[j] < seq[j-1] {
+			seq[j], seq[j-1] = seq[j-1], seq[j]
+			pool[j], pool[j-1] = pool[j-1], pool[j]
+			j--
 		}
 	}
-	s.eng.pooled.Add(int64(len(live) - len(s.pool)))
-	s.pool = live
+	if sorted {
+		return
+	}
+	for i := range pool {
+		s.poolPos[pool[i].ID] = i
+	}
 }
 
 // closeBatch prices the open window as of the given period: finalize the
 // previous quoted batch, evict lapsed workers, build the batch bipartite
 // graph from k-d tree candidates, price it with the shard's strategy, and
 // either resolve it immediately (AutoDecide) or quote it and wait.
+//
+// Everything the batch builds — worker copies, graph, context, matcher,
+// decision buffers — lives in s.scratch and is reused window over window;
+// a batch fully settles (the quoted case at this closeBatch's
+// finalizePending, the AutoDecide case within resolve) before any arena is
+// touched again.
 func (s *shard) closeBatch(period int, at time.Time) {
 	s.finalizePending(at)
 	s.evictExpired(period)
 	tasks := s.tasks
-	s.tasks = nil
+	// Recycle the arrival buffer: nothing below retains the raw task slice
+	// (contexts copy task views, graphs hold indices), and no arrival can
+	// interleave while the batch is being built.
+	s.tasks = tasks[:0]
 	if len(tasks) == 0 {
 		return
 	}
+	s.sortPoolByArrival()
 
 	// The batch's right side: every pooled worker currently active. poolIdx
 	// maps batch indices back to pool positions; nil means identity.
+	sc := &s.scratch
 	batchWorkers := s.pool
 	var poolIdx []int
 	for i := range s.pool {
@@ -295,29 +392,45 @@ func (s *shard) closeBatch(period int, at time.Time) {
 		}
 	}
 	if batchWorkers == nil {
-		batchWorkers = make([]market.Worker, 0, len(s.pool))
+		sc.batchW = sc.batchW[:0]
+		sc.poolIdx = sc.poolIdx[:0]
 		for i, w := range s.pool {
 			if w.ActiveAt(period) {
-				batchWorkers = append(batchWorkers, w)
-				poolIdx = append(poolIdx, i)
+				sc.batchW = append(sc.batchW, w)
+				sc.poolIdx = append(sc.poolIdx, i)
 			}
 		}
+		batchWorkers, poolIdx = sc.batchW, sc.poolIdx
 	}
 	auto := s.eng.cfg.AutoDecide
 	if !auto {
 		// The pool mutates while requesters deliberate; give the pending
-		// batch a stable copy and consume by worker ID at finalization.
-		batchWorkers = append([]market.Worker(nil), batchWorkers...)
+		// batch a stable copy and consume by worker ID at finalization. The
+		// copy lives in the batchW arena (possibly self-copying the filtered
+		// view, which append handles) and is held until finalization — by
+		// which time the next batch has not yet touched the arena.
+		if poolIdx == nil {
+			sc.batchW = append(sc.batchW[:0], batchWorkers...)
+			batchWorkers = sc.batchW
+		}
 		poolIdx = nil
 	}
 
 	var graph *match.Graph
 	if s.eng.cfg.CellIndexGraphs {
-		graph = market.BuildBipartiteCellIndex(s.eng.space, tasks, batchWorkers)
+		graph = market.BuildBipartiteCellIndexScratch(s.eng.space, tasks, batchWorkers, &sc.cellIx)
 	} else {
-		graph = market.NewWorkerIndex(batchWorkers).BuildGraph(tasks)
+		if sc.ix == nil {
+			sc.ix = market.NewWorkerIndex(batchWorkers)
+		} else {
+			sc.ix.Reindex(batchWorkers)
+		}
+		if sc.kdGraph == nil {
+			sc.kdGraph = match.NewGraph(len(tasks), len(batchWorkers))
+		}
+		graph = sc.ix.BuildGraphInto(tasks, sc.kdGraph)
 	}
-	ctx := core.BuildContext(s.eng.space, period, tasks, batchWorkers, graph)
+	ctx := core.BuildContextScratch(s.eng.space, period, tasks, batchWorkers, graph, &sc.ctx)
 	prices := s.strat.Prices(ctx)
 	if len(prices) != len(tasks) {
 		panic(fmt.Sprintf("engine: strategy %s returned %d prices for %d tasks",
@@ -338,12 +451,13 @@ func (s *shard) closeBatch(period int, at time.Time) {
 // engine reproduces the simulator's assignment values by construction.
 func (s *shard) resolve(tasks []market.Task, ctx *core.PeriodContext, graph *match.Graph,
 	prices []float64, batchWorkers []market.Worker, poolIdx []int, at time.Time) {
+	sc := &s.scratch
 	n := len(tasks)
 	weight := func(i int) float64 { return ctx.Tasks[i].Distance * prices[i] }
 
-	accepted := make([]bool, n)
+	accepted := resizeZeroed(&sc.acc, n)
 	acceptedCount := 0
-	weights := make([]float64, n) // rejected tasks weigh 0 and are never matched
+	weights := resizeZeroed(&sc.weights, n) // rejected tasks weigh 0, never matched
 	for i := range tasks {
 		if tasks[i].Accepts(prices[i]) {
 			accepted[i] = true
@@ -351,10 +465,10 @@ func (s *shard) resolve(tasks []market.Task, ctx *core.PeriodContext, graph *mat
 			weights[i] = weight(i)
 		}
 	}
-	m, _ := match.MaxWeightByLeft(graph, weights)
+	m, _ := match.MaxWeightByLeftScratch(graph, weights, &sc.mw)
 
-	ds := make([]Decision, n)
-	var consumed []int
+	ds := resizeDecisions(&sc.ds, n)
+	consumed := sc.cons[:0]
 	served, revenue := 0, 0.0
 	for i := range tasks {
 		d := Decision{TaskID: ctx.Tasks[i].ID, Period: ctx.Period, Cell: ctx.Tasks[i].Cell,
@@ -376,6 +490,7 @@ func (s *shard) resolve(tasks []market.Task, ctx *core.PeriodContext, graph *mat
 		}
 		ds[i] = d
 	}
+	sc.cons = consumed
 	// Observe before consume: consume compacts the pool backing array that
 	// ctx.Workers may alias, and strategies are entitled to read ctx in
 	// Observe.
@@ -389,17 +504,26 @@ func (s *shard) resolve(tasks []market.Task, ctx *core.PeriodContext, graph *mat
 // reply (or the next window closes it with the silent ones as rejections).
 func (s *shard) quote(ctx *core.PeriodContext, graph *match.Graph, prices []float64,
 	batchWorkers []market.Worker, at time.Time) {
+	sc := &s.scratch
 	n := len(ctx.Tasks)
-	pb := &pendingBatch{
-		ctx:      ctx,
-		prices:   prices,
-		workers:  batchWorkers,
-		inc:      match.NewIncremental(graph),
-		decided:  make([]bool, n),
-		accepted: make([]bool, n),
-		taskIdx:  make(map[int]int, n),
+	if sc.inc == nil {
+		sc.inc = match.NewIncremental(graph)
+	} else {
+		sc.inc.Reset(graph)
 	}
-	ds := make([]Decision, n)
+	pb := &sc.pb
+	pb.ctx = ctx
+	pb.prices = prices
+	pb.workers = batchWorkers
+	pb.inc = sc.inc
+	pb.decided = resizeZeroed(&pb.decided, n)
+	pb.accepted = resizeZeroed(&pb.accepted, n)
+	if pb.taskIdx == nil {
+		pb.taskIdx = make(map[int]int, n)
+	} else {
+		clear(pb.taskIdx)
+	}
+	ds := resizeDecisions(&sc.ds, n)
 	for i, tv := range ctx.Tasks {
 		pb.taskIdx[tv.ID] = i
 		ds[i] = Decision{TaskID: tv.ID, Period: ctx.Period, Cell: tv.Cell,
@@ -414,6 +538,33 @@ func (s *shard) quote(ctx *core.PeriodContext, graph *match.Graph, prices []floa
 	}
 	s.eng.quoted.Add(int64(n))
 	s.eng.emitAll(ds, at)
+}
+
+// resizeZeroed returns *p resized to n zero-valued entries, reusing
+// capacity.
+func resizeZeroed[T any](p *[]T, n int) []T {
+	s := *p
+	if cap(s) >= n {
+		s = s[:n]
+		clear(s)
+	} else {
+		s = make([]T, n)
+	}
+	*p = s
+	return s
+}
+
+// resizeDecisions returns *p resized to n entries, reusing capacity. The
+// caller overwrites every entry.
+func resizeDecisions(p *[]Decision, n int) []Decision {
+	s := *p
+	if cap(s) >= n {
+		s = s[:n]
+	} else {
+		s = make([]Decision, n)
+	}
+	*p = s
+	return s
 }
 
 // decide handles a requester's reply to a quote: accepts are assigned
@@ -481,9 +632,10 @@ func (s *shard) finalizePending(at time.Time) {
 		return
 	}
 	s.pending = nil
+	sc := &s.scratch
 	m := pb.inc.Matching()
-	var lapsed []Decision
-	matched := make([]bool, len(pb.workers))
+	lapsed := sc.ds[:0]
+	matched := resizeZeroed(&sc.matched, len(pb.workers))
 	acceptedCount, served, revenue := 0, 0, 0.0
 	for i, acc := range pb.accepted {
 		if !acc {
@@ -502,6 +654,7 @@ func (s *shard) finalizePending(at time.Time) {
 			s.removeWorkerID(pb.workers[r].ID, RetireAssigned)
 		}
 	}
+	sc.ds = lapsed[:0]
 	// Release the batch's hold on every unconsumed worker: back to plain
 	// online in the lifecycle table, migratable again.
 	for r := range pb.workers {
@@ -556,45 +709,52 @@ func (s *shard) repairPending(id int, at time.Time) bool {
 	return false
 }
 
-// removeWorkerID drops the first pool entry with the given ID, preserving
-// arrival order, and reports whether the worker was pooled. Assignment and
-// expiry retirements are noted to the router; offline retirements are not
-// (the router initiated those and already dropped the entry).
+// removeWorkerID drops the pool entry with the given ID in O(1) and reports
+// whether the worker was pooled. Assignment and expiry retirements are
+// noted to the router; offline retirements are not (the router initiated
+// those and already dropped the entry).
 func (s *shard) removeWorkerID(id int, why RetireReason) bool {
-	for i := range s.pool {
-		if s.pool[i].ID == id {
-			s.pool = append(s.pool[:i], s.pool[i+1:]...)
-			s.eng.pooled.Add(-1)
-			s.countRetire(why)
-			if why != RetireOffline {
-				s.note(id, noteRetire)
-			}
-			return true
-		}
+	i, ok := s.poolPos[id]
+	if !ok {
+		return false
 	}
-	return false
+	s.poolRemoveAt(i)
+	s.eng.pooled.Add(-1)
+	s.countRetire(why)
+	if why != RetireOffline {
+		s.note(id, noteRetire)
+	}
+	return true
 }
 
 // consume removes the given pool positions (the workers matched by a
-// resolved batch), preserving arrival order — the same pool discipline as
-// the offline simulator.
+// resolved batch) by compaction, refreshing the position index — the same
+// pool discipline as the offline simulator.
 func (s *shard) consume(positions []int) {
 	if len(positions) == 0 {
 		return
 	}
-	drop := make(map[int]bool, len(positions))
+	drop := resizeZeroed(&s.scratch.drop, len(s.pool))
 	for _, p := range positions {
 		drop[p] = true
 	}
-	live := s.pool[:0]
+	kept := 0
 	for i := range s.pool {
-		if !drop[i] {
-			live = append(live, s.pool[i])
-		} else {
+		w := s.pool[i]
+		if drop[i] {
 			s.countRetire(RetireAssigned)
-			s.note(s.pool[i].ID, noteRetire)
+			s.note(w.ID, noteRetire)
+			delete(s.poolPos, w.ID)
+			continue
 		}
+		if kept != i {
+			s.pool[kept] = w
+			s.poolSeq[kept] = s.poolSeq[i]
+			s.poolPos[w.ID] = kept
+		}
+		kept++
 	}
-	s.eng.pooled.Add(int64(len(live) - len(s.pool)))
-	s.pool = live
+	s.eng.pooled.Add(int64(kept - len(s.pool)))
+	s.pool = s.pool[:kept]
+	s.poolSeq = s.poolSeq[:kept]
 }

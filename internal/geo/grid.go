@@ -114,6 +114,13 @@ func (g Grid) Dist(a, b Point) float64 { return a.Dist(b) }
 // the closed disk of radius r around center. MAPS uses this to enumerate the
 // grids a worker can supply without scanning every task.
 func (g Grid) CellsInRange(center Point, r float64) []int {
+	return g.CellsInRangeAppend(center, r, nil)
+}
+
+// CellsInRangeAppend is CellsInRange appending into out, in the same order.
+// Passing a reused buffer keeps per-task candidate enumeration
+// allocation-free (mirrors NeighborsAppend).
+func (g Grid) CellsInRangeAppend(center Point, r float64, out []int) []int {
 	// Bound the scan to the cells overlapping the disk's bounding box.
 	w, h := g.CellWidth(), g.CellHeight()
 	minCX := int((center.X - r - g.Region.Min.X) / w)
@@ -132,7 +139,6 @@ func (g Grid) CellsInRange(center Point, r float64) []int {
 	if maxCY >= g.Rows {
 		maxCY = g.Rows - 1
 	}
-	var out []int
 	for cy := minCY; cy <= maxCY; cy++ {
 		for cx := minCX; cx <= maxCX; cx++ {
 			i := cy*g.Cols + cx

@@ -26,10 +26,29 @@ type Tree struct {
 // Build constructs a tree over the given points; ids[i] is returned from
 // queries instead of raw indices (pass nil to use positions 0..n-1).
 func Build(points []geo.Point, ids []int) *Tree {
+	t := &Tree{}
+	t.Rebuild(points, ids)
+	return t
+}
+
+// Rebuild reconstructs the tree in place over a new point set, reusing the
+// node arena (the point and payload arrays) of the previous build whenever
+// it is large enough. Per-batch indexes on hot paths (the streaming engine's
+// worker index) rebuild one tree per pricing window; with a reused arena the
+// steady-state rebuild allocates nothing. Queries issued before the call see
+// the old tree; Rebuild must not run concurrently with queries.
+func (t *Tree) Rebuild(points []geo.Point, ids []int) {
 	n := len(points)
-	t := &Tree{
-		pts: append([]geo.Point(nil), points...),
-		ids: make([]int, n),
+	if cap(t.pts) >= n {
+		t.pts = t.pts[:n]
+	} else {
+		t.pts = make([]geo.Point, n)
+	}
+	copy(t.pts, points)
+	if cap(t.ids) >= n {
+		t.ids = t.ids[:n]
+	} else {
+		t.ids = make([]int, n)
 	}
 	if ids == nil {
 		for i := range t.ids {
@@ -39,24 +58,29 @@ func Build(points []geo.Point, ids []int) *Tree {
 		copy(t.ids, ids)
 	}
 	if n == 0 {
-		return t
+		return
 	}
 	t.build(0, n, 0)
-	return t
 }
 
 // build recursively median-splits pts[lo:hi] on the given axis. The
 // subrange is fully sorted on the axis (simpler than quickselect; Build is
 // a one-time cost and n log^2 n total is fine at the sizes involved), which
-// places the median at the pivot position.
+// places the median at the pivot position. One sorter is reused for every
+// recursive sort so the interface conversion boxes nothing per subrange.
 func (t *Tree) build(lo, hi, axis int) {
+	t.buildWith(&byAxis{t: t}, lo, hi, axis)
+}
+
+func (t *Tree) buildWith(b *byAxis, lo, hi, axis int) {
 	if hi-lo <= 1 {
 		return
 	}
-	sort.Sort(byAxis{t: t, lo: lo, axis: axis, n: hi - lo})
+	b.lo, b.axis, b.n = lo, axis, hi-lo
+	sort.Sort(b)
 	mid := (lo + hi) / 2
-	t.build(lo, mid, 1-axis)
-	t.build(mid+1, hi, 1-axis)
+	t.buildWith(b, lo, mid, 1-axis)
+	t.buildWith(b, mid+1, hi, 1-axis)
 }
 
 type byAxis struct {

@@ -1,0 +1,104 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialcrowd/internal/geo"
+)
+
+// TestRebuildMatchesFresh drives one tree through many in-place rebuilds
+// over point sets of varying size and checks every query against a freshly
+// built tree: the reused node arena must not leak anything between builds.
+func TestRebuildMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	reused := Build(nil, nil)
+	for round := 0; round < 40; round++ {
+		n := rng.Intn(200)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+		reused.Rebuild(pts, nil)
+		fresh := Build(pts, nil)
+		if reused.Len() != n {
+			t.Fatalf("round %d: Len = %d, want %d", round, reused.Len(), n)
+		}
+		for q := 0; q < 20; q++ {
+			p := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			gi, gd := reused.Nearest(p)
+			wi, wd := fresh.Nearest(p)
+			if gi != wi || gd != wd {
+				t.Fatalf("round %d: Nearest(%v) = (%d,%v), fresh (%d,%v)", round, p, gi, gd, wi, wd)
+			}
+			r := rng.Float64() * 30
+			got := append([]int(nil), reused.InRadiusAppend(p, r, nil)...)
+			want := fresh.InRadius(p, r)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("round %d: InRadius(%v,%v) = %v, fresh %v", round, p, r, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d: InRadius(%v,%v) = %v, fresh %v", round, p, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildTraversalOrderIdentical pins layout equality, not just result
+// sets: matching tie breaks downstream depend on candidate enumeration
+// order, so a rebuilt tree must enumerate identically to a fresh one.
+func TestRebuildTraversalOrderIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	reused := Build(nil, nil)
+	for round := 0; round < 20; round++ {
+		n := 1 + rng.Intn(150)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			// Duplicate coordinates force tie handling through the sort.
+			pts[i] = geo.Point{X: float64(rng.Intn(12)), Y: float64(rng.Intn(12))}
+		}
+		reused.Rebuild(pts, nil)
+		fresh := Build(pts, nil)
+		p := geo.Point{X: rng.Float64() * 12, Y: rng.Float64() * 12}
+		got := reused.InRadiusAppend(p, 6, nil)
+		want := fresh.InRadiusAppend(p, 6, nil)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: enumeration %v vs fresh %v", round, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: enumeration order diverges: %v vs fresh %v", round, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkRebuild compares fresh construction against in-place rebuild
+// over the reused arena (the engine's per-batch pattern).
+func BenchmarkRebuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 2000
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Build(pts, nil)
+		}
+	})
+	b.Run("inplace", func(b *testing.B) {
+		tr := Build(pts, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Rebuild(pts, nil)
+		}
+	})
+}

@@ -44,23 +44,63 @@ func BuildBipartiteIndexed(in *Instance, tasks []Task, workers []Worker) *match.
 // which steers tie breaks in the greedy matching — is byte-identical to the
 // offline simulator's, the property the exact replay-equivalence tests pin.
 func BuildBipartiteCellIndex(space spatial.Space, tasks []Task, workers []Worker) *match.Graph {
-	g := match.NewGraph(len(tasks), len(workers))
+	return BuildBipartiteCellIndexScratch(space, tasks, workers, nil)
+}
+
+// CellIndexScratch is reusable working state for the cell-index graph
+// builder: the worker-by-cell buckets, the per-task candidate-cell buffer,
+// and the graph itself survive across batches, so a caller building one
+// graph per pricing window allocates nothing in steady state. One instance
+// serves one goroutine.
+type CellIndexScratch struct {
+	graph  *match.Graph
+	byCell map[int][]int
+	used   []int // cells with a non-empty bucket this batch
+	cells  []int // candidate-cell buffer
+}
+
+// BuildBipartiteCellIndexScratch is BuildBipartiteCellIndex with
+// caller-owned scratch state. A nil scratch allocates fresh state. The
+// returned graph is backed by the scratch and valid until its next use;
+// candidate enumeration order — and therefore adjacency order — is
+// byte-identical to BuildBipartiteCellIndex's.
+func BuildBipartiteCellIndexScratch(space spatial.Space, tasks []Task, workers []Worker, sc *CellIndexScratch) *match.Graph {
+	if sc == nil {
+		sc = &CellIndexScratch{}
+	}
+	if sc.graph == nil {
+		sc.graph = match.NewGraph(len(tasks), len(workers))
+	} else {
+		sc.graph.Reset(len(tasks), len(workers))
+	}
+	g := sc.graph
 	if len(tasks) == 0 || len(workers) == 0 {
 		return g
 	}
-	byCell := make(map[int][]int)
+	if sc.byCell == nil {
+		sc.byCell = make(map[int][]int)
+	}
+	for _, c := range sc.used {
+		sc.byCell[c] = sc.byCell[c][:0]
+	}
+	sc.used = sc.used[:0]
 	maxR := 0.0
 	for wi := range workers {
 		c := space.CellOf(workers[wi].Loc)
-		byCell[c] = append(byCell[c], wi)
+		b := sc.byCell[c]
+		if len(b) == 0 {
+			sc.used = append(sc.used, c)
+		}
+		sc.byCell[c] = append(b, wi)
 		if workers[wi].Radius > maxR {
 			maxR = workers[wi].Radius
 		}
 	}
 	for ti := range tasks {
 		origin := tasks[ti].Origin
-		for _, cell := range space.CellsInRange(origin, maxR) {
-			for _, wi := range byCell[cell] {
+		sc.cells = space.CellsInRangeAppend(origin, maxR, sc.cells[:0])
+		for _, cell := range sc.cells {
+			for _, wi := range sc.byCell[cell] {
 				w := &workers[wi]
 				if origin.SqDist(w.Loc) <= w.Radius*w.Radius {
 					g.AddEdge(ti, wi)
@@ -89,20 +129,41 @@ type WorkerIndex struct {
 	workers []Worker
 	tree    *kdtree.Tree
 	maxR    float64
+	pts     []geo.Point // reused coordinate buffer for Reindex
+	buf     []int       // reused candidate buffer for BuildGraphInto
 }
 
 // NewWorkerIndex indexes the pool. The slice is retained (not copied); the
 // caller must not mutate worker locations while the index is in use.
 func NewWorkerIndex(workers []Worker) *WorkerIndex {
-	pts := make([]geo.Point, len(workers))
+	ix := &WorkerIndex{}
+	ix.Reindex(workers)
+	return ix
+}
+
+// Reindex rebuilds the index in place over a new pool, reusing the k-d
+// tree's node arena and the coordinate buffer. The streaming engine calls it
+// once per pricing batch; in steady state a reindex allocates nothing.
+func (ix *WorkerIndex) Reindex(workers []Worker) {
+	if cap(ix.pts) >= len(workers) {
+		ix.pts = ix.pts[:len(workers)]
+	} else {
+		ix.pts = make([]geo.Point, len(workers))
+	}
 	maxR := 0.0
 	for i := range workers {
-		pts[i] = workers[i].Loc
+		ix.pts[i] = workers[i].Loc
 		if workers[i].Radius > maxR {
 			maxR = workers[i].Radius
 		}
 	}
-	return &WorkerIndex{workers: workers, tree: kdtree.Build(pts, nil), maxR: maxR}
+	ix.workers = workers
+	ix.maxR = maxR
+	if ix.tree == nil {
+		ix.tree = kdtree.Build(ix.pts, nil)
+	} else {
+		ix.tree.Rebuild(ix.pts, nil)
+	}
 }
 
 // Len returns the number of indexed workers.
@@ -132,14 +193,20 @@ func (ix *WorkerIndex) Candidates(origin geo.Point, out []int) []int {
 // indexed pool: the same edge set as BuildBipartite, generated by k-d tree
 // radius queries instead of a pairwise scan.
 func (ix *WorkerIndex) BuildGraph(tasks []Task) *match.Graph {
-	g := match.NewGraph(len(tasks), len(ix.workers))
+	return ix.BuildGraphInto(tasks, match.NewGraph(len(tasks), len(ix.workers)))
+}
+
+// BuildGraphInto is BuildGraph appending edges into a caller-reused graph
+// (reset to the batch's dimensions first), so per-window graph construction
+// reuses the previous window's adjacency arenas. It returns g.
+func (ix *WorkerIndex) BuildGraphInto(tasks []Task, g *match.Graph) *match.Graph {
+	g.Reset(len(tasks), len(ix.workers))
 	if len(tasks) == 0 || len(ix.workers) == 0 {
 		return g
 	}
-	var buf []int
 	for ti := range tasks {
-		buf = ix.Candidates(tasks[ti].Origin, buf[:0])
-		for _, wi := range buf {
+		ix.buf = ix.Candidates(tasks[ti].Origin, ix.buf[:0])
+		for _, wi := range ix.buf {
 			g.AddEdge(ti, wi)
 		}
 	}

@@ -28,6 +28,28 @@ func NewGraph(nLeft, nRight int) *Graph {
 	return &Graph{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
 }
 
+// Reset re-dimensions g to an empty nLeft x nRight graph, reusing the
+// adjacency backing arrays of previous batches. Hot paths that build one
+// graph per pricing window (the streaming engine) call it instead of
+// NewGraph so steady-state construction allocates nothing.
+func (g *Graph) Reset(nLeft, nRight int) {
+	if nLeft < 0 || nRight < 0 {
+		panic(fmt.Sprintf("match: negative graph size %dx%d", nLeft, nRight))
+	}
+	if cap(g.adj) >= nLeft {
+		g.adj = g.adj[:nLeft]
+	} else {
+		adj := make([][]int, nLeft)
+		copy(adj, g.adj)
+		g.adj = adj
+	}
+	for l := range g.adj {
+		g.adj[l] = g.adj[l][:0]
+	}
+	g.nLeft, g.nRight = nLeft, nRight
+	g.edges = 0
+}
+
 // NLeft returns the number of left vertices.
 func (g *Graph) NLeft() int { return g.nLeft }
 
@@ -90,14 +112,29 @@ type Matching struct {
 
 // NewMatching returns an empty matching for a graph with the given sizes.
 func NewMatching(nLeft, nRight int) *Matching {
-	m := &Matching{LeftTo: make([]int, nLeft), RightTo: make([]int, nRight)}
-	for i := range m.LeftTo {
-		m.LeftTo[i] = -1
-	}
-	for i := range m.RightTo {
-		m.RightTo[i] = -1
-	}
+	m := &Matching{}
+	m.Reset(nLeft, nRight)
 	return m
+}
+
+// Reset re-dimensions the matching to empty, reusing the pairing arrays.
+func (m *Matching) Reset(nLeft, nRight int) {
+	m.LeftTo = resetPairs(m.LeftTo, nLeft)
+	m.RightTo = resetPairs(m.RightTo, nRight)
+}
+
+// resetPairs returns a length-n all -1 slice, reusing s's backing array when
+// it is large enough.
+func resetPairs(s []int, n int) []int {
+	if cap(s) >= n {
+		s = s[:n]
+	} else {
+		s = make([]int, n)
+	}
+	for i := range s {
+		s[i] = -1
+	}
+	return s
 }
 
 // Size returns the number of matched pairs.

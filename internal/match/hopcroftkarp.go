@@ -1,26 +1,60 @@
 package match
 
-// MaxCardinality computes a maximum-cardinality matching of g with the
-// Hopcroft–Karp algorithm in O(E * sqrt(V)). It is used for questions that
-// only need sizes, e.g. "at most two tasks can be served" in Example 1, and
-// as a fast feasibility check in tests.
-func MaxCardinality(g *Graph) *Matching {
-	m := NewMatching(g.NLeft(), g.NRight())
+// hkInf is the "unreached this phase" distance. Levels are bounded by the
+// number of left vertices, so any value above that works.
+const hkInf = int(^uint(0) >> 1)
+
+// HopcroftKarp is reusable scratch state for maximum-cardinality matching.
+// The zero value is ready to use; calling Match repeatedly reuses the level,
+// queue, and matching arrays, with epoch stamps standing in for the per-phase
+// clearing of the BFS level structure. One instance serves one goroutine.
+type HopcroftKarp struct {
+	m     *Matching
+	dist  []int
+	seen  []int // dist[l] is valid iff seen[l] == stamp (current BFS phase)
+	queue []int
+	stamp int
+}
+
+// Match computes a maximum-cardinality matching of g in O(E * sqrt(V)).
+// The returned matching is owned by the receiver and valid until the next
+// Match call; callers that need to keep it across calls must copy it.
+func (hk *HopcroftKarp) Match(g *Graph) *Matching {
+	if hk.m == nil {
+		hk.m = NewMatching(g.NLeft(), g.NRight())
+	} else {
+		hk.m.Reset(g.NLeft(), g.NRight())
+	}
+	m := hk.m
 	if g.NLeft() == 0 || g.NRight() == 0 {
 		return m
 	}
-	const inf = int(^uint(0) >> 1)
-	dist := make([]int, g.NLeft())
-	queue := make([]int, 0, g.NLeft())
+	hk.dist = growStamps(hk.dist, g.NLeft())
+	hk.seen = growStamps(hk.seen, g.NLeft())
+	if cap(hk.queue) < g.NLeft() {
+		hk.queue = make([]int, 0, g.NLeft())
+	}
+
+	// level returns l's BFS level this phase; unvisited vertices read as inf
+	// without the array ever being cleared between phases.
+	level := func(l int) int {
+		if hk.seen[l] == hk.stamp {
+			return hk.dist[l]
+		}
+		return hkInf
+	}
+	setLevel := func(l, d int) {
+		hk.seen[l] = hk.stamp
+		hk.dist[l] = d
+	}
 
 	bfs := func() bool {
-		queue = queue[:0]
+		hk.stamp++
+		queue := hk.queue[:0]
 		for l := 0; l < g.NLeft(); l++ {
 			if m.LeftTo[l] < 0 {
-				dist[l] = 0
+				setLevel(l, 0)
 				queue = append(queue, l)
-			} else {
-				dist[l] = inf
 			}
 		}
 		found := false
@@ -30,12 +64,13 @@ func MaxCardinality(g *Graph) *Matching {
 				nl := m.RightTo[r]
 				if nl < 0 {
 					found = true
-				} else if dist[nl] == inf {
-					dist[nl] = dist[l] + 1
+				} else if level(nl) == hkInf {
+					setLevel(nl, hk.dist[l]+1)
 					queue = append(queue, nl)
 				}
 			}
 		}
+		hk.queue = queue
 		return found
 	}
 
@@ -43,13 +78,13 @@ func MaxCardinality(g *Graph) *Matching {
 	dfs = func(l int) bool {
 		for _, r := range g.Adj(l) {
 			nl := m.RightTo[r]
-			if nl < 0 || (dist[nl] == dist[l]+1 && dfs(nl)) {
+			if nl < 0 || (level(nl) == hk.dist[l]+1 && dfs(nl)) {
 				m.LeftTo[l] = r
 				m.RightTo[r] = l
 				return true
 			}
 		}
-		dist[l] = inf
+		setLevel(l, hkInf)
 		return false
 	}
 
@@ -61,4 +96,13 @@ func MaxCardinality(g *Graph) *Matching {
 		}
 	}
 	return m
+}
+
+// MaxCardinality computes a maximum-cardinality matching of g with the
+// Hopcroft–Karp algorithm in O(E * sqrt(V)). It is used for questions that
+// only need sizes, e.g. "at most two tasks can be served" in Example 1, and
+// as a fast feasibility check in tests. Callers on a hot path should keep a
+// HopcroftKarp instance and call Match to reuse its scratch state.
+func MaxCardinality(g *Graph) *Matching {
+	return new(HopcroftKarp).Match(g)
 }

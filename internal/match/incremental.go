@@ -8,20 +8,49 @@ package match
 type Incremental struct {
 	g       *Graph
 	m       *Matching
-	visited []int  // stamp-based visited marks for right vertices
-	removed []bool // right vertices withdrawn from service (worker churn)
+	visited []int // stamp-based visited marks for right vertices
+	removed []int // stamp-based removal marks (worker churn); see removedGen
 	stamp   int
+	// removedGen is the stamp meaning "removed in the current generation".
+	// Reset bumps it instead of clearing the array, so re-arming the matcher
+	// for a new batch is O(1) in the removal state.
+	removedGen int
 }
 
 // NewIncremental returns an incremental matcher over g with an empty
 // matching.
 func NewIncremental(g *Graph) *Incremental {
-	return &Incremental{
-		g:       g,
-		m:       NewMatching(g.NLeft(), g.NRight()),
-		visited: make([]int, g.NRight()),
-		removed: make([]bool, g.NRight()),
+	in := &Incremental{}
+	in.Reset(g)
+	return in
+}
+
+// Reset re-arms the matcher over a (possibly different) graph with an empty
+// matching, reusing the visited, removal, and pairing arrays. The epoch
+// stamps make the old marks unreadable without clearing them, so a per-batch
+// reset costs O(nLeft + nRight) for the pairing fill and nothing else.
+func (in *Incremental) Reset(g *Graph) {
+	in.g = g
+	if in.m == nil {
+		in.m = NewMatching(g.NLeft(), g.NRight())
+	} else {
+		in.m.Reset(g.NLeft(), g.NRight())
 	}
+	in.visited = growStamps(in.visited, g.NRight())
+	in.removed = growStamps(in.removed, g.NRight())
+	in.removedGen++
+}
+
+// growStamps returns a length-n stamp array, reusing s when large enough.
+// Stale stamps in the reused prefix stay: generations only move forward, so
+// they can never equal a current stamp again.
+func growStamps(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	grown := make([]int, n)
+	copy(grown, s)
+	return grown
 }
 
 // Matching exposes the current matching. Callers must treat it as read-only;
@@ -77,7 +106,7 @@ func (in *Incremental) CanAugmentAny(candidates []int) bool {
 // dfs searches for an augmenting path from l and flips it when found.
 func (in *Incremental) dfs(l int) bool {
 	for _, r := range in.g.Adj(l) {
-		if in.removed[r] || in.visited[r] == in.stamp {
+		if in.removed[r] == in.removedGen || in.visited[r] == in.stamp {
 			continue
 		}
 		in.visited[r] = in.stamp
@@ -93,7 +122,7 @@ func (in *Incremental) dfs(l int) bool {
 // probe is dfs without committing the flip.
 func (in *Incremental) probe(l int) bool {
 	for _, r := range in.g.Adj(l) {
-		if in.removed[r] || in.visited[r] == in.stamp {
+		if in.removed[r] == in.removedGen || in.visited[r] == in.stamp {
 			continue
 		}
 		in.visited[r] = in.stamp
@@ -124,10 +153,10 @@ func (in *Incremental) Release(l int) {
 // was unmatched, already removed, or out of range; callers typically try to
 // re-augment the freed left vertex to repair the matching.
 func (in *Incremental) RemoveRight(r int) int {
-	if r < 0 || r >= in.g.NRight() || in.removed[r] {
+	if r < 0 || r >= in.g.NRight() || in.removed[r] == in.removedGen {
 		return -1
 	}
-	in.removed[r] = true
+	in.removed[r] = in.removedGen
 	l := in.m.RightTo[r]
 	if l < 0 {
 		return -1
@@ -140,14 +169,14 @@ func (in *Incremental) RemoveRight(r int) int {
 // RestoreRight re-admits a previously removed right vertex (unmatched). It
 // reports whether the vertex was in the removed state.
 func (in *Incremental) RestoreRight(r int) bool {
-	if r < 0 || r >= in.g.NRight() || !in.removed[r] {
+	if r < 0 || r >= in.g.NRight() || in.removed[r] != in.removedGen {
 		return false
 	}
-	in.removed[r] = false
+	in.removed[r] = 0
 	return true
 }
 
 // Removed reports whether right vertex r has been withdrawn from service.
 func (in *Incremental) Removed(r int) bool {
-	return r >= 0 && r < in.g.NRight() && in.removed[r]
+	return r >= 0 && r < in.g.NRight() && in.removed[r] == in.removedGen
 }

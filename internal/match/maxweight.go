@@ -16,16 +16,45 @@ import (
 // still admits an augmenting path — is exact. Complexity O(L * E).
 // Tasks with non-positive weight are skipped (they cannot increase revenue).
 func MaxWeightByLeft(g *Graph, weight []float64) (*Matching, float64) {
+	return MaxWeightByLeftScratch(g, weight, nil)
+}
+
+// MaxWeightScratch is reusable working state for MaxWeightByLeftScratch: the
+// weight-sorted order and the incremental matcher survive across calls, so a
+// caller matching one batch per pricing window allocates nothing in steady
+// state. One instance serves one goroutine.
+type MaxWeightScratch struct {
+	order []int
+	inc   *Incremental
+}
+
+// MaxWeightByLeftScratch is MaxWeightByLeft with caller-owned scratch state.
+// A nil scratch allocates fresh state (exactly MaxWeightByLeft). The
+// returned matching is backed by the scratch and valid until its next use.
+func MaxWeightByLeftScratch(g *Graph, weight []float64, sc *MaxWeightScratch) (*Matching, float64) {
 	if len(weight) != g.NLeft() {
 		panic(fmt.Sprintf("match: %d weights for %d left vertices", len(weight), g.NLeft()))
 	}
-	order := make([]int, g.NLeft())
+	if sc == nil {
+		sc = &MaxWeightScratch{}
+	}
+	if cap(sc.order) >= g.NLeft() {
+		sc.order = sc.order[:g.NLeft()]
+	} else {
+		sc.order = make([]int, g.NLeft())
+	}
+	order := sc.order
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(i, j int) bool { return weight[order[i]] > weight[order[j]] })
 
-	inc := NewIncremental(g)
+	if sc.inc == nil {
+		sc.inc = NewIncremental(g)
+	} else {
+		sc.inc.Reset(g)
+	}
+	inc := sc.inc
 	total := 0.0
 	for _, l := range order {
 		if weight[l] <= 0 {

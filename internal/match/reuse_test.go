@@ -1,0 +1,145 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds an nl x nr graph with the given edge density.
+func randomGraph(rng *rand.Rand, nl, nr int, p float64) *Graph {
+	g := NewGraph(nl, nr)
+	for l := 0; l < nl; l++ {
+		for r := 0; r < nr; r++ {
+			if rng.Float64() < p {
+				g.AddEdge(l, r)
+			}
+		}
+	}
+	return g
+}
+
+// TestGraphResetReuse drives one graph through many reset/rebuild rounds of
+// varying shape and checks every round matches a freshly constructed graph.
+func TestGraphResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	reused := NewGraph(0, 0)
+	for round := 0; round < 50; round++ {
+		nl, nr := rng.Intn(20), rng.Intn(20)
+		fresh := NewGraph(nl, nr)
+		reused.Reset(nl, nr)
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.3 {
+					fresh.AddEdge(l, r)
+					reused.AddEdge(l, r)
+				}
+			}
+		}
+		if reused.NLeft() != nl || reused.NRight() != nr || reused.NumEdges() != fresh.NumEdges() {
+			t.Fatalf("round %d: reused graph %dx%d/%d edges, want %dx%d/%d",
+				round, reused.NLeft(), reused.NRight(), reused.NumEdges(), nl, nr, fresh.NumEdges())
+		}
+		for l := 0; l < nl; l++ {
+			fa, ra := fresh.Adj(l), reused.Adj(l)
+			if len(fa) != len(ra) {
+				t.Fatalf("round %d left %d: adjacency %v vs fresh %v", round, l, ra, fa)
+			}
+			for i := range fa {
+				if fa[i] != ra[i] {
+					t.Fatalf("round %d left %d: adjacency %v vs fresh %v", round, l, ra, fa)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalResetEpochs pins the epoch stamping: after a Reset, prior
+// removals and visited marks must be unreadable without any clearing, and
+// the matcher must behave exactly like a fresh one.
+func TestIncrementalResetEpochs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	reused := NewIncremental(NewGraph(0, 0))
+	for round := 0; round < 60; round++ {
+		nl, nr := 1+rng.Intn(15), 1+rng.Intn(15)
+		g := randomGraph(rng, nl, nr, 0.35)
+		reused.Reset(g)
+		fresh := NewIncremental(g)
+		// Interleave augments and removals identically on both matchers.
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				l := rng.Intn(nl)
+				if got, want := reused.TryAugment(l), fresh.TryAugment(l); got != want {
+					t.Fatalf("round %d step %d: TryAugment(%d) reused=%v fresh=%v", round, step, l, got, want)
+				}
+			case 2:
+				r := rng.Intn(nr)
+				if got, want := reused.RemoveRight(r), fresh.RemoveRight(r); got != want {
+					t.Fatalf("round %d step %d: RemoveRight(%d) reused=%v fresh=%v", round, step, r, got, want)
+				}
+			case 3:
+				r := rng.Intn(nr)
+				if got, want := reused.RestoreRight(r), fresh.RestoreRight(r); got != want {
+					t.Fatalf("round %d step %d: RestoreRight(%d) reused=%v fresh=%v", round, step, r, got, want)
+				}
+			}
+		}
+		for r := 0; r < nr; r++ {
+			if reused.Removed(r) != fresh.Removed(r) {
+				t.Fatalf("round %d: Removed(%d) diverges after reuse", round, r)
+			}
+		}
+		mr, mf := reused.Matching(), fresh.Matching()
+		for l := 0; l < nl; l++ {
+			if mr.LeftTo[l] != mf.LeftTo[l] {
+				t.Fatalf("round %d: LeftTo diverges: reused %v fresh %v", round, mr.LeftTo, mf.LeftTo)
+			}
+		}
+		if err := mr.Validate(g); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestHopcroftKarpReuse checks a reused HopcroftKarp instance returns the
+// same matching sizes as one-shot MaxCardinality across many graphs.
+func TestHopcroftKarpReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var hk HopcroftKarp
+	for round := 0; round < 80; round++ {
+		nl, nr := rng.Intn(25), rng.Intn(25)
+		g := randomGraph(rng, nl, nr, 0.25)
+		reused := hk.Match(g)
+		if err := reused.Validate(g); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got, want := reused.Size(), MaxCardinality(g).Size(); got != want {
+			t.Fatalf("round %d: reused HK size %d, fresh %d", round, got, want)
+		}
+	}
+}
+
+// TestMaxWeightByLeftScratchMatchesFresh checks the scratch variant returns
+// the same matching and total as the allocating one across random rounds.
+func TestMaxWeightByLeftScratchMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	sc := &MaxWeightScratch{}
+	for round := 0; round < 60; round++ {
+		nl, nr := rng.Intn(20), rng.Intn(20)
+		g := randomGraph(rng, nl, nr, 0.3)
+		weights := make([]float64, nl)
+		for i := range weights {
+			weights[i] = rng.Float64()*10 - 1 // include non-positive weights
+		}
+		mf, tf := MaxWeightByLeft(g, weights)
+		ms, ts := MaxWeightByLeftScratch(g, weights, sc)
+		if tf != ts {
+			t.Fatalf("round %d: scratch total %v, fresh %v", round, ts, tf)
+		}
+		for l := 0; l < nl; l++ {
+			if mf.LeftTo[l] != ms.LeftTo[l] {
+				t.Fatalf("round %d: LeftTo diverges: scratch %v fresh %v", round, ms.LeftTo, mf.LeftTo)
+			}
+		}
+	}
+}

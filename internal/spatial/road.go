@@ -1,7 +1,6 @@
 package spatial
 
 import (
-	"container/list"
 	"fmt"
 	"math"
 	"sort"
@@ -17,6 +16,12 @@ import (
 // few thousand entries keep the hit rate high while the cache stays small.
 const distCacheSize = 1 << 12
 
+// distCacheStripes is the lock-striping factor of the shortest-path cache
+// (power of two). Sixteen stripes keep cross-shard contention negligible at
+// realistic shard counts while each stripe still holds a few hundred
+// entries.
+const distCacheStripes = 1 << 4
+
 // RoadSpace is the road-network backend: positions snap to the nearest
 // network node (k-d tree), travel distance is the shortest path over the
 // network, and cells are clusters of nodes built by deterministic
@@ -25,7 +30,8 @@ const distCacheSize = 1 << 12
 // unreachable — so d_r and the cell structure both follow the network.
 //
 // All query methods are safe for concurrent use; the shortest-path cache is
-// the only mutable state and is mutex-guarded.
+// the only mutable state, and it is striped (per-stripe locks) so concurrent
+// shards contend only on colliding key stripes, not on one global mutex.
 type RoadSpace struct {
 	net  *roadnet.Network
 	snap *kdtree.Tree // over node coordinates; payload = node id
@@ -33,14 +39,11 @@ type RoadSpace struct {
 	cellOfNode []int            // node id -> cell
 	seeds      []roadnet.NodeID // cell -> seed node (its coordinate is the center)
 	adj        [][]int          // cell -> sorted neighbor cells
+	rangePool  sync.Pool        // *rangeScratch for CellsInRangeAppend
 
-	// LRU cache over node-pair network distances: lookup promotes, insert
-	// evicts the least recently used entry when full.
-	mu    sync.Mutex
-	cache map[uint64]*list.Element // (nodeA<<32|nodeB) -> recency-list element
-	lru   *list.List               // front = most recent; values are cacheEntry
-	hits  int64
-	miss  int64
+	// Striped LRU cache over node-pair network distances: lookup promotes,
+	// insert evicts the stripe's least recently used entry when full.
+	cache *distCache
 }
 
 // cacheEntry is one cached node-pair distance fact. Exact entries (lb ==
@@ -138,8 +141,7 @@ func NewRoadSpace(net *roadnet.Network, cells int) (*RoadSpace, error) {
 		cellOfNode: cellOfNode,
 		seeds:      seeds,
 		adj:        adj,
-		cache:      make(map[uint64]*list.Element, distCacheSize),
-		lru:        list.New(),
+		cache:      newDistCache(distCacheSize, distCacheStripes),
 	}, nil
 }
 
@@ -191,18 +193,44 @@ func (rs *RoadSpace) NeighborsAppend(cell int, out []int) []int {
 // populations should use the k-d tree index (market.BuildBipartiteKD)
 // instead of the cell index.
 func (rs *RoadSpace) CellsInRange(center geo.Point, r float64) []int {
-	nodes := rs.snap.InRadiusAppend(center, r, nil)
-	if len(nodes) == 0 {
-		return nil
+	return rs.CellsInRangeAppend(center, r, nil)
+}
+
+// rangeScratch is the pooled working state of CellsInRangeAppend: the node
+// hit list and a cell de-duplication mark array, recycled across queries so
+// concurrent range enumeration allocates nothing in steady state.
+type rangeScratch struct {
+	nodes []int
+	mark  []bool
+}
+
+// CellsInRangeAppend implements Space, appending into out in the same
+// first-seen node order as CellsInRange.
+func (rs *RoadSpace) CellsInRangeAppend(center geo.Point, r float64, out []int) []int {
+	sc, _ := rs.rangePool.Get().(*rangeScratch)
+	if sc == nil {
+		sc = &rangeScratch{}
 	}
-	mark := make([]bool, len(rs.seeds))
-	out := make([]int, 0, 8)
-	for _, nd := range nodes {
-		if c := rs.cellOfNode[nd]; !mark[c] {
-			mark[c] = true
+	sc.nodes = rs.snap.InRadiusAppend(center, r, sc.nodes[:0])
+	if len(sc.nodes) == 0 {
+		rs.rangePool.Put(sc)
+		return out
+	}
+	if len(sc.mark) < len(rs.seeds) {
+		sc.mark = make([]bool, len(rs.seeds))
+	}
+	from := len(out)
+	for _, nd := range sc.nodes {
+		if c := rs.cellOfNode[nd]; !sc.mark[c] {
+			sc.mark[c] = true
 			out = append(out, c)
 		}
 	}
+	// Clear only the marks this query set; the array is pool-shared.
+	for _, c := range out[from:] {
+		sc.mark[c] = false
+	}
+	rs.rangePool.Put(sc)
 	return out
 }
 
@@ -250,7 +278,7 @@ func (rs *RoadSpace) WithinDist(a, b geo.Point, r float64) bool {
 		return true
 	}
 	key := uint64(na)<<32 | uint64(uint32(nb))
-	if ent, ok := rs.lookup(key); ok {
+	if ent, ok := rs.cache.lookup(key); ok {
 		if !ent.lb {
 			return walk+ent.d <= r
 		}
@@ -259,18 +287,18 @@ func (rs *RoadSpace) WithinDist(a, b geo.Point, r float64) bool {
 		}
 		// The cached bound is weaker than this query's radius: the search
 		// still runs, so this lookup avoided nothing — count it as a miss.
-		rs.demoteHit()
+		rs.cache.demoteHit(key)
 	}
 	d, disconnected := rs.net.BoundedShortestDistInfo(na, nb, r-walk)
 	if disconnected {
-		rs.put(key, math.Inf(1), false)
+		rs.cache.put(key, math.Inf(1), false)
 		return false
 	}
 	if math.IsInf(d, 1) {
-		rs.put(key, r-walk, true)
+		rs.cache.put(key, r-walk, true)
 		return false
 	}
-	rs.put(key, d, false)
+	rs.cache.put(key, d, false)
 	return true
 }
 
@@ -280,66 +308,20 @@ func (rs *RoadSpace) WithinDist(a, b geo.Point, r float64) bool {
 // sentinel included).
 func (rs *RoadSpace) nodeDist(na, nb roadnet.NodeID) float64 {
 	key := uint64(na)<<32 | uint64(uint32(nb))
-	if ent, ok := rs.lookup(key); ok {
+	if ent, ok := rs.cache.lookup(key); ok {
 		if !ent.lb {
 			return ent.d
 		}
-		rs.demoteHit() // a bound cannot answer an exact query; A* still runs
+		// A bound cannot answer an exact query; A* still runs.
+		rs.cache.demoteHit(key)
 	}
 	d, _ := rs.net.AStar(na, nb)
-	rs.put(key, d, false)
+	rs.cache.put(key, d, false)
 	return d
 }
 
-// lookup consults the cache, promoting the entry to most-recent on a hit.
-func (rs *RoadSpace) lookup(key uint64) (cacheEntry, bool) {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	el, ok := rs.cache[key]
-	if !ok {
-		rs.miss++
-		return cacheEntry{}, false
-	}
-	rs.hits++
-	rs.lru.MoveToFront(el)
-	return el.Value.(cacheEntry), true
-}
-
-// put inserts or upgrades one cache entry, evicting the least recently used
-// when full. Exact facts are final; a lower bound is replaced by an exact
-// distance or by a larger lower bound, never the other way around.
-func (rs *RoadSpace) put(key uint64, d float64, lb bool) {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	if el, ok := rs.cache[key]; ok {
-		ent := el.Value.(cacheEntry)
-		if ent.lb && (!lb || d > ent.d) {
-			el.Value = cacheEntry{key: key, d: d, lb: lb}
-			rs.lru.MoveToFront(el)
-		}
-		return
-	}
-	if len(rs.cache) >= distCacheSize {
-		oldest := rs.lru.Back()
-		rs.lru.Remove(oldest)
-		delete(rs.cache, oldest.Value.(cacheEntry).key)
-	}
-	rs.cache[key] = rs.lru.PushFront(cacheEntry{key: key, d: d, lb: lb})
-}
-
-// demoteHit reclassifies the most recent lookup hit as a miss: the entry
-// existed but was too weak to answer, so a search ran anyway. Keeps
-// CacheStats an honest measure of avoided searches.
-func (rs *RoadSpace) demoteHit() {
-	rs.mu.Lock()
-	rs.hits--
-	rs.miss++
-	rs.mu.Unlock()
-}
-
-// CacheStats reports shortest-path cache hits and misses since construction.
+// CacheStats reports shortest-path cache hits and misses since construction,
+// summed over all cache stripes.
 func (rs *RoadSpace) CacheStats() (hits, misses int64) {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	return rs.hits, rs.miss
+	return rs.cache.stats()
 }

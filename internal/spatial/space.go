@@ -37,6 +37,9 @@ type Space interface {
 	// Euclidean distance r of center — the candidate cells a worker at
 	// center with range constraint r can supply.
 	CellsInRange(center geo.Point, r float64) []int
+	// CellsInRangeAppend is CellsInRange appending into out; a reused buffer
+	// keeps per-task candidate enumeration allocation-free on hot paths.
+	CellsInRangeAppend(center geo.Point, r float64, out []int) []int
 	// Dist returns the travel distance d(a, b) under the backend's metric:
 	// Euclidean for grids, shortest-path for road networks.
 	Dist(a, b geo.Point) float64

@@ -310,40 +310,32 @@ func BenchmarkRoadSpaceDistCached(b *testing.B) {
 }
 
 // TestDistCacheIsLRU checks the eviction policy: an entry kept hot by
-// lookups survives insertion pressure that evicts cold entries.
+// lookups survives insertion pressure that evicts cold entries. Eviction is
+// per stripe, so the pressure is sized to overflow every stripe's share.
 func TestDistCacheIsLRU(t *testing.T) {
-	nw := roadnet.New()
-	// A long chain: every adjacent pair is a distinct cacheable node pair.
-	n := distCacheSize + 100
-	for i := 0; i < n; i++ {
-		nw.AddNode(geo.Point{X: float64(i), Y: 0})
-		if i > 0 {
-			nw.AddRoad(roadnet.NodeID(i-1), roadnet.NodeID(i))
-		}
-	}
-	rs, err := NewRoadSpace(nw, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := newDistCache(distCacheSize, distCacheStripes)
 	hot := uint64(0)<<32 | uint64(uint32(1))
-	rs.put(hot, 1, false)
-	// Fill the cache past capacity, touching the hot entry along the way.
-	for i := 1; i < n-1; i++ {
-		rs.put(uint64(i)<<32|uint64(uint32(i+1)), 1, false)
+	c.put(hot, 1, false)
+	// Fill the cache to several times total capacity, touching the hot entry
+	// along the way so it stays at the front of its stripe.
+	n := 4 * distCacheSize
+	for i := 1; i < n; i++ {
+		c.put(uint64(i)<<32|uint64(uint32(i+1)), 1, false)
 		if i%64 == 0 {
-			if _, ok := rs.lookup(hot); !ok {
+			if _, ok := c.lookup(hot); !ok {
 				t.Fatalf("hot entry evicted after %d inserts despite recent use", i)
 			}
 		}
 	}
-	if _, ok := rs.lookup(hot); !ok {
+	if _, ok := c.lookup(hot); !ok {
 		t.Fatal("hot entry evicted under pressure: cache is not LRU")
 	}
-	if len(rs.cache) > distCacheSize {
-		t.Fatalf("cache grew to %d entries, cap %d", len(rs.cache), distCacheSize)
+	if got := c.len(); got > distCacheSize {
+		t.Fatalf("cache grew to %d entries, cap %d", got, distCacheSize)
 	}
-	// A cold early entry (never touched again) must be gone.
-	if _, ok := rs.cache[uint64(1)<<32|uint64(uint32(2))]; ok {
+	// A cold early entry (never touched again) must be gone: its stripe has
+	// seen far more fresh inserts than its capacity share since.
+	if _, ok := c.lookup(uint64(1)<<32 | uint64(uint32(2))); ok {
 		t.Fatal("cold entry survived eviction pressure")
 	}
 }

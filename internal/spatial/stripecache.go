@@ -1,0 +1,197 @@
+package spatial
+
+import "sync"
+
+// distCache is a striped LRU over node-pair distance facts: the key space is
+// hashed across a power-of-two number of independent stripes, each with its
+// own lock, LRU order, capacity share, and hit/miss counters. Shard
+// goroutines querying a shared RoadSpace therefore contend only when two
+// queries land on the same stripe, instead of serializing on one global
+// mutex the way the previous single-LRU cache did. Aggregate statistics are
+// the sum of the per-stripe counters.
+//
+// Each stripe is an array-backed intrusive LRU: entries live in a
+// fixed-capacity arena with index links, so steady-state insertion and
+// promotion allocate nothing.
+type distCache struct {
+	stripes []cacheStripe
+	shift   uint // stripe index = hash(key) >> shift
+}
+
+// cacheStripe is one lock's worth of the cache. The entry arena is sized
+// once at construction (capacity / stripe count) and recycled thereafter.
+type cacheStripe struct {
+	mu   sync.Mutex
+	m    map[uint64]int32
+	ents []stripeEntry
+	head int32 // most recently used, -1 when empty
+	tail int32 // least recently used, -1 when empty
+	cap  int
+	hits int64
+	miss int64
+
+	// Pad stripes apart so neighboring locks do not share a cache line.
+	_ [40]byte
+}
+
+type stripeEntry struct {
+	key        uint64
+	d          float64
+	lb         bool
+	prev, next int32 // LRU links, -1 terminated
+}
+
+// newDistCache builds a cache with the given total capacity spread over a
+// power-of-two stripe count. Both arguments must be powers of two with
+// capacity >= stripes.
+func newDistCache(capacity, stripes int) *distCache {
+	per := capacity / stripes
+	c := &distCache{
+		stripes: make([]cacheStripe, stripes),
+		shift:   uint(64 - log2(stripes)),
+	}
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.m = make(map[uint64]int32, per)
+		st.ents = make([]stripeEntry, 0, per)
+		st.head, st.tail = -1, -1
+		st.cap = per
+	}
+	return c
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// stripe maps a key to its stripe. Keys are (nodeA<<32 | nodeB) pairs whose
+// low bits carry little entropy across hot pairs, so a Fibonacci mix spreads
+// them before the top bits select the stripe.
+func (c *distCache) stripe(key uint64) *cacheStripe {
+	return &c.stripes[(key*0x9E3779B97F4A7C15)>>c.shift]
+}
+
+// unlink removes slot i from the stripe's LRU list (the slot stays in the
+// arena and map).
+func (st *cacheStripe) unlink(i int32) {
+	e := &st.ents[i]
+	if e.prev >= 0 {
+		st.ents[e.prev].next = e.next
+	} else {
+		st.head = e.next
+	}
+	if e.next >= 0 {
+		st.ents[e.next].prev = e.prev
+	} else {
+		st.tail = e.prev
+	}
+}
+
+// pushFront makes slot i the most recently used.
+func (st *cacheStripe) pushFront(i int32) {
+	e := &st.ents[i]
+	e.prev, e.next = -1, st.head
+	if st.head >= 0 {
+		st.ents[st.head].prev = i
+	}
+	st.head = i
+	if st.tail < 0 {
+		st.tail = i
+	}
+}
+
+// lookup consults the cache, promoting the entry to most-recent on a hit.
+func (c *distCache) lookup(key uint64) (cacheEntry, bool) {
+	st := c.stripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	i, ok := st.m[key]
+	if !ok {
+		st.miss++
+		return cacheEntry{}, false
+	}
+	st.hits++
+	if st.head != i {
+		st.unlink(i)
+		st.pushFront(i)
+	}
+	e := &st.ents[i]
+	return cacheEntry{key: e.key, d: e.d, lb: e.lb}, true
+}
+
+// put inserts or upgrades one entry, evicting the stripe's least recently
+// used when the stripe is full. Exact facts are final; a lower bound is
+// replaced by an exact distance or by a larger lower bound, never the other
+// way around (the same monotone-upgrade rule as the old single-LRU cache,
+// now enforced per stripe).
+func (c *distCache) put(key uint64, d float64, lb bool) {
+	st := c.stripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if i, ok := st.m[key]; ok {
+		e := &st.ents[i]
+		if e.lb && (!lb || d > e.d) {
+			e.d, e.lb = d, lb
+			if st.head != i {
+				st.unlink(i)
+				st.pushFront(i)
+			}
+		}
+		return
+	}
+	var i int32
+	if len(st.ents) < st.cap {
+		i = int32(len(st.ents))
+		st.ents = append(st.ents, stripeEntry{})
+	} else {
+		// Recycle the least recently used slot.
+		i = st.tail
+		st.unlink(i)
+		delete(st.m, st.ents[i].key)
+	}
+	st.ents[i] = stripeEntry{key: key, d: d, lb: lb, prev: -1, next: -1}
+	st.m[key] = i
+	st.pushFront(i)
+}
+
+// demoteHit reclassifies the most recent lookup hit on key's stripe as a
+// miss: the entry existed but was too weak to answer, so a search ran
+// anyway. Keeps the aggregate stats an honest measure of avoided searches.
+func (c *distCache) demoteHit(key uint64) {
+	st := c.stripe(key)
+	st.mu.Lock()
+	st.hits--
+	st.miss++
+	st.mu.Unlock()
+}
+
+// stats sums hits and misses over all stripes. The totals follow the same
+// accounting as the old single-LRU cache: every lookup is one hit or one
+// miss, with demoteHit reclassifying hits that avoided no work.
+func (c *distCache) stats() (hits, misses int64) {
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		hits += st.hits
+		misses += st.miss
+		st.mu.Unlock()
+	}
+	return hits, misses
+}
+
+// len reports the number of cached entries (for tests).
+func (c *distCache) len() int {
+	n := 0
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		n += len(st.m)
+		st.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,324 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/roadnet"
+)
+
+// TestStripedCacheConcurrent hammers one cache from many goroutines with a
+// key space several times the total capacity, mixing lookups, inserts,
+// upgrades, and demotions. Run under -race it pins the per-stripe locking;
+// the invariants checked afterwards pin that eviction kept every stripe
+// within its share and the counters add up.
+func TestStripedCacheConcurrent(t *testing.T) {
+	c := newDistCache(1<<8, 1<<3)
+	const (
+		workers = 8
+		rounds  = 5000
+		keys    = 1 << 11 // 8x total capacity
+	)
+	var wg sync.WaitGroup
+	var lookups int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			n := int64(0)
+			for i := 0; i < rounds; i++ {
+				key := uint64(rng.Intn(keys))
+				switch rng.Intn(4) {
+				case 0:
+					c.put(key, float64(key), false) // exact fact
+				case 1:
+					c.put(key, rng.Float64()*10, true) // lower bound
+				case 2:
+					if ent, ok := c.lookup(key); ok && ent.lb {
+						c.demoteHit(key) // bound too weak: recount as miss
+					}
+					n++
+				default:
+					if ent, ok := c.lookup(key); ok && !ent.lb && ent.d != float64(key) {
+						t.Errorf("key %d: exact entry carries %v, want %v", key, ent.d, float64(key))
+					}
+					n++
+				}
+			}
+			mu.Lock()
+			lookups += n
+			mu.Unlock()
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	if c.len() > 1<<8 {
+		t.Fatalf("cache holds %d entries, cap %d", c.len(), 1<<8)
+	}
+	hits, misses := c.stats()
+	if hits < 0 || misses < 0 {
+		t.Fatalf("negative counters: hits=%d misses=%d", hits, misses)
+	}
+	// Every lookup is classified exactly once (demoteHit moves a hit to the
+	// miss column without changing the total).
+	if hits+misses != lookups {
+		t.Fatalf("hits+misses = %d, want %d lookups", hits+misses, lookups)
+	}
+}
+
+// TestStripedCacheNegativeEntrySemantics pins the monotone-upgrade rule on
+// whichever stripe each key hashes to: a lower bound may grow or become
+// exact, an exact fact (the unreachable sentinel included) is final.
+func TestStripedCacheNegativeEntrySemantics(t *testing.T) {
+	c := newDistCache(1<<6, 1<<2)
+	// Spread keys so several stripes exercise the rule independently.
+	for key := uint64(0); key < 64; key++ {
+		c.put(key, 5, true) // lower bound: true distance exceeds 5
+		if ent, _ := c.lookup(key); !ent.lb || ent.d != 5 {
+			t.Fatalf("key %d: want lb=5, got %+v", key, ent)
+		}
+		c.put(key, 3, true) // weaker bound: must not downgrade
+		if ent, _ := c.lookup(key); !ent.lb || ent.d != 5 {
+			t.Fatalf("key %d: weaker bound overwrote 5: %+v", key, ent)
+		}
+		c.put(key, 9, true) // stronger bound: upgrade in place
+		if ent, _ := c.lookup(key); !ent.lb || ent.d != 9 {
+			t.Fatalf("key %d: stronger bound not applied: %+v", key, ent)
+		}
+		c.put(key, 12, false) // exact distance finalizes the entry
+		if ent, _ := c.lookup(key); ent.lb || ent.d != 12 {
+			t.Fatalf("key %d: exact fact not applied: %+v", key, ent)
+		}
+		c.put(key, 99, true) // nothing replaces an exact fact
+		c.put(key, 7, false)
+		if ent, _ := c.lookup(key); ent.lb || ent.d != 12 {
+			t.Fatalf("key %d: exact fact overwritten: %+v", key, ent)
+		}
+	}
+	// The unreachable sentinel is an exact fact too.
+	inf := uint64(1 << 40)
+	c.put(inf, math.Inf(1), false)
+	c.put(inf, 100, true)
+	if ent, _ := c.lookup(inf); ent.lb || !math.IsInf(ent.d, 1) {
+		t.Fatalf("unreachable sentinel overwritten: %+v", ent)
+	}
+}
+
+// refLRU is the old single-mutex LRU accounting, reduced to its counter
+// semantics: one hit or one miss per lookup, demote moves one hit to the
+// miss column.
+type refLRU struct {
+	seen       map[uint64]bool
+	hits, miss int64
+}
+
+func (r *refLRU) lookup(key uint64) bool {
+	if r.seen[key] {
+		r.hits++
+		return true
+	}
+	r.miss++
+	return false
+}
+
+// TestStripedCacheStatsMatchSingleLRU replays one deterministic query
+// sequence against the striped cache and the single-LRU reference counter
+// model. Below capacity no eviction can occur in either layout, so the
+// aggregate hit/miss totals must match the old accounting exactly.
+func TestStripedCacheStatsMatchSingleLRU(t *testing.T) {
+	c := newDistCache(1<<10, 1<<4)
+	ref := &refLRU{seen: make(map[uint64]bool)}
+	rng := rand.New(rand.NewSource(7))
+	const keys = 1 << 8 // well below every stripe's share under any skew
+	for i := 0; i < 20000; i++ {
+		key := uint64(rng.Intn(keys))
+		_, ok := c.lookup(key)
+		refOK := ref.lookup(key)
+		if ok != refOK {
+			t.Fatalf("step %d key %d: striped hit=%v, reference hit=%v", i, key, ok, refOK)
+		}
+		if !ok {
+			c.put(key, float64(key), false)
+			ref.seen[key] = true
+		}
+	}
+	hits, misses := c.stats()
+	if hits != ref.hits || misses != ref.miss {
+		t.Fatalf("striped stats (%d,%d) diverge from single-LRU accounting (%d,%d)",
+			hits, misses, ref.hits, ref.miss)
+	}
+}
+
+// TestRoadSpaceCacheStatsAggregate drives real road queries and checks the
+// aggregated stripe counters behave like the old single-cache stats: misses
+// only on first-seen pairs, hits on every repeat.
+func TestRoadSpaceCacheStatsAggregate(t *testing.T) {
+	nw := roadnet.New()
+	const n = 64
+	for i := 0; i < n; i++ {
+		nw.AddNode(geo.Point{X: float64(i), Y: float64(i%5) * 0.1})
+		if i > 0 {
+			nw.AddRoad(roadnet.NodeID(i-1), roadnet.NodeID(i))
+		}
+	}
+	rs, err := NewRoadSpace(nw, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = nw.Coord(roadnet.NodeID(i))
+	}
+	queries := 0
+	for i := 0; i < n; i += 3 {
+		for j := 1; j < n; j += 7 {
+			if rs.SnapNode(pts[i]) == rs.SnapNode(pts[j]) {
+				continue // same-node queries bypass the cache
+			}
+			rs.Dist(pts[i], pts[j])
+			queries++
+		}
+	}
+	hits, misses := rs.CacheStats()
+	if misses != int64(queries) {
+		t.Fatalf("first pass: %d misses for %d distinct pair queries", misses, queries)
+	}
+	if hits != 0 {
+		t.Fatalf("first pass: %d hits, want 0", hits)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < n; i += 3 {
+			for j := 1; j < n; j += 7 {
+				if rs.SnapNode(pts[i]) == rs.SnapNode(pts[j]) {
+					continue
+				}
+				rs.Dist(pts[i], pts[j])
+			}
+		}
+	}
+	hits, missesAfter := rs.CacheStats()
+	if missesAfter != misses {
+		t.Fatalf("repeats grew misses %d -> %d", misses, missesAfter)
+	}
+	if hits != int64(3*queries) {
+		t.Fatalf("repeats: %d hits, want %d", hits, 3*queries)
+	}
+}
+
+// BenchmarkRoadSpaceDistContended measures cache-hit Dist queries issued
+// from every CPU at once — the engine's sharded access pattern. Against the
+// old single-mutex LRU this serialized completely; with the striped cache,
+// goroutines contend only on colliding stripes. Compare with the
+// single-goroutine BenchmarkRoadSpaceDistCached for the contention overhead.
+func BenchmarkRoadSpaceDistContended(b *testing.B) {
+	nw := roadnet.New()
+	rng := rand.New(rand.NewSource(2))
+	const nodes = 2000
+	for i := 0; i < nodes; i++ {
+		nw.AddNode(geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+	}
+	for i := 1; i < nodes; i++ {
+		nw.AddRoad(roadnet.NodeID(i-1), roadnet.NodeID(i))
+		if j := rng.Intn(i); j != i-1 {
+			nw.AddRoad(roadnet.NodeID(j), roadnet.NodeID(i))
+		}
+	}
+	rs, err := NewRoadSpace(nw, 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pairs = 512
+	from := make([]geo.Point, pairs)
+	to := make([]geo.Point, pairs)
+	for i := range from {
+		from[i] = nw.Coord(roadnet.NodeID(rng.Intn(nodes)))
+		to[i] = nw.Coord(roadnet.NodeID(rng.Intn(nodes)))
+		rs.Dist(from[i], to[i]) // warm the cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			rs.Dist(from[i%pairs], to[i%pairs])
+			i++
+		}
+	})
+	b.StopTimer()
+	hits, misses := rs.CacheStats()
+	b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
+}
+
+// BenchmarkStripedCacheLookupParallel isolates the lock-striping win: the
+// same parallel hit workload against a single-stripe cache (the old global
+// mutex, modulo the array-backed arena) and the production stripe count.
+func BenchmarkStripedCacheLookupParallel(b *testing.B) {
+	for _, stripes := range []int{1, distCacheStripes} {
+		b.Run(map[bool]string{true: "stripes=1", false: "striped"}[stripes == 1], func(b *testing.B) {
+			c := newDistCache(distCacheSize, stripes)
+			const keys = 1 << 10
+			for k := uint64(0); k < keys; k++ {
+				c.put(k, float64(k), false)
+			}
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				k := uint64(0)
+				for pb.Next() {
+					c.lookup(k % keys)
+					k++
+				}
+			})
+		})
+	}
+}
+
+// TestRoadSpaceDistConcurrent exercises the striped cache through the public
+// API from many goroutines (run under -race): identical queries must return
+// identical distances regardless of interleaving.
+func TestRoadSpaceDistConcurrent(t *testing.T) {
+	nw := roadnet.New()
+	rng := rand.New(rand.NewSource(3))
+	const nodes = 200
+	for i := 0; i < nodes; i++ {
+		nw.AddNode(geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100})
+	}
+	for i := 1; i < nodes; i++ {
+		nw.AddRoad(roadnet.NodeID(i-1), roadnet.NodeID(i))
+		if j := rng.Intn(i); j != i-1 {
+			nw.AddRoad(roadnet.NodeID(j), roadnet.NodeID(i))
+		}
+	}
+	rs, err := NewRoadSpace(nw, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pairs = 128
+	from := make([]geo.Point, pairs)
+	to := make([]geo.Point, pairs)
+	want := make([]float64, pairs)
+	for i := range from {
+		from[i] = nw.Coord(roadnet.NodeID(rng.Intn(nodes)))
+		to[i] = nw.Coord(roadnet.NodeID(rng.Intn(nodes)))
+		want[i] = rs.Dist(from[i], to[i])
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				k := r.Intn(pairs)
+				if got := rs.Dist(from[k], to[k]); got != want[k] {
+					t.Errorf("pair %d: concurrent Dist = %v, want %v", k, got, want[k])
+					return
+				}
+			}
+		}(int64(w + 100))
+	}
+	wg.Wait()
+}

@@ -364,6 +364,25 @@ func BuildPeriodContext(space Space, period int, tasks []Task, workers []Worker)
 	return core.BuildContext(space, period, tasks, workers, graph)
 }
 
+// PeriodContextBuilder is BuildPeriodContext with reusable scratch arenas:
+// the bipartite graph, the task views, and the per-cell groupings are
+// rebuilt in place batch over batch, so callers pricing a live stream one
+// batch at a time allocate nothing in steady state (the discipline the
+// streaming engine's shards use internally). One builder serves one
+// goroutine; each Build invalidates the previously returned context.
+type PeriodContextBuilder struct {
+	cellIx market.CellIndexScratch
+	ctx    core.ContextScratch
+}
+
+// Build assembles the period context over the builder's arenas. The result
+// is identical to BuildPeriodContext's (byte-identical graph adjacency,
+// same grouping content).
+func (b *PeriodContextBuilder) Build(space Space, period int, tasks []Task, workers []Worker) *PeriodContext {
+	graph := market.BuildBipartiteCellIndexScratch(space, tasks, workers, &b.cellIx)
+	return core.BuildContextScratch(space, period, tasks, workers, graph, &b.ctx)
+}
+
 // OracleFromModel adapts a valuation model into a calibration oracle with
 // its own deterministic random stream; it stands in for "requesters who
 // recently issued tasks" when simulating.

@@ -112,6 +112,26 @@ func TestPublicBuildPeriodContext(t *testing.T) {
 	}
 }
 
+func TestPublicPeriodContextBuilder(t *testing.T) {
+	grid := spatialcrowd.Grid(geo.SquareGrid(8, 4))
+	var b spatialcrowd.PeriodContextBuilder
+	for period := 0; period < 5; period++ {
+		tasks := []spatialcrowd.Task{
+			{ID: period * 10, Origin: spatialcrowd.Point{X: 1, Y: 5}, Distance: 2},
+			{ID: period*10 + 1, Origin: spatialcrowd.Point{X: float64(period), Y: 1}, Distance: 3},
+		}
+		workers := []spatialcrowd.Worker{{ID: 1, Loc: spatialcrowd.Point{X: 3, Y: 5}, Radius: 2.5, Duration: 1}}
+		got := b.Build(grid, period, tasks, workers)
+		want := spatialcrowd.BuildPeriodContext(grid, period, tasks, workers)
+		if len(got.Tasks) != len(want.Tasks) || got.Graph.NumEdges() != want.Graph.NumEdges() ||
+			len(got.Cells) != len(want.Cells) {
+			t.Fatalf("period %d: builder context diverges: %d tasks/%d edges/%d cells, want %d/%d/%d",
+				period, len(got.Tasks), got.Graph.NumEdges(), len(got.Cells),
+				len(want.Tasks), want.Graph.NumEdges(), len(want.Cells))
+		}
+	}
+}
+
 func TestPublicExperimentRunner(t *testing.T) {
 	r := spatialcrowd.NewRunner()
 	r.Scale = 100
