@@ -12,11 +12,12 @@
 //	    go run ./cmd/benchgate -write BENCH_engine.json
 //
 // Benchmark names are normalized by stripping the -GOMAXPROCS suffix, so a
-// baseline recorded on one core count gates runs on another. ns/op is the
-// gated throughput measure (ops/s is its reciprocal); allocs/op and B/op are
-// recorded in the baseline so the allocation trajectory is versioned, and
-// allocs/op regressions are reported as warnings without failing the gate
-// (they are machine-independent but workload-version dependent).
+// baseline recorded on one core count gates runs on another. Two measures
+// are gated: ns/op throughput (machine-dependent, generous default budget)
+// and allocs/op (machine-independent, so the zero-allocation hot-path wins
+// cannot silently rot — a -max-alloc-regress overrun fails the gate; small
+// drifts above the baseline are still reported as warnings). B/op is
+// recorded in the baseline so the allocation trajectory stays versioned.
 package main
 
 import (
@@ -54,6 +55,8 @@ func main() {
 	baselinePath := flag.String("baseline", "", "committed baseline JSON to gate against")
 	writePath := flag.String("write", "", "write parsed results as a new baseline JSON")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional throughput regression")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.25, "maximum allowed fractional allocs/op regression")
+	allocSlack := flag.Float64("alloc-slack", 16, "absolute allocs/op slack added to the limit: near-zero baselines (3-4 allocs/op) see warm-up noise worth a few allocs at short benchtimes, while the rot this gate exists to catch reintroduces hundreds of per-item allocations")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -129,20 +132,29 @@ func main() {
 		fmt.Printf("%-4s %-55s ns/op %12.0f -> %12.0f (%+.1f%%, limit %+.1f%%)\n",
 			status, cur.Name, old.NsPerOp, cur.NsPerOp, change*100,
 			(limit/old.NsPerOp-1)*100)
-		if old.AllocsPerOp > 0 && cur.AllocsPerOp > old.AllocsPerOp*1.05 {
-			fmt.Printf("warn %-55s allocs/op %10.0f -> %10.0f (not gated)\n",
-				cur.Name, old.AllocsPerOp, cur.AllocsPerOp)
+		// Gate even on a zero-alloc baseline (slack alone is the limit):
+		// exempting zero would exempt exactly the benchmarks this gate
+		// protects. Baselines must therefore be recorded with -benchmem.
+		allocLimit := old.AllocsPerOp*(1+*maxAllocRegress) + *allocSlack
+		switch {
+		case cur.AllocsPerOp > allocLimit:
+			failed = true
+			fmt.Printf("FAIL %-55s allocs/op %10.0f -> %10.0f (limit %.0f)\n",
+				cur.Name, old.AllocsPerOp, cur.AllocsPerOp, allocLimit)
+		case cur.AllocsPerOp > old.AllocsPerOp*1.05+1:
+			fmt.Printf("warn %-55s allocs/op %10.0f -> %10.0f (limit %.0f)\n",
+				cur.Name, old.AllocsPerOp, cur.AllocsPerOp, allocLimit)
 		}
 	}
 	if compared == 0 {
 		fatal(fmt.Errorf("no benchmarks in common between run and baseline %s", *baselinePath))
 	}
 	if failed {
-		fmt.Println("benchgate: throughput regression beyond the allowed budget")
+		fmt.Println("benchgate: regression beyond the allowed budget (throughput or allocs/op)")
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) within the %.0f%% regression budget\n",
-		compared, *maxRegress*100)
+	fmt.Printf("benchgate: %d benchmark(s) within the budgets (%.0f%% ns/op, %.0f%% allocs/op)\n",
+		compared, *maxRegress*100, *maxAllocRegress*100)
 }
 
 // parse extracts benchmark result lines from go test -bench output.

@@ -14,6 +14,8 @@
 //	serve -det                    # deterministic single-threaded mode
 //	serve -mobility 0.3           # synthetic worker mobility: moves + cross-shard migrations
 //	serve -requests 100000 -workers 25000
+//	serve -checkpoint-every 100   # periodic crash-safe checkpoints to -checkpoint-file
+//	serve -restore serve.ckpt     # resume an interrupted replay from a checkpoint
 package main
 
 import (
@@ -61,6 +63,10 @@ func main() {
 		mobility = flag.Float64("mobility", 0, "per-worker per-period move probability (0 disables the mobility trace)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		probes   = flag.Int("probes", 200, "base-pricing calibration probes per price")
+
+		ckptEvery = flag.Int("checkpoint-every", 0, "write a crash-safe engine checkpoint every k periods (0 disables)")
+		ckptFile  = flag.String("checkpoint-file", "serve.ckpt", "checkpoint path for -checkpoint-every")
+		restore   = flag.String("restore", "", "restore the engine from this checkpoint and resume the replay after its last period")
 	)
 	flag.Parse()
 
@@ -116,9 +122,31 @@ func main() {
 		fatal(err)
 	}
 
-	var moves []market.Move
+	opts := engine.ReplayOpts{}
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		err = eng.Restore(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		opts.From = eng.RestoredPeriod() + 1
+		fmt.Printf("restored checkpoint %s: resuming at period %d\n", *restore, opts.From)
+	}
+	if *ckptEvery > 0 {
+		opts.AfterPeriod = func(p int) error {
+			if (p+1)%*ckptEvery != 0 {
+				return nil
+			}
+			return writeCheckpoint(eng, *ckptFile)
+		}
+	}
+
 	if *mobility > 0 {
-		moves = workload.MobilityTrace(in, workload.MobilityConfig{
+		opts.Moves = workload.MobilityTrace(in, workload.MobilityConfig{
 			MoveProb: *mobility, Seed: *seed + 2,
 		})
 	}
@@ -130,11 +158,11 @@ func main() {
 	fmt.Printf("replaying %d tasks / %d workers / %d periods through %s (%s, window %d, p_b %.2f)\n",
 		len(in.Tasks), len(in.Workers), in.Periods, *strategy, mode, *window, pb)
 	fmt.Printf("spatial backend: %s (%d cells)\n", spatial.BackendName(sp), sp.NumCells())
-	if len(moves) > 0 {
-		fmt.Printf("mobility trace: %d moves (p=%.2f)\n", len(moves), *mobility)
+	if len(opts.Moves) > 0 {
+		fmt.Printf("mobility trace: %d moves (p=%.2f)\n", len(opts.Moves), *mobility)
 	}
 
-	n, err := engine.ReplayMobility(eng, in, moves)
+	n, err := engine.ReplayWith(eng, in, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -233,6 +261,27 @@ func strategyFactory(name string, params core.Params, basep *core.BaseP) (func(i
 	default:
 		return nil, fmt.Errorf("unknown -strategy %q (want maps, basep, sdr, or sde)", name)
 	}
+}
+
+// writeCheckpoint atomically replaces path with a fresh engine checkpoint
+// (write to a temp file, then rename), so a crash mid-write cannot corrupt
+// the last good checkpoint.
+func writeCheckpoint(eng *engine.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := eng.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatal(err error) {

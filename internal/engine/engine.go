@@ -131,6 +131,12 @@ type Engine struct {
 	batches atomic.Int64
 	late    atomic.Int64 // decisions/offlines for unknown or settled targets
 
+	// Strategy-contract violations (malformed price vectors): the batch is
+	// dropped and the typed error surfaced through Stats.
+	stratErrs    atomic.Int64
+	stratErrMu   sync.Mutex
+	lastStratErr error
+
 	// Lifecycle counters (atomic; see LifecycleStats). pooled is a gauge of
 	// workers currently in shard pools; tracked mirrors the router table
 	// size so Stats can read it without touching router-owned state.
@@ -149,12 +155,20 @@ type Engine struct {
 	// Batch-grain aggregates. Revenue is kept per shard only (each shard
 	// accumulates its own batches in a deterministic order) and totaled in
 	// shard-index order at snapshot time, so the float sum is independent
-	// of goroutine scheduling.
-	aggMu        sync.Mutex
-	accepted     int64
-	served       int64
-	shardRevenue []float64
-	shardTasks   []int64 // tasks priced per shard (per-shard throughput)
+	// of goroutine scheduling. The carried values cover state restored onto
+	// a different shard layout, where per-shard attribution is lost (see
+	// checkpoint.go).
+	aggMu          sync.Mutex
+	accepted       int64
+	served         int64
+	shardRevenue   []float64
+	shardTasks     []int64 // tasks priced per shard (per-shard throughput)
+	carriedRevenue float64
+
+	// Checkpoint restore bookkeeping (written before any event, read-only
+	// afterwards).
+	restored       bool
+	restoredPeriod int
 
 	latMu sync.Mutex
 	p50   *stats.PSquare
@@ -341,6 +355,10 @@ func (e *Engine) route() {
 			} else {
 				e.late.Add(1)
 			}
+		case kindCheckpoint:
+			e.routerCheckpoint(ev.ctl.(*ctlCheckpoint))
+		case kindRestore:
+			e.routerRestore(ev.ctl.(*ctlRestore))
 		}
 	}
 	for _, s := range e.shards {
@@ -407,6 +425,13 @@ func (e *Engine) pruneRoutes(period int) {
 		e.taskShardCur = make(map[int]int)
 		e.taskRotated = period
 	}
+	e.applyNotes()
+	e.syncTableGauges()
+}
+
+// applyNotes folds the pending shard-reported lifecycle notes into the
+// worker table (router goroutine only).
+func (e *Engine) applyNotes() {
 	e.notesMu.Lock()
 	notes := e.notes
 	e.notes = nil
@@ -414,7 +439,6 @@ func (e *Engine) pruneRoutes(period int) {
 	for _, n := range notes {
 		e.workers.apply(n)
 	}
-	e.syncTableGauges()
 }
 
 // syncTableGauges mirrors the router table's size and held count into
@@ -435,7 +459,6 @@ func (e *Engine) noteLifecycle(notes []lifecycleNote) {
 	e.notes = append(e.notes, notes...)
 	e.notesMu.Unlock()
 }
-
 
 // Close drains the event stream and stops the shard goroutines, finalizing
 // in-flight quoted batches (unanswered quotes count as rejections). It is
@@ -512,6 +535,17 @@ func (e *Engine) deliver(d Decision) {
 	e.outMu.Lock()
 	e.out = append(e.out, d)
 	e.outMu.Unlock()
+}
+
+// noteStrategyError records a dropped pricing batch: the shard's strategy
+// violated the one-price-per-task contract (a typed *window.PriceCountError),
+// so the batch's tasks went unpriced rather than panicking the shard
+// goroutine. Stats surfaces the count and the most recent error.
+func (e *Engine) noteStrategyError(err error) {
+	e.stratErrs.Add(1)
+	e.stratErrMu.Lock()
+	e.lastStratErr = err
+	e.stratErrMu.Unlock()
 }
 
 // noteBatch folds one finalized batch into the aggregate statistics.

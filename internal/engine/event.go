@@ -47,6 +47,14 @@ const (
 	// kindAdmit inserts a migrated worker into its new shard's pool: the
 	// admit-in-new-shard half of the cross-shard migration handshake.
 	kindAdmit
+	// kindCheckpoint barriers a checkpoint through the router and shards:
+	// each recipient serializes its state into the control payload and
+	// acknowledges. Riding the event FIFO guarantees the snapshot reflects
+	// every previously submitted event.
+	kindCheckpoint
+	// kindRestore installs a previously checkpointed state, before any
+	// market event has been submitted.
+	kindRestore
 )
 
 // Event is one element of the engine's input stream. Use the constructors;
@@ -63,6 +71,7 @@ type Event struct {
 
 	at  time.Time  // stamped by Submit; decision latencies measure from here
 	mig *migration // router-owned cross-shard migration handshake
+	ctl any        // checkpoint/restore control payload (see checkpoint.go)
 }
 
 // migration carries the reply channel of the synchronous migrate-out

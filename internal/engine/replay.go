@@ -25,13 +25,34 @@ func Replay(e *Engine, in *market.Instance) (int, error) {
 // sim.Run's own recorded moves (sim.Config.OnMove) reproduces the
 // simulator's revenue exactly.
 func ReplayMobility(e *Engine, in *market.Instance, moves []market.Move) (int, error) {
+	return ReplayWith(e, in, ReplayOpts{Moves: moves})
+}
+
+// ReplayOpts parameterizes ReplayWith.
+type ReplayOpts struct {
+	// Moves is an optional mobility trace interleaved as in ReplayMobility.
+	Moves []market.Move
+	// From starts the replay at this period instead of 0, skipping every
+	// earlier event: the resume half of an interrupted replay. After
+	// Engine.Restore, From = RestoredPeriod() + 1 continues the stream
+	// exactly where the checkpoint left off.
+	From int
+	// AfterPeriod, when set, runs after each period's events have been
+	// submitted — the hook cmd/serve uses to write periodic checkpoints. A
+	// returned error aborts the replay.
+	AfterPeriod func(period int) error
+}
+
+// ReplayWith is the general replay driver: Replay and ReplayMobility are
+// thin wrappers over it.
+func ReplayWith(e *Engine, in *market.Instance, opts ReplayOpts) (int, error) {
 	if err := in.Validate(); err != nil {
 		return 0, err
 	}
 	tasksByPeriod := in.TasksByPeriod()
 	arrivals := in.WorkersByStart()
-	movesByPeriod := make(map[int][]market.Move, len(moves))
-	for _, m := range moves {
+	movesByPeriod := make(map[int][]market.Move, len(opts.Moves))
+	for _, m := range opts.Moves {
 		movesByPeriod[m.Period] = append(movesByPeriod[m.Period], m)
 	}
 	n := 0
@@ -42,7 +63,11 @@ func ReplayMobility(e *Engine, in *market.Instance, moves []market.Move) (int, e
 		n++
 		return nil
 	}
-	for t := 0; t < in.Periods; t++ {
+	from := opts.From
+	if from < 0 {
+		from = 0
+	}
+	for t := from; t < in.Periods; t++ {
 		if err := submit(Tick(t)); err != nil {
 			return n, err
 		}
@@ -58,6 +83,11 @@ func ReplayMobility(e *Engine, in *market.Instance, moves []market.Move) (int, e
 		}
 		for _, task := range tasksByPeriod[t] {
 			if err := submit(TaskArrival(task)); err != nil {
+				return n, err
+			}
+		}
+		if opts.AfterPeriod != nil {
+			if err := opts.AfterPeriod(t); err != nil {
 				return n, err
 			}
 		}

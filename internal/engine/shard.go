@@ -1,12 +1,12 @@
 package engine
 
 import (
-	"fmt"
 	"time"
 
 	"spatialcrowd/internal/core"
 	"spatialcrowd/internal/market"
 	"spatialcrowd/internal/match"
+	"spatialcrowd/internal/window"
 )
 
 // shard owns the market state of a subset of grid cells: the worker pool,
@@ -40,30 +40,26 @@ type shard struct {
 	pending *pendingBatch   // quoted batch awaiting requester decisions
 	notes   []lifecycleNote // pool transitions since the last flush to the router
 
-	scratch batchScratch // per-batch arenas, reused every window
+	// exec is the shard's window-execution core: the shared
+	// price -> accept -> assign pipeline (internal/window) with all graph,
+	// context, and matcher arenas inside, reused window over window.
+	exec    *window.Executor
+	scratch batchScratch // engine-side per-batch arenas, reused every window
 }
 
-// batchScratch is the shard's reusable per-batch working state. One pricing
-// window fully consumes a batch before the next window rebuilds it (a quoted
-// batch is finalized by the next closeBatch before any arena is reused), so
-// every arena below is recycled window over window and the steady-state hot
-// path allocates nothing beyond what strategies return.
+// batchScratch is the shard's reusable engine-side working state (the
+// pipeline's own arenas live in the executor). One pricing window fully
+// consumes a batch before the next window rebuilds it (a quoted batch is
+// finalized by the next closeBatch before any arena is reused), so every
+// arena below is recycled window over window and the steady-state hot path
+// allocates nothing beyond what strategies return.
 type batchScratch struct {
-	ix      *market.WorkerIndex      // k-d candidate index (kd mode), rebuilt in place
-	kdGraph *match.Graph             // bipartite graph arena (kd mode)
-	cellIx  market.CellIndexScratch  // graph builder arena (cell-index mode)
-	ctx     core.ContextScratch      // PeriodContext arena
-	mw      match.MaxWeightScratch   // greedy assignment arena (AutoDecide)
-	inc     *match.Incremental       // quoted-batch matcher, reset per quote
-	pb      pendingBatch             // quoted-batch shell, reused per quote
-	batchW  []market.Worker          // filtered/stable batch worker copies
-	poolIdx []int                    // batch index -> pool position (AutoDecide filter)
-	acc     []bool                   // per-task accept flags (AutoDecide)
-	weights []float64                // per-task matching weights (AutoDecide)
-	cons    []int                    // consumed pool positions (AutoDecide)
-	ds      []Decision               // decision batch buffer (copied on emit)
-	matched []bool                   // per-right matched flags (finalizePending)
-	drop    []bool                   // per-position drop marks (consume)
+	pb      pendingBatch    // quoted-batch shell, reused per quote
+	batchW  []market.Worker // filtered/stable batch worker copies
+	poolIdx []int           // batch index -> pool position (AutoDecide filter)
+	cons    []int           // consumed pool positions (AutoDecide)
+	ds      []Decision      // decision batch buffer (copied on emit)
+	drop    []bool          // per-position drop marks (consume)
 }
 
 // pendingBatch is a priced batch whose requesters have not all replied
@@ -81,8 +77,13 @@ type pendingBatch struct {
 }
 
 func newShard(id int, eng *Engine, strat core.Strategy) *shard {
+	mode := window.GraphKD
+	if eng.cfg.CellIndexGraphs {
+		mode = window.GraphCellIndex
+	}
 	return &shard{id: id, eng: eng, strat: strat, window: eng.cfg.Window,
-		poolPos: make(map[int]int)}
+		poolPos: make(map[int]int),
+		exec:    window.NewExecutor(eng.space, mode)}
 }
 
 // run drains the shard's channel until the router closes it, then finalizes
@@ -114,6 +115,14 @@ func (s *shard) handle(ev Event) {
 		s.evictStale(ev.WorkerID, ev.at)
 	case kindAdmit:
 		s.admit(ev.Worker)
+	case kindCheckpoint:
+		sub := ev.ctl.(*ctlShardCheckpoint)
+		st, err := s.checkpoint()
+		*sub.out = st
+		sub.done <- err
+	case kindRestore:
+		sub := ev.ctl.(*ctlShardRestore)
+		sub.done <- s.restore(sub.st)
 	}
 }
 
@@ -358,15 +367,20 @@ func (s *shard) sortPoolByArrival() {
 }
 
 // closeBatch prices the open window as of the given period: finalize the
-// previous quoted batch, evict lapsed workers, build the batch bipartite
-// graph from k-d tree candidates, price it with the shard's strategy, and
-// either resolve it immediately (AutoDecide) or quote it and wait.
+// previous quoted batch, evict lapsed workers, then run the unified window
+// pipeline (internal/window): graph + context construction, pricing, and
+// either immediate resolution (AutoDecide) or a quote that waits for
+// requester replies.
 //
 // Everything the batch builds — worker copies, graph, context, matcher,
-// decision buffers — lives in s.scratch and is reused window over window;
-// a batch fully settles (the quoted case at this closeBatch's
+// decision buffers — lives in s.exec and s.scratch and is reused window
+// over window; a batch fully settles (the quoted case at this closeBatch's
 // finalizePending, the AutoDecide case within resolve) before any arena is
 // touched again.
+//
+// A strategy returning a malformed price vector drops the batch (its tasks
+// go unpriced) and surfaces a typed *window.PriceCountError through
+// Stats.LastStrategyError instead of panicking the shard goroutine.
 func (s *shard) closeBatch(period int, at time.Time) {
 	s.finalizePending(at)
 	s.evictExpired(period)
@@ -416,71 +430,43 @@ func (s *shard) closeBatch(period int, at time.Time) {
 		poolIdx = nil
 	}
 
-	var graph *match.Graph
-	if s.eng.cfg.CellIndexGraphs {
-		graph = market.BuildBipartiteCellIndexScratch(s.eng.space, tasks, batchWorkers, &sc.cellIx)
-	} else {
-		if sc.ix == nil {
-			sc.ix = market.NewWorkerIndex(batchWorkers)
-		} else {
-			sc.ix.Reindex(batchWorkers)
-		}
-		if sc.kdGraph == nil {
-			sc.kdGraph = match.NewGraph(len(tasks), len(batchWorkers))
-		}
-		graph = sc.ix.BuildGraphInto(tasks, sc.kdGraph)
-	}
-	ctx := core.BuildContextScratch(s.eng.space, period, tasks, batchWorkers, graph, &sc.ctx)
-	prices := s.strat.Prices(ctx)
-	if len(prices) != len(tasks) {
-		panic(fmt.Sprintf("engine: strategy %s returned %d prices for %d tasks",
-			s.strat.Name(), len(prices), len(tasks)))
+	pr, err := s.exec.Price(s.strat, period, tasks, batchWorkers)
+	if err != nil {
+		s.eng.noteStrategyError(err)
+		return
 	}
 	s.eng.notePriced(s.id, len(tasks))
 
 	if auto {
-		s.resolve(tasks, ctx, graph, prices, batchWorkers, poolIdx, at)
+		s.resolve(pr, tasks, batchWorkers, poolIdx, at)
 	} else {
-		s.quote(ctx, graph, prices, batchWorkers, at)
+		s.quote(pr, batchWorkers, at)
 	}
 }
 
-// resolve applies the requesters' valuations immediately and assigns the
-// accepting tasks with match.MaxWeightByLeft — greedy-by-weight incremental
-// augmentation, exact for left-weighted graphs — so the deterministic
-// engine reproduces the simulator's assignment values by construction.
-func (s *shard) resolve(tasks []market.Task, ctx *core.PeriodContext, graph *match.Graph,
-	prices []float64, batchWorkers []market.Worker, poolIdx []int, at time.Time) {
+// resolve applies the requesters' valuations immediately through the
+// executor — exact left-weighted maximum-weight assignment, so the
+// deterministic engine reproduces the simulator's values by construction —
+// and translates the outcome into decisions and pool consumption. The
+// executor observes before consume compacts the pool backing array that
+// ctx.Workers may alias.
+func (s *shard) resolve(pr *window.Priced, tasks []market.Task,
+	batchWorkers []market.Worker, poolIdx []int, at time.Time) {
 	sc := &s.scratch
-	n := len(tasks)
-	weight := func(i int) float64 { return ctx.Tasks[i].Distance * prices[i] }
+	out := s.exec.ResolveImmediate(s.strat, pr, tasks)
+	ctx, prices := pr.Ctx, pr.Prices
 
-	accepted := resizeZeroed(&sc.acc, n)
-	acceptedCount := 0
-	weights := resizeZeroed(&sc.weights, n) // rejected tasks weigh 0, never matched
-	for i := range tasks {
-		if tasks[i].Accepts(prices[i]) {
-			accepted[i] = true
-			acceptedCount++
-			weights[i] = weight(i)
-		}
-	}
-	m, _ := match.MaxWeightByLeftScratch(graph, weights, &sc.mw)
-
-	ds := resizeDecisions(&sc.ds, n)
+	ds := resizeDecisions(&sc.ds, len(tasks))
 	consumed := sc.cons[:0]
-	served, revenue := 0, 0.0
 	for i := range tasks {
 		d := Decision{TaskID: ctx.Tasks[i].ID, Period: ctx.Period, Cell: ctx.Tasks[i].Cell,
 			Price: prices[i], WorkerID: -1}
-		if accepted[i] {
+		if out.Accepted[i] {
 			d.Accepted = true
-			if r := m.LeftTo[i]; r >= 0 {
+			if r := out.Matching.LeftTo[i]; r >= 0 {
 				d.Served = true
 				d.WorkerID = batchWorkers[r].ID
-				d.Revenue = weight(i)
-				served++
-				revenue += d.Revenue
+				d.Revenue = ctx.Tasks[i].Distance * prices[i]
 				if poolIdx != nil {
 					consumed = append(consumed, poolIdx[r])
 				} else {
@@ -491,31 +477,22 @@ func (s *shard) resolve(tasks []market.Task, ctx *core.PeriodContext, graph *mat
 		ds[i] = d
 	}
 	sc.cons = consumed
-	// Observe before consume: consume compacts the pool backing array that
-	// ctx.Workers may alias, and strategies are entitled to read ctx in
-	// Observe.
-	s.strat.Observe(ctx, prices, accepted)
 	s.consume(consumed)
-	s.eng.noteBatch(s.id, acceptedCount, served, revenue)
+	s.eng.noteBatch(s.id, out.AcceptedCount, out.Served, out.Revenue)
 	s.eng.emitAll(ds, at)
 }
 
 // quote emits one price offer per task and parks the batch until requesters
 // reply (or the next window closes it with the silent ones as rejections).
-func (s *shard) quote(ctx *core.PeriodContext, graph *match.Graph, prices []float64,
-	batchWorkers []market.Worker, at time.Time) {
+func (s *shard) quote(pr *window.Priced, batchWorkers []market.Worker, at time.Time) {
 	sc := &s.scratch
+	ctx, prices := pr.Ctx, pr.Prices
 	n := len(ctx.Tasks)
-	if sc.inc == nil {
-		sc.inc = match.NewIncremental(graph)
-	} else {
-		sc.inc.Reset(graph)
-	}
 	pb := &sc.pb
 	pb.ctx = ctx
 	pb.prices = prices
 	pb.workers = batchWorkers
-	pb.inc = sc.inc
+	pb.inc = s.exec.ArmQuoted(pr)
 	pb.decided = resizeZeroed(&pb.decided, n)
 	pb.accepted = resizeZeroed(&pb.accepted, n)
 	if pb.taskIdx == nil {
@@ -623,9 +600,10 @@ func (s *shard) augmentQuoted(pb *pendingBatch, l int, at time.Time) bool {
 
 // finalizePending closes the books on the quoted batch: unanswered quotes
 // lapse as rejections (each gets a terminal unaccepted Decision so stream
-// consumers can settle their open-quote state), the matching state at this
-// instant is what the platform commits, matched workers are consumed, and
-// the strategy observes the accept/reject outcomes.
+// consumers can settle their open-quote state), the executor settles the
+// committed matching and feeds the strategy its accept/reject outcomes,
+// matched workers are consumed, and unmatched ones are released from the
+// quoted hold.
 func (s *shard) finalizePending(at time.Time) {
 	pb := s.pending
 	if pb == nil {
@@ -633,37 +611,26 @@ func (s *shard) finalizePending(at time.Time) {
 	}
 	s.pending = nil
 	sc := &s.scratch
-	m := pb.inc.Matching()
 	lapsed := sc.ds[:0]
-	matched := resizeZeroed(&sc.matched, len(pb.workers))
-	acceptedCount, served, revenue := 0, 0, 0.0
 	for i, acc := range pb.accepted {
-		if !acc {
-			if !pb.decided[i] {
-				tv := pb.ctx.Tasks[i]
-				lapsed = append(lapsed, Decision{TaskID: tv.ID, Period: pb.ctx.Period,
-					Cell: tv.Cell, Price: pb.prices[i], WorkerID: -1})
-			}
-			continue
-		}
-		acceptedCount++
-		if r := m.LeftTo[i]; r >= 0 {
-			matched[r] = true
-			served++
-			revenue += pb.ctx.Tasks[i].Distance * pb.prices[i]
-			s.removeWorkerID(pb.workers[r].ID, RetireAssigned)
+		if !acc && !pb.decided[i] {
+			tv := pb.ctx.Tasks[i]
+			lapsed = append(lapsed, Decision{TaskID: tv.ID, Period: pb.ctx.Period,
+				Cell: tv.Cell, Price: pb.prices[i], WorkerID: -1})
 		}
 	}
 	sc.ds = lapsed[:0]
-	// Release the batch's hold on every unconsumed worker: back to plain
-	// online in the lifecycle table, migratable again.
+	out := s.exec.SettleQuoted(s.strat, pb.ctx, pb.prices, pb.inc, pb.accepted)
+	// Consume matched workers; release the batch's hold on every unconsumed
+	// one: back to plain online in the lifecycle table, migratable again.
 	for r := range pb.workers {
-		if !matched[r] {
+		if out.MatchedRights[r] {
+			s.removeWorkerID(pb.workers[r].ID, RetireAssigned)
+		} else {
 			s.note(pb.workers[r].ID, noteReleased)
 		}
 	}
-	s.eng.noteBatch(s.id, acceptedCount, served, revenue)
-	s.strat.Observe(pb.ctx, pb.prices, pb.accepted)
+	s.eng.noteBatch(s.id, out.AcceptedCount, out.Served, out.Revenue)
 	s.eng.emitAll(lapsed, at)
 }
 

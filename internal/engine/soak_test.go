@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"math/rand"
@@ -81,12 +82,53 @@ func TestSoakRandomizedLifecycle(t *testing.T) {
 	for _, shards := range []int{0, 4} {
 		t.Run("shards="+strconv.Itoa(shards), func(t *testing.T) {
 			reportFailureSeed(t, seed, budget)
-			runSoak(t, seed, budget, shards)
+			runSoak(t, seed, budget, shards, false)
 		})
 	}
 }
 
-func runSoak(t *testing.T, seed int64, budget, shards int) {
+// TestSoakCheckpointRestore is the same randomized soak with a mid-stream
+// checkpoint/restore: halfway through the budget the engine is
+// checkpointed (pending quoted batches included), discarded, and replaced
+// by a fresh engine restored from the checkpoint, which then serves the
+// rest of the stream. Extra invariant at the seam: no worker is lost or
+// duplicated across the restore. Every end-of-run invariant then holds on
+// the restored engine.
+func TestSoakCheckpointRestore(t *testing.T) {
+	seed, budget := soakSeed(), soakEvents(t)
+	for _, shards := range []int{0, 4} {
+		t.Run("shards="+strconv.Itoa(shards), func(t *testing.T) {
+			reportFailureSeed(t, seed, budget)
+			runSoak(t, seed, budget, shards, true)
+		})
+	}
+}
+
+// pooledIDs collects the IDs pooled across an idle engine's shards,
+// failing on duplicates. Safe after Checkpoint/Restore returned and before
+// the next Submit (the control round-trip orders the memory).
+func pooledIDs(t *testing.T, e *Engine, when string) map[int]bool {
+	t.Helper()
+	ids := map[int]bool{}
+	pools := [][]market.Worker{}
+	if e.det != nil {
+		pools = append(pools, e.det.pool)
+	}
+	for _, s := range e.shards {
+		pools = append(pools, s.pool)
+	}
+	for _, pool := range pools {
+		for _, w := range pool {
+			if ids[w.ID] {
+				t.Fatalf("%s: worker %d pooled twice", when, w.ID)
+			}
+			ids[w.ID] = true
+		}
+	}
+	return ids
+}
+
+func runSoak(t *testing.T, seed int64, budget, shards int, restoreMid bool) {
 	t.Helper()
 	grid := geo.SquareGrid(100, 8) // 64 cells
 	cfg := Config{Grid: grid, Shards: shards}
@@ -141,7 +183,40 @@ func runSoak(t *testing.T, seed int64, budget, shards int) {
 	// Event mix per period; tuned so ~budget events span a few thousand
 	// periods with constant churn.
 	period := 0
+	restored := false
 	for submitted < budget {
+		// Mid-stream crash/recovery: checkpoint (quoted batches pending),
+		// discard the engine, restore into a fresh one, keep streaming.
+		if restoreMid && !restored && submitted >= budget/2 {
+			restored = true
+			var ck bytes.Buffer
+			if err := e.Checkpoint(&ck); err != nil {
+				t.Fatalf("mid-stream checkpoint: %v", err)
+			}
+			// The checkpoint barrier guarantees every pre-checkpoint decision
+			// has been emitted; collect them before discarding the engine
+			// (Close would re-finalize state the restored engine still owns).
+			drain()
+			before := pooledIDs(t, e, "pre-restore")
+			_ = e.Close()
+			fresh, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Restore(bytes.NewReader(ck.Bytes())); err != nil {
+				t.Fatalf("mid-stream restore: %v", err)
+			}
+			after := pooledIDs(t, fresh, "post-restore")
+			if len(after) != len(before) {
+				t.Fatalf("restore changed the pool: %d workers before, %d after", len(before), len(after))
+			}
+			for id := range before {
+				if !after[id] {
+					t.Fatalf("worker %d lost across restore", id)
+				}
+			}
+			e = fresh
+		}
 		sub(Tick(period))
 
 		// Answer ~70% of the previous window's quotes (random accepts).

@@ -34,6 +34,13 @@ type Stats struct {
 	// target (duplicate decisions, offlines or moves for unknown workers,
 	// duplicate onlines, replies after their batch finalized).
 	Late int64
+	// StrategyErrors counts pricing batches dropped because the strategy
+	// violated the one-price-per-task contract; LastStrategyError is the
+	// most recent such error (a typed *window.PriceCountError), nil when
+	// none occurred. The batch's tasks go unpriced instead of panicking the
+	// shard goroutine.
+	StrategyErrors    int64
+	LastStrategyError error
 	// Lifecycle aggregates the worker-lifecycle counters.
 	Lifecycle LifecycleStats
 	// P50Latency / P99Latency are online P² quantile estimates of decision
@@ -80,8 +87,9 @@ func (e *Engine) Stats() Stats {
 		Events:      e.events.Load(),
 		TasksPriced: e.priced.Load(),
 		Quoted:      e.quoted.Load(),
-		Batches:     e.batches.Load(),
-		Late:        e.late.Load(),
+		Batches:        e.batches.Load(),
+		Late:           e.late.Load(),
+		StrategyErrors: e.stratErrs.Load(),
 		Lifecycle: LifecycleStats{
 			Onlines:          e.lcOnlines.Load(),
 			DuplicateOnlines: e.lcDuplicates.Load(),
@@ -96,11 +104,17 @@ func (e *Engine) Stats() Stats {
 			TrackedHeld:      e.trackedHeld.Load(),
 		},
 	}
+	e.stratErrMu.Lock()
+	s.LastStrategyError = e.lastStratErr
+	e.stratErrMu.Unlock()
 	e.aggMu.Lock()
 	s.Accepted = e.accepted
 	s.Served = e.served
 	s.ShardRevenue = append([]float64(nil), e.shardRevenue...)
 	s.ShardTasks = append([]int64(nil), e.shardTasks...)
+	// Revenue restored onto a different shard layout loses per-shard
+	// attribution; the carried total keeps Revenue exact (checkpoint.go).
+	s.Revenue = e.carriedRevenue
 	e.aggMu.Unlock()
 	for _, r := range s.ShardRevenue {
 		s.Revenue += r
@@ -157,6 +171,9 @@ func (s Stats) String() string {
 	}
 	if s.Late > 0 {
 		fmt.Fprintf(&b, "late        %d\n", s.Late)
+	}
+	if s.StrategyErrors > 0 {
+		fmt.Fprintf(&b, "strategy    %d dropped batches (last: %v)\n", s.StrategyErrors, s.LastStrategyError)
 	}
 	return b.String()
 }

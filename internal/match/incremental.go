@@ -180,3 +180,20 @@ func (in *Incremental) RestoreRight(r int) bool {
 func (in *Incremental) Removed(r int) bool {
 	return r >= 0 && r < in.g.NRight() && in.removed[r] == in.removedGen
 }
+
+// RestorePair force-installs the pairing (l, r) without searching for an
+// augmenting path. It exists for checkpoint restore: a matcher re-armed
+// over a deterministically rebuilt graph is brought back to its recorded
+// matching pair by pair. Both vertices must be unmatched and r not removed;
+// violations report false and change nothing.
+func (in *Incremental) RestorePair(l, r int) bool {
+	if l < 0 || l >= in.g.NLeft() || r < 0 || r >= in.g.NRight() {
+		return false
+	}
+	if in.m.LeftTo[l] >= 0 || in.m.RightTo[r] >= 0 || in.removed[r] == in.removedGen {
+		return false
+	}
+	in.m.LeftTo[l] = r
+	in.m.RightTo[r] = l
+	return true
+}

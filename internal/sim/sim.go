@@ -13,9 +13,9 @@ import (
 
 	"spatialcrowd/internal/core"
 	"spatialcrowd/internal/market"
-	"spatialcrowd/internal/match"
 	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/stats"
+	"spatialcrowd/internal/window"
 )
 
 // Config controls one simulation run.
@@ -91,6 +91,11 @@ type Result struct {
 // persist across periods until they are either consumed by an assignment or
 // their availability duration lapses; tasks expire at the end of their
 // period, as in the paper's batch mode.
+//
+// Run is a thin driver over the unified window-execution core
+// (internal/window): each period's price -> accept -> assign pipeline runs
+// through the same window.Executor the streaming engine's shards use, so
+// the two paths cannot drift apart.
 func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
@@ -108,12 +113,14 @@ func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
 	}
 
 	space := in.Spatial()
+	exec := window.NewExecutor(space, window.GraphCellIndex)
 	tasksByPeriod := in.TasksByPeriod()
 	arrivals := in.WorkersByStart()
 
 	// The active pool holds workers that have arrived, are unconsumed, and
 	// whose duration has not lapsed.
 	active := make([]market.Worker, 0, 1024)
+	var drop []bool // reused consumed-worker marks
 
 	var ms runtime.MemStats
 	sampleMem := func(period int) {
@@ -142,50 +149,39 @@ func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
 			sampleMem(t)
 			continue
 		}
+		poolAtPricing := len(active)
 
-		graph := market.BuildBipartiteIndexed(in, tasks, active)
-		ctx := core.BuildContext(space, t, tasks, active, graph)
-
-		start := time.Now()
-		prices := strat.Prices(ctx)
-		res.StrategyTime += time.Since(start)
-		if len(prices) != len(tasks) {
-			return Result{}, fmt.Errorf("sim: strategy %s returned %d prices for %d tasks",
-				strat.Name(), len(prices), len(tasks))
+		pr, err := exec.Price(strat, t, tasks, active)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %w", err)
 		}
-
-		// Requesters decide against their private valuations.
-		accepted := make([]bool, len(tasks))
-		acceptedIdx := make([]int, 0, len(tasks))
-		for i, task := range tasks {
-			accepted[i] = task.Accepts(prices[i])
-			if accepted[i] {
-				acceptedIdx = append(acceptedIdx, i)
-				res.Accepted++
-			}
-		}
+		out := exec.ResolveImmediate(strat, pr, tasks)
+		res.StrategyTime += pr.PriceTime + out.ObserveTime
+		res.MatchingTime += out.MatchTime
 		res.Offered += len(tasks)
+		res.Accepted += out.AcceptedCount
+		res.Served += out.Served
+		res.Revenue += out.Revenue
 
-		// Platform-side assignment: maximum-weight matching on the accepted
-		// subgraph; matched workers are consumed.
-		mt := time.Now()
-		served, revenue, consumed := assign(ctx, graph, prices, acceptedIdx)
-		res.MatchingTime += time.Since(mt)
-		res.Served += served
-		res.Revenue += revenue
-		if len(consumed) > 0 {
+		// Matched workers are consumed: compact the pool preserving order.
+		if len(out.ConsumedRights) > 0 {
+			if cap(drop) >= len(active) {
+				drop = drop[:len(active)]
+				clear(drop)
+			} else {
+				drop = make([]bool, len(active))
+			}
+			for _, r := range out.ConsumedRights {
+				drop[r] = true
+			}
 			live = active[:0]
 			for wi, w := range active {
-				if !consumed[wi] {
+				if !drop[wi] {
 					live = append(live, w)
 				}
 			}
 			active = live
 		}
-
-		start = time.Now()
-		strat.Observe(ctx, prices, accepted)
-		res.StrategyTime += time.Since(start)
 
 		if cfg.RepositionSpeed > 0 {
 			if gp, ok := strat.(core.GridPricer); ok {
@@ -195,7 +191,7 @@ func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
 
 		if cfg.Trace {
 			sum := 0.0
-			for _, p := range prices {
+			for _, p := range pr.Prices {
 				sum += p
 				medianQ.Add(p)
 				p90Q.Add(p)
@@ -203,10 +199,10 @@ func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
 			res.Trace = append(res.Trace, PeriodStats{
 				Period:    t,
 				Tasks:     len(tasks),
-				Workers:   len(active) + len(consumed), // pool at pricing time
-				Accepted:  len(acceptedIdx),
-				Served:    served,
-				Revenue:   revenue,
+				Workers:   poolAtPricing,
+				Accepted:  out.AcceptedCount,
+				Served:    out.Served,
+				Revenue:   out.Revenue,
 				MeanPrice: sum / float64(len(tasks)),
 			})
 		}
@@ -258,31 +254,3 @@ func repositionWorkers(space spatial.Space, period int, workers []market.Worker,
 	}
 }
 
-// assign computes the final max-weight matching over accepting tasks and
-// returns the number served, the revenue, and the consumed worker positions
-// (indexed into the period's worker slice), or nil when nothing matched.
-func assign(ctx *core.PeriodContext, graph *match.Graph, prices []float64, acceptedIdx []int) (int, float64, map[int]bool) {
-	if len(acceptedIdx) == 0 {
-		return 0, 0, nil
-	}
-	sub, origin := graph.InducedLeft(acceptedIdx)
-	weights := make([]float64, len(origin))
-	for i, l := range origin {
-		weights[i] = ctx.Tasks[l].Distance * prices[l]
-	}
-	m, revenue := match.MaxWeightByLeft(sub, weights)
-	served := 0
-	var consumed map[int]bool
-	for l, r := range m.LeftTo {
-		if r < 0 {
-			continue
-		}
-		served++
-		if consumed == nil {
-			consumed = make(map[int]bool)
-		}
-		consumed[r] = true
-		_ = l
-	}
-	return served, revenue, consumed
-}

@@ -1,0 +1,286 @@
+// Package window is the unified window-execution core: the single canonical
+// price -> accept -> assign pipeline that both the offline period simulator
+// (internal/sim) and the streaming dispatch engine (internal/engine) drive.
+// One Executor owns the batch's bipartite-graph builder, the pricing context,
+// the assignment matcher, and all of their scratch arenas, so a caller
+// executing one window per batch allocates nothing in steady state — the
+// discipline PR-4 established for the engine's shards, now shared by every
+// execution path.
+//
+// A window executes in two phases:
+//
+//  1. Price: build the task-worker bipartite graph (cell-index or k-d tree
+//     candidates), assemble the strategy-facing PeriodContext, and ask the
+//     Strategy for one unit price per task. A malformed price vector is a
+//     typed *PriceCountError, never a panic.
+//  2. Resolve: either immediately (ResolveImmediate — requesters decide
+//     against their private valuations and accepting tasks are assigned by
+//     the exact left-weighted maximum-weight matching) or quoted
+//     (ArmQuoted/SettleQuoted — the caller collects requester replies
+//     against a match.Incremental and the executor settles the final books).
+//
+// One Executor serves one goroutine. Each Price (or Rebuild) call
+// invalidates the previously returned Priced and everything reachable from
+// it; quoted batches must therefore be settled before the next Price — the
+// same window-over-window discipline the engine's shards always had.
+package window
+
+import (
+	"fmt"
+	"time"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/match"
+	"spatialcrowd/internal/spatial"
+)
+
+// GraphMode selects the batch bipartite-graph builder.
+type GraphMode uint8
+
+const (
+	// GraphCellIndex builds the graph from the spatial cell index — the
+	// offline simulator's historical "indexed" construction
+	// (market.BuildBipartiteIndexed delegates to the same builder). Candidate
+	// enumeration order, and therefore adjacency order and matching tie
+	// breaks, is byte-identical to the simulator's, which is what makes
+	// deterministic replay reproduce sim revenue bit for bit.
+	GraphCellIndex GraphMode = iota
+	// GraphKD builds the graph from k-d tree candidates over the worker
+	// pool — the same edge set in a different adjacency order; faster on
+	// large pools.
+	GraphKD
+)
+
+// PriceCountError reports a Strategy that returned the wrong number of
+// prices for a batch — the contract violation both execution paths must
+// surface instead of indexing out of bounds.
+type PriceCountError struct {
+	Strategy string // Strategy.Name()
+	Got      int    // prices returned
+	Want     int    // tasks in the batch
+}
+
+// Error implements error.
+func (e *PriceCountError) Error() string {
+	return fmt.Sprintf("window: strategy %s returned %d prices for %d tasks",
+		e.Strategy, e.Got, e.Want)
+}
+
+// Priced is one priced, not-yet-resolved window: the strategy-facing
+// context, the batch bipartite graph, and the strategy's prices. It is
+// backed by the executor's arenas and valid until the executor's next
+// Price or Rebuild call.
+type Priced struct {
+	Ctx    *core.PeriodContext
+	Graph  *match.Graph
+	Prices []float64
+	// PriceTime is the wall time spent inside Strategy.Prices — the
+	// simulator's "running time" metric excludes the platform's own work.
+	PriceTime time.Duration
+}
+
+// Outcome is the settled result of one window: the requesters' decisions,
+// the committed assignment, and the revenue the platform accrued. Slices
+// are backed by the executor's arenas and valid until its next resolve.
+type Outcome struct {
+	// Accepted flags each task whose requester accepted the offer.
+	Accepted      []bool
+	AcceptedCount int
+	// Served counts assigned tasks; Revenue is the sum of d_r * p_r over
+	// them, accumulated in task order (both callers' historical order, so
+	// refactoring did not move a single float addition).
+	Served  int
+	Revenue float64
+	// Matching maps task index -> batch-worker index (LeftTo), the
+	// committed assignment.
+	Matching *match.Matching
+	// ConsumedRights lists the consumed batch-worker indices in task order
+	// (immediate resolution).
+	ConsumedRights []int
+	// MatchedRights flags each consumed batch-worker index (quoted
+	// settlement).
+	MatchedRights []bool
+	// MatchTime and ObserveTime split the platform-side assignment cost
+	// from the strategy's learning cost (immediate resolution only).
+	MatchTime   time.Duration
+	ObserveTime time.Duration
+}
+
+// Executor owns the canonical window pipeline and its reusable arenas.
+// Create one with NewExecutor; it serves a single goroutine.
+type Executor struct {
+	space spatial.Space
+	mode  GraphMode
+
+	// Arenas, reused window over window.
+	cellIx  market.CellIndexScratch // graph builder (cell-index mode)
+	ix      *market.WorkerIndex     // k-d candidate index (kd mode)
+	kdGraph *match.Graph            // bipartite graph arena (kd mode)
+	ctxSc   core.ContextScratch     // PeriodContext arena
+	mw      match.MaxWeightScratch  // immediate-assignment arena
+	inc     *match.Incremental      // quoted-batch matcher, reset per quote
+	acc     []bool                  // per-task accept flags
+	weights []float64               // per-task matching weights
+	cons    []int                   // consumed batch-worker indices
+	matched []bool                  // per-right matched flags (quoted settle)
+
+	pr  Priced
+	out Outcome
+}
+
+// NewExecutor returns an executor over the given spatial backend and graph
+// mode.
+func NewExecutor(space spatial.Space, mode GraphMode) *Executor {
+	return &Executor{space: space, mode: mode}
+}
+
+// Space reports the executor's spatial backend.
+func (x *Executor) Space() spatial.Space { return x.space }
+
+// Mode reports the executor's graph-builder mode.
+func (x *Executor) Mode() GraphMode { return x.mode }
+
+// Price executes phase one of a window: build the batch graph and context
+// over the executor's arenas and price the tasks with the strategy. The
+// returned Priced is valid until the next Price or Rebuild call. A strategy
+// returning the wrong number of prices yields a *PriceCountError and leaves
+// nothing half-resolved.
+func (x *Executor) Price(strat core.Strategy, period int, tasks []market.Task, workers []market.Worker) (*Priced, error) {
+	pr := x.Rebuild(period, tasks, workers)
+	start := time.Now()
+	prices := strat.Prices(pr.Ctx)
+	pr.PriceTime = time.Since(start)
+	if len(prices) != len(tasks) {
+		return nil, &PriceCountError{Strategy: strat.Name(), Got: len(prices), Want: len(tasks)}
+	}
+	pr.Prices = prices
+	return pr, nil
+}
+
+// Rebuild reconstructs the graph and context of a batch without invoking
+// the strategy, leaving Prices nil. Checkpoint restore uses it to re-arm a
+// pending quoted batch against prices recorded earlier; construction is
+// deterministic, so the rebuilt adjacency is identical to the original.
+func (x *Executor) Rebuild(period int, tasks []market.Task, workers []market.Worker) *Priced {
+	var graph *match.Graph
+	switch x.mode {
+	case GraphKD:
+		if x.ix == nil {
+			x.ix = market.NewWorkerIndex(workers)
+		} else {
+			x.ix.Reindex(workers)
+		}
+		if x.kdGraph == nil {
+			x.kdGraph = match.NewGraph(len(tasks), len(workers))
+		}
+		graph = x.ix.BuildGraphInto(tasks, x.kdGraph)
+	default:
+		graph = market.BuildBipartiteCellIndexScratch(x.space, tasks, workers, &x.cellIx)
+	}
+	ctx := core.BuildContextScratch(x.space, period, tasks, workers, graph, &x.ctxSc)
+	x.pr = Priced{Ctx: ctx, Graph: graph}
+	return &x.pr
+}
+
+// ResolveImmediate executes phase two in immediate mode: requesters decide
+// against their private valuations (the raw tasks parallel to pr.Ctx.Tasks),
+// accepting tasks are assigned with the exact left-weighted maximum-weight
+// matching, and the strategy observes the outcomes. Observe runs before the
+// caller compacts its worker pool, so strategies may still read the context.
+func (x *Executor) ResolveImmediate(strat core.Strategy, pr *Priced, tasks []market.Task) *Outcome {
+	n := len(tasks)
+	accepted := resizeZeroed(&x.acc, n)
+	weights := resizeZeroed(&x.weights, n) // rejected tasks weigh 0, never matched
+	acceptedCount := 0
+	for i := range tasks {
+		if tasks[i].Accepts(pr.Prices[i]) {
+			accepted[i] = true
+			acceptedCount++
+			weights[i] = pr.Ctx.Tasks[i].Distance * pr.Prices[i]
+		}
+	}
+	mt := time.Now()
+	m, _ := match.MaxWeightByLeftScratch(pr.Graph, weights, &x.mw)
+	matchTime := time.Since(mt)
+
+	consumed := x.cons[:0]
+	served, revenue := 0, 0.0
+	for i := range tasks {
+		if accepted[i] {
+			if r := m.LeftTo[i]; r >= 0 {
+				served++
+				revenue += weights[i]
+				consumed = append(consumed, r)
+			}
+		}
+	}
+	x.cons = consumed
+
+	ot := time.Now()
+	strat.Observe(pr.Ctx, pr.Prices, accepted)
+	x.out = Outcome{
+		Accepted: accepted, AcceptedCount: acceptedCount,
+		Served: served, Revenue: revenue,
+		Matching: m, ConsumedRights: consumed,
+		MatchTime: matchTime, ObserveTime: time.Since(ot),
+	}
+	return &x.out
+}
+
+// ArmQuoted re-arms the executor's incremental matcher over the priced
+// batch's graph for quoted resolution: the caller augments it one requester
+// reply at a time (and repairs around withdrawn workers) and finally settles
+// with SettleQuoted.
+func (x *Executor) ArmQuoted(pr *Priced) *match.Incremental {
+	if x.inc == nil {
+		x.inc = match.NewIncremental(pr.Graph)
+	} else {
+		x.inc.Reset(pr.Graph)
+	}
+	return x.inc
+}
+
+// SettleQuoted closes the books on a quoted batch: the matching state at
+// this instant is what the platform commits. Given the batch's context,
+// prices, matcher, and per-task accept flags, it computes the finalized
+// outcome (MatchedRights flags the consumed batch workers) and feeds the
+// accept/reject outcomes to the strategy.
+func (x *Executor) SettleQuoted(strat core.Strategy, ctx *core.PeriodContext, prices []float64,
+	inc *match.Incremental, accepted []bool) *Outcome {
+	m := inc.Matching()
+	matched := resizeZeroed(&x.matched, len(ctx.Workers))
+	acceptedCount, served, revenue := 0, 0, 0.0
+	for i, acc := range accepted {
+		if !acc {
+			continue
+		}
+		acceptedCount++
+		if r := m.LeftTo[i]; r >= 0 {
+			matched[r] = true
+			served++
+			revenue += ctx.Tasks[i].Distance * prices[i]
+		}
+	}
+	strat.Observe(ctx, prices, accepted)
+	x.out = Outcome{
+		Accepted: accepted, AcceptedCount: acceptedCount,
+		Served: served, Revenue: revenue,
+		Matching: m, MatchedRights: matched,
+	}
+	return &x.out
+}
+
+// resizeZeroed returns *p resized to n zero-valued entries, reusing
+// capacity.
+func resizeZeroed[T any](p *[]T, n int) []T {
+	s := *p
+	if cap(s) >= n {
+		s = s[:n]
+		clear(s)
+	} else {
+		s = make([]T, n)
+	}
+	*p = s
+	return s
+}

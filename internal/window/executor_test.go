@@ -1,0 +1,192 @@
+package window_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/engine"
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/sim"
+	"spatialcrowd/internal/window"
+	"spatialcrowd/internal/workload"
+)
+
+type flatStrategy struct {
+	price    float64
+	observes int
+}
+
+func (f *flatStrategy) Name() string { return "flat" }
+func (f *flatStrategy) Prices(ctx *core.PeriodContext) []float64 {
+	out := make([]float64, len(ctx.Tasks))
+	for i := range out {
+		out[i] = f.price
+	}
+	return out
+}
+func (f *flatStrategy) Observe(*core.PeriodContext, []float64, []bool) { f.observes++ }
+
+type badCount struct{}
+
+func (badCount) Name() string                                   { return "bad" }
+func (badCount) Prices(ctx *core.PeriodContext) []float64       { return nil }
+func (badCount) Observe(*core.PeriodContext, []float64, []bool) {}
+
+// TestExecutorSharedSimEngineProperty is the executor-sharing property
+// test: for a sweep of random workloads, the offline simulator and the
+// deterministic streaming engine — both now thin drivers over the same
+// window.Executor — must produce bit-identical revenue and identical
+// funnels. Before the unified core this equivalence was maintained by two
+// hand-rolled pipelines; now it is structural, and this test guards the
+// wiring on both sides.
+func TestExecutorSharedSimEngineProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23, 91} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			in, _, err := workload.Synthetic(workload.SyntheticConfig{
+				Workers: 150 + int(seed)*13, Requests: 600 + int(seed)*29,
+				Periods: 30, GridSide: 4, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := func() core.Strategy {
+				m, err := core.NewMAPS(core.DefaultParams(), 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			simRes, err := sim.Run(in, mk(), sim.Config{Params: core.DefaultParams()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := engine.New(engine.Config{
+				Grid: in.Grid, Strategy: mk(), AutoDecide: true,
+				CellIndexGraphs: true, OnDecision: func(engine.Decision) {},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := engine.Replay(e, in); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st := e.Stats()
+			if simRes.Revenue <= 0 {
+				t.Fatalf("degenerate workload: sim revenue %v", simRes.Revenue)
+			}
+			if st.Revenue != simRes.Revenue {
+				t.Fatalf("engine revenue %v != sim revenue %v (shared executor must agree exactly)",
+					st.Revenue, simRes.Revenue)
+			}
+			if st.Served != int64(simRes.Served) || st.Accepted != int64(simRes.Accepted) ||
+				st.TasksPriced != int64(simRes.Offered) {
+				t.Fatalf("funnel mismatch: engine %d/%d/%d, sim %d/%d/%d",
+					st.TasksPriced, st.Accepted, st.Served,
+					simRes.Offered, simRes.Accepted, simRes.Served)
+			}
+		})
+	}
+}
+
+func exampleBatch() ([]market.Task, []market.Worker, geo.Grid) {
+	grid := geo.SquareGrid(100, 10)
+	tasks := []market.Task{
+		{ID: 1, Origin: geo.Point{X: 11, Y: 11}, Distance: 3, Valuation: 5},
+		{ID: 2, Origin: geo.Point{X: 9, Y: 9}, Distance: 2, Valuation: 1}, // rejects price 2
+		{ID: 3, Origin: geo.Point{X: 90, Y: 90}, Distance: 5, Valuation: 5}, // out of range
+	}
+	workers := []market.Worker{
+		{ID: 10, Loc: geo.Point{X: 10, Y: 10}, Radius: 10, Duration: 100},
+		{ID: 11, Loc: geo.Point{X: 12, Y: 10}, Radius: 10, Duration: 100},
+	}
+	return tasks, workers, grid
+}
+
+// TestExecutorResolveImmediate pins the immediate pipeline on a hand-sized
+// batch: accepts, assignment, revenue, consumed rights, and the Observe
+// call.
+func TestExecutorResolveImmediate(t *testing.T) {
+	tasks, workers, grid := exampleBatch()
+	for _, mode := range []window.GraphMode{window.GraphCellIndex, window.GraphKD} {
+		x := window.NewExecutor(grid, mode)
+		strat := &flatStrategy{price: 2}
+		pr, err := x.Price(strat, 0, tasks, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pr.Prices) != 3 || pr.Prices[0] != 2 {
+			t.Fatalf("mode %d: prices %v", mode, pr.Prices)
+		}
+		out := x.ResolveImmediate(strat, pr, tasks)
+		if !out.Accepted[0] || out.Accepted[1] || !out.Accepted[2] || out.AcceptedCount != 2 {
+			t.Fatalf("mode %d: accepts %v", mode, out.Accepted)
+		}
+		// Only task 1 is servable: revenue d*p = 6, one worker consumed.
+		if out.Served != 1 || out.Revenue != 6 || len(out.ConsumedRights) != 1 {
+			t.Fatalf("mode %d: outcome %+v", mode, out)
+		}
+		if r := out.Matching.LeftTo[0]; r != out.ConsumedRights[0] {
+			t.Fatalf("mode %d: matching %v vs consumed %v", mode, out.Matching.LeftTo, out.ConsumedRights)
+		}
+		if strat.observes != 1 {
+			t.Fatalf("mode %d: observe called %d times", mode, strat.observes)
+		}
+	}
+}
+
+// TestExecutorQuotedSettle drives the quoted path directly: arm, augment on
+// acceptance, settle, and check the committed books.
+func TestExecutorQuotedSettle(t *testing.T) {
+	tasks, workers, grid := exampleBatch()
+	x := window.NewExecutor(grid, window.GraphCellIndex)
+	strat := &flatStrategy{price: 2}
+	pr, err := x.Price(strat, 0, tasks, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := x.ArmQuoted(pr)
+	accepted := make([]bool, len(tasks))
+	// Requester of task 1 accepts and is provisionally assigned; task 2's
+	// requester declines; task 3 never answers.
+	accepted[0] = true
+	if !inc.TryAugment(0) {
+		t.Fatal("task 1 should be assignable")
+	}
+	out := x.SettleQuoted(strat, pr.Ctx, pr.Prices, inc, accepted)
+	if out.AcceptedCount != 1 || out.Served != 1 || out.Revenue != 6 {
+		t.Fatalf("settlement %+v", out)
+	}
+	matchedCount := 0
+	for _, m := range out.MatchedRights {
+		if m {
+			matchedCount++
+		}
+	}
+	if matchedCount != 1 {
+		t.Fatalf("matched rights %v, want exactly one", out.MatchedRights)
+	}
+	if strat.observes != 1 {
+		t.Fatalf("observe called %d times", strat.observes)
+	}
+}
+
+// TestExecutorPriceCountError pins the typed contract-violation error.
+func TestExecutorPriceCountError(t *testing.T) {
+	tasks, workers, grid := exampleBatch()
+	x := window.NewExecutor(grid, window.GraphCellIndex)
+	_, err := x.Price(badCount{}, 0, tasks, workers)
+	var pce *window.PriceCountError
+	if !errors.As(err, &pce) {
+		t.Fatalf("err = %v, want *PriceCountError", err)
+	}
+	if pce.Strategy != "bad" || pce.Got != 0 || pce.Want != 3 {
+		t.Fatalf("error detail %+v", *pce)
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"spatialcrowd/internal/sim"
 	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/stats"
+	"spatialcrowd/internal/window"
 	"spatialcrowd/internal/workload"
 )
 
@@ -165,7 +166,62 @@ type (
 	Series = exp.Series
 )
 
+// Unified window-execution core: the single canonical
+// price -> accept -> assign pipeline shared by the offline simulator (Run)
+// and the streaming engine's shards. Library users pricing live batches
+// outside either driver can execute windows directly through it.
+type (
+	// WindowExecutor owns one window pipeline and its reusable arenas
+	// (graph builder, pricing context, matchers). One executor serves one
+	// goroutine.
+	WindowExecutor = window.Executor
+	// WindowGraphMode selects the batch graph builder (cell index or k-d
+	// tree candidates).
+	WindowGraphMode = window.GraphMode
+	// WindowPriced is a priced, not-yet-resolved window.
+	WindowPriced = window.Priced
+	// WindowOutcome is the settled result of one window.
+	WindowOutcome = window.Outcome
+	// PriceCountError is the typed contract violation for strategies that
+	// return the wrong number of prices.
+	PriceCountError = window.PriceCountError
+)
+
+// Graph-builder modes for NewWindowExecutor.
+const (
+	// WindowGraphCellIndex enumerates worker candidates through the spatial
+	// cell index — the offline simulator's construction, byte-identical
+	// adjacency for deterministic replay.
+	WindowGraphCellIndex = window.GraphCellIndex
+	// WindowGraphKD enumerates candidates through a k-d tree — same edge
+	// set, faster on large pools.
+	WindowGraphKD = window.GraphKD
+)
+
+// NewWindowExecutor returns a window executor over the given spatial
+// backend and graph mode.
+func NewWindowExecutor(space Space, mode WindowGraphMode) *WindowExecutor {
+	return window.NewExecutor(space, mode)
+}
+
+// Strategy-state snapshots (exact, for engine checkpoint/restore).
+type (
+	// StateSnapshotter is the optional Strategy extension for strategies
+	// whose learned state can be captured and restored exactly (MAPS,
+	// CappedUCB, ParametricMAPS).
+	StateSnapshotter = core.StateSnapshotter
+	// StrategyState is a strategy's complete serializable learned state.
+	StrategyState = core.StrategyState
+	// CellSnapshot is one cell's serialized learning state.
+	CellSnapshot = core.CellSnapshot
+)
+
 // Streaming dispatch engine (the online counterpart of Run; see cmd/serve).
+// The Engine also exposes Checkpoint(io.Writer) / Restore(io.Reader) /
+// RestoredPeriod() for crash-safe state snapshots: checkpoint a
+// deterministic engine, restore into a fresh one, resume the stream from
+// RestoredPeriod()+1, and the run's revenue is reproduced exactly (see
+// EXPERIMENTS.md for the recipe).
 type (
 	// Engine is the real-time streaming dispatch engine: it ingests task /
 	// worker / decision events, prices batches every window with any
@@ -210,6 +266,19 @@ func ReplayInstance(e *Engine, in *Instance) (int, error) { return engine.Replay
 // through SimConfig.OnMove, reproduces Run's revenue exactly.
 func ReplayInstanceMobility(e *Engine, in *Instance, moves []Move) (int, error) {
 	return engine.ReplayMobility(e, in, moves)
+}
+
+// ReplayOpts parameterizes ReplayInstanceWith: an optional mobility trace,
+// a starting period (resuming after Engine.Restore), and a per-period hook
+// (periodic checkpoints).
+type ReplayOpts = engine.ReplayOpts
+
+// ReplayInstanceWith is the general replay driver: ReplayInstance and
+// ReplayInstanceMobility are thin wrappers over it. Use From =
+// Engine.RestoredPeriod() + 1 to resume an interrupted replay after a
+// checkpoint restore, and AfterPeriod to write periodic checkpoints.
+func ReplayInstanceWith(e *Engine, in *Instance, opts ReplayOpts) (int, error) {
+	return engine.ReplayWith(e, in, opts)
 }
 
 // GenerateMobilityTrace fabricates a random per-period worker mobility
