@@ -1,0 +1,192 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"spatialcrowd/internal/engine"
+	"spatialcrowd/internal/server"
+	"spatialcrowd/internal/server/loadgen"
+	"spatialcrowd/internal/spatial"
+)
+
+// buildServer assembles the multi-tenant dispatch server from the flags:
+// one isolated engine per -tenants name, all sharing the workload's spatial
+// backend and base-price calibration but nothing else.
+func buildServer(o *options, s *setup) (*server.Server, []string, error) {
+	names := strings.Split(o.tenants, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	scfg := server.Config{}
+	for _, name := range names {
+		tc := server.TenantConfig{
+			Name:   name,
+			Engine: engineConfig(o, s, !o.quoted),
+		}
+		if o.ckptDir != "" {
+			tc.CheckpointPath = filepath.Join(o.ckptDir, name+".ckpt")
+		}
+		if o.restore != "" {
+			tc.RestoreFrom = o.restore
+		}
+		scfg.Tenants = append(scfg.Tenants, tc)
+	}
+	srv, err := server.New(scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, names, nil
+}
+
+// runListen hosts the dispatch service until SIGINT/SIGTERM, then drains:
+// ingestion quiesces (503), every tenant writes its checkpoint (when
+// -checkpoint-dir is set), engines close, and the listener shuts down.
+func runListen(o *options) error {
+	s, err := buildSetup(o)
+	if err != nil {
+		return err
+	}
+	srv, names, err := buildServer(o, s)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	mode := "auto-decide (replay traffic carries valuations)"
+	if o.quoted {
+		mode = "quoted (requesters answer with decision events)"
+	}
+	cfg := engineConfig(o, s, !o.quoted)
+	fmt.Printf("dispatch service on http://%s\n", ln.Addr())
+	fmt.Printf("tenants: %s (one engine each: %d shards, window %d, %s strategy)\n",
+		strings.Join(names, ", "), cfg.Shards, o.window, o.strategy)
+	fmt.Printf("spatial backend: %s (%d cells), mode: %s\n",
+		spatial.BackendName(s.sp), s.sp.NumCells(), mode)
+	if o.ckptDir != "" {
+		fmt.Printf("drain checkpoints: %s/<tenant>.ckpt\n", o.ckptDir)
+	}
+
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("\n%v: draining...\n", sig)
+	case err := <-errCh:
+		return err
+	}
+	if err := srv.Drain(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve: drain:", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if t, ok := srv.Tenant(name); ok {
+			st := t.Engine().Stats()
+			fmt.Printf("\n[%s] ingested %d over HTTP, rejected %d\n%s", name, t.Ingested(), t.Rejected(), st)
+		}
+	}
+	return nil
+}
+
+// runSelftest is the loopback smoke test: a real server on a random port,
+// the load generator pushing the full synthetic trace over sockets, and an
+// exact revenue comparison against an in-process replay of the same trace
+// through an identically configured engine. It exercises every layer the
+// network path adds (JSON codec, chunked ingest, admission control, drain)
+// and fails loudly on any divergence.
+func runSelftest(o *options) error {
+	s, err := buildSetup(o)
+	if err != nil {
+		return err
+	}
+
+	// Reference: in-process replay, identical engine configuration. For a
+	// fixed submission order the engine is deterministic, so the HTTP path
+	// must land on exactly this revenue.
+	refCfg := engineConfig(o, s, true)
+	refCfg.OnDecision = func(engine.Decision) {}
+	ref, err := engine.New(refCfg)
+	if err != nil {
+		return err
+	}
+	if _, err := engine.ReplayWith(ref, s.in, engine.ReplayOpts{}); err != nil {
+		return err
+	}
+	if err := ref.Close(); err != nil {
+		return err
+	}
+	refStats := ref.Stats()
+
+	srv, err := server.New(server.Config{Tenants: []server.TenantConfig{{
+		Name:   "selftest",
+		Engine: engineConfig(o, s, true),
+	}}})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	fmt.Printf("selftest: %s, %d tasks / %d workers / %d periods, chunk %d\n",
+		base, len(s.in.Tasks), len(s.in.Workers), s.in.Periods, o.genChunk)
+
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL:     base,
+		Tenant:      "selftest",
+		ChunkEvents: o.genChunk,
+		Window:      o.window,
+	}, s.in)
+	if err != nil {
+		return fmt.Errorf("load generator: %w", err)
+	}
+
+	if err := srv.Drain(); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+
+	t, _ := srv.Tenant("selftest")
+	st := t.Engine().Stats()
+	fmt.Printf("selftest: %d events over loopback in %v (%.0f events/s, %d posts, %d rejections)\n",
+		rep.Events, rep.Duration.Round(time.Millisecond), rep.EventsPerSec, rep.Posts, rep.Rejections)
+	fmt.Printf("selftest: revenue http=%.6f in-process=%.6f, served %d/%d\n",
+		st.Revenue, refStats.Revenue, st.Served, refStats.Served)
+
+	if int64(rep.Events) != st.Events {
+		return fmt.Errorf("selftest: loadgen sent %d events, engine counted %d", rep.Events, st.Events)
+	}
+	if st.Revenue != refStats.Revenue || st.Served != refStats.Served {
+		return fmt.Errorf("selftest: HTTP-ingested run diverged from in-process replay: revenue %.9f vs %.9f, served %d vs %d",
+			st.Revenue, refStats.Revenue, st.Served, refStats.Served)
+	}
+	fmt.Println("selftest: PASS (exact revenue match, clean drain)")
+	return nil
+}

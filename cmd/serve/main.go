@@ -1,13 +1,17 @@
-// Command serve replays a workload through the streaming dispatch engine
-// (internal/engine) as an event stream and reports sustained throughput,
-// decision-latency quantiles, and revenue. It is the online counterpart of
-// cmd/experiments: the same workloads and pricing strategies, but ingested
-// as TaskArrival / WorkerOnline / Tick events through the sharded engine
-// instead of the offline period simulator.
+// Command serve runs workloads through the streaming dispatch engine
+// (internal/engine) in two modes:
+//
+//   - Replay (default): ingest a generated workload in-process as an event
+//     stream and report sustained throughput, decision-latency quantiles,
+//     and revenue — the online counterpart of cmd/experiments.
+//   - Listen (-listen): host the engine behind the network-facing dispatch
+//     service (internal/server): HTTP ingestion with admission control,
+//     streaming quote delivery, one isolated engine per -tenants city,
+//     Prometheus /metrics, and graceful checkpointed drain on SIGTERM.
 //
 // Usage:
 //
-//	serve                         # default synthetic replay, MAPS, NumCPU shards
+//	serve                         # default synthetic replay, MAPS, auto shards
 //	serve -strategy sdr -shards 8
 //	serve -beijing rush -duration 15
 //	serve -space road             # road-network backend: street-snapped workload
@@ -16,6 +20,13 @@
 //	serve -requests 100000 -workers 25000
 //	serve -checkpoint-every 100   # periodic crash-safe checkpoints to -checkpoint-file
 //	serve -restore serve.ckpt     # resume an interrupted replay from a checkpoint
+//	serve -listen :8080           # network mode: one tenant city, HTTP ingestion
+//	serve -listen :8080 -tenants beijing,shanghai -checkpoint-dir /var/lib/spatialcrowd
+//	serve -selftest               # loopback smoke: server + load generator + revenue check
+//
+// In replay mode SIGINT/SIGTERM write a final crash-safe checkpoint to
+// -checkpoint-file (when -checkpoint-every is enabled) before exiting, so
+// an interrupted replay resumes with -restore exactly where it stopped.
 package main
 
 import (
@@ -23,12 +34,15 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"spatialcrowd/internal/core"
 	"spatialcrowd/internal/engine"
 	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/server"
 	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/workload"
 )
@@ -46,135 +60,239 @@ func (o *modelOracle) Probe(cell int, price float64) bool {
 	return price <= o.model.Dist(cell).Sample(o.rng)
 }
 
-func main() {
-	var (
-		workers  = flag.Int("workers", 5000, "synthetic worker count |W|")
-		requests = flag.Int("requests", 20000, "synthetic request count |R|")
-		periods  = flag.Int("periods", 400, "synthetic horizon T")
-		gridSide = flag.Int("grid", 10, "synthetic grid side (G = side^2 cells)")
-		beijing  = flag.String("beijing", "", "replay a Beijing-like dataset instead: rush or night")
-		duration = flag.Int("duration", 15, "Beijing worker duration delta_w in periods")
-		scale    = flag.Int("scale", 1, "divide Beijing population sizes by this factor")
-		strategy = flag.String("strategy", "maps", "pricing strategy: maps, basep, sdr, sde")
-		space    = flag.String("space", "grid", "spatial backend: "+strings.Join(spaceBackends, " | "))
-		shards   = flag.Int("shards", runtime.NumCPU(), "shard goroutines (market partitions)")
-		window   = flag.Int("window", 1, "periods per pricing batch")
-		det      = flag.Bool("det", false, "deterministic single-threaded mode (ignores -shards)")
-		mobility = flag.Float64("mobility", 0, "per-worker per-period move probability (0 disables the mobility trace)")
-		seed     = flag.Int64("seed", 42, "workload seed")
-		probes   = flag.Int("probes", 200, "base-pricing calibration probes per price")
+// options collects the parsed flags shared by the replay, listen, and
+// selftest modes.
+type options struct {
+	workers, requests, periods, gridSide int
+	beijing                              string
+	duration, scale                      int
+	strategy, space                      string
+	shards, window                       int
+	det                                  bool
+	mobility                             float64
+	seed                                 int64
+	probes                               int
 
-		ckptEvery = flag.Int("checkpoint-every", 0, "write a crash-safe engine checkpoint every k periods (0 disables)")
-		ckptFile  = flag.String("checkpoint-file", "serve.ckpt", "checkpoint path for -checkpoint-every")
-		restore   = flag.String("restore", "", "restore the engine from this checkpoint and resume the replay after its last period")
-	)
+	ckptEvery int
+	ckptFile  string
+	restore   string
+
+	listen   string
+	tenants  string
+	quoted   bool
+	ckptDir  string
+	selftest bool
+	genChunk int
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.workers, "workers", 5000, "synthetic worker count |W|")
+	flag.IntVar(&o.requests, "requests", 20000, "synthetic request count |R|")
+	flag.IntVar(&o.periods, "periods", 400, "synthetic horizon T")
+	flag.IntVar(&o.gridSide, "grid", 10, "synthetic grid side (G = side^2 cells)")
+	flag.StringVar(&o.beijing, "beijing", "", "replay a Beijing-like dataset instead: rush or night")
+	flag.IntVar(&o.duration, "duration", 15, "Beijing worker duration delta_w in periods")
+	flag.IntVar(&o.scale, "scale", 1, "divide Beijing population sizes by this factor")
+	flag.StringVar(&o.strategy, "strategy", "maps", "pricing strategy: maps, basep, sdr, sde")
+	flag.StringVar(&o.space, "space", "grid", "spatial backend: "+strings.Join(spaceBackends, " | "))
+	flag.IntVar(&o.shards, "shards", 0, "shard goroutines (market partitions); 0 = auto (GOMAXPROCS clamped to cell count)")
+	flag.IntVar(&o.window, "window", 1, "periods per pricing batch")
+	flag.BoolVar(&o.det, "det", false, "deterministic single-threaded mode (ignores -shards)")
+	flag.Float64Var(&o.mobility, "mobility", 0, "per-worker per-period move probability (0 disables the mobility trace)")
+	flag.Int64Var(&o.seed, "seed", 42, "workload seed")
+	flag.IntVar(&o.probes, "probes", 200, "base-pricing calibration probes per price")
+
+	flag.IntVar(&o.ckptEvery, "checkpoint-every", 0, "write a crash-safe engine checkpoint every k periods (0 disables; SIGINT/SIGTERM also snapshot when enabled)")
+	flag.StringVar(&o.ckptFile, "checkpoint-file", "serve.ckpt", "checkpoint path for -checkpoint-every and signal-triggered snapshots")
+	flag.StringVar(&o.restore, "restore", "", "restore the engine from this checkpoint and resume the replay after its last period")
+
+	flag.StringVar(&o.listen, "listen", "", "network mode: serve the dispatch HTTP API on this address (e.g. :8080) instead of replaying")
+	flag.StringVar(&o.tenants, "tenants", "city", "comma-separated tenant (city) names for -listen, one isolated engine each")
+	flag.BoolVar(&o.quoted, "quoted", false, "network mode: quote prices and wait for decision events instead of auto-deciding from valuations")
+	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "network mode: write <dir>/<tenant>.ckpt on graceful drain (empty disables)")
+	flag.BoolVar(&o.selftest, "selftest", false, "loopback smoke test: start a server on a random port, drive it with the load generator, verify revenue against an in-process replay")
+	flag.IntVar(&o.genChunk, "loadgen-chunk", 5000, "selftest load-generator events per POST")
 	flag.Parse()
 
-	in, model, err := buildInstance(*space, *beijing, *duration, *scale, *workers, *requests, *periods, *gridSide, *seed)
+	switch {
+	case o.selftest:
+		if err := runSelftest(&o); err != nil {
+			fatal(err)
+		}
+	case o.listen != "":
+		if err := runListen(&o); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := runReplay(&o); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// setup is everything both serving modes need: the workload, its spatial
+// backend, and a calibrated per-shard strategy factory.
+type setup struct {
+	in      *market.Instance
+	model   market.ValuationModel
+	sp      spatial.Space
+	factory func(int) core.Strategy
+	pb      float64
+}
+
+func buildSetup(o *options) (*setup, error) {
+	in, model, err := buildInstance(o.space, o.beijing, o.duration, o.scale, o.workers, o.requests, o.periods, o.gridSide, o.seed)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	sp := in.Spatial()
 
 	params := core.DefaultParams()
 	basep, err := core.NewBaseP(params)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	oracle := &modelOracle{model: model, rng: rand.New(rand.NewSource(*seed + 1))}
-	if err := basep.Calibrate(oracle, sp.NumCells(), *probes); err != nil {
-		fatal(err)
+	oracle := &modelOracle{model: model, rng: rand.New(rand.NewSource(o.seed + 1))}
+	if err := basep.Calibrate(oracle, sp.NumCells(), o.probes); err != nil {
+		return nil, err
 	}
-	pb := basep.BasePrice()
-
-	factory, err := strategyFactory(*strategy, params, basep)
+	factory, err := strategyFactory(o.strategy, params, basep)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
+	return &setup{in: in, model: model, sp: sp, factory: factory, pb: basep.BasePrice()}, nil
+}
 
-	nShards := *shards
-	if *det || nShards < 0 {
+// engineConfig assembles the engine config for the chosen shard count:
+// 0 = auto-size to GOMAXPROCS clamped to the cell count, negative (or
+// -det) = deterministic. Irregular (non-grid) spaces get the balanced
+// contiguous partitioner. The returned config's Shards is authoritative —
+// BalancedPartition may clamp below the request.
+func engineConfig(o *options, s *setup, autoDecide bool) engine.Config {
+	nShards := o.shards
+	if o.det || nShards < 0 {
 		nShards = 0
+	} else if nShards == 0 {
+		nShards = engine.DefaultShards(s.sp.NumCells())
 	}
 	cfg := engine.Config{
-		Space:       sp,
+		Space:       s.sp,
 		Shards:      nShards,
-		Window:      *window,
-		NewStrategy: factory,
-		AutoDecide:  true,
-		OnDecision:  func(engine.Decision) {}, // throughput run: discard the stream
+		Window:      o.window,
+		NewStrategy: s.factory,
+		AutoDecide:  autoDecide,
 	}
-	if nShards > 0 && spatial.BackendName(sp) != "grid" {
+	if nShards > 0 && spatial.BackendName(s.sp) != "grid" {
 		// Irregular cell structures load-balance better in contiguous runs.
 		// BalancedPartition clamps to the cell count; size the engine from
 		// the partitioner it actually built.
-		p := spatial.BalancedPartition(sp, nShards)
+		p := spatial.BalancedPartition(s.sp, nShards)
 		cfg.Partitioner = p
 		if p.Shards() != nShards {
 			fmt.Printf("note: %d shards clamped to %d (space has only that many cells)\n",
 				nShards, p.Shards())
-			nShards = p.Shards()
-			cfg.Shards = nShards
+			cfg.Shards = p.Shards()
 		}
 	}
+	return cfg
+}
+
+// runReplay is the historical mode: stream the generated workload through
+// an in-process engine.
+func runReplay(o *options) error {
+	s, err := buildSetup(o)
+	if err != nil {
+		return err
+	}
+	cfg := engineConfig(o, s, true)
+	cfg.OnDecision = func(engine.Decision) {} // throughput run: discard the stream
 	eng, err := engine.New(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	opts := engine.ReplayOpts{}
-	if *restore != "" {
-		f, err := os.Open(*restore)
+	if o.restore != "" {
+		f, err := os.Open(o.restore)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		err = eng.Restore(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		opts.From = eng.RestoredPeriod() + 1
-		fmt.Printf("restored checkpoint %s: resuming at period %d\n", *restore, opts.From)
+		fmt.Printf("restored checkpoint %s: resuming at period %d\n", o.restore, opts.From)
 	}
-	if *ckptEvery > 0 {
+
+	// Periodic checkpoints plus signal-triggered ones: SIGINT/SIGTERM mark
+	// the interrupted flag; the per-period hook then writes a final
+	// atomic snapshot (same tmp+rename path) and stops the replay, so an
+	// operator's ^C never loses more than the open period.
+	var interrupted atomic.Bool
+	errInterrupted := fmt.Errorf("interrupted by signal")
+	if o.ckptEvery > 0 {
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigCh
+			signal.Stop(sigCh)
+			interrupted.Store(true)
+		}()
 		opts.AfterPeriod = func(p int) error {
-			if (p+1)%*ckptEvery != 0 {
+			if interrupted.Load() {
+				if err := writeCheckpoint(eng, o.ckptFile); err != nil {
+					return err
+				}
+				return errInterrupted
+			}
+			if (p+1)%o.ckptEvery != 0 {
 				return nil
 			}
-			return writeCheckpoint(eng, *ckptFile)
+			return writeCheckpoint(eng, o.ckptFile)
 		}
 	}
 
-	if *mobility > 0 {
-		opts.Moves = workload.MobilityTrace(in, workload.MobilityConfig{
-			MoveProb: *mobility, Seed: *seed + 2,
+	if o.mobility > 0 {
+		opts.Moves = workload.MobilityTrace(s.in, workload.MobilityConfig{
+			MoveProb: o.mobility, Seed: o.seed + 2,
 		})
 	}
 
-	mode := fmt.Sprintf("%d shards", nShards)
-	if nShards == 0 {
+	mode := fmt.Sprintf("%d shards", cfg.Shards)
+	if cfg.Shards == 0 {
 		mode = "deterministic"
 	}
 	fmt.Printf("replaying %d tasks / %d workers / %d periods through %s (%s, window %d, p_b %.2f)\n",
-		len(in.Tasks), len(in.Workers), in.Periods, *strategy, mode, *window, pb)
-	fmt.Printf("spatial backend: %s (%d cells)\n", spatial.BackendName(sp), sp.NumCells())
+		len(s.in.Tasks), len(s.in.Workers), s.in.Periods, o.strategy, mode, o.window, s.pb)
+	fmt.Printf("spatial backend: %s (%d cells)\n", spatial.BackendName(s.sp), s.sp.NumCells())
 	if len(opts.Moves) > 0 {
-		fmt.Printf("mobility trace: %d moves (p=%.2f)\n", len(opts.Moves), *mobility)
+		fmt.Printf("mobility trace: %d moves (p=%.2f)\n", len(opts.Moves), o.mobility)
 	}
 
-	n, err := engine.ReplayWith(eng, in, opts)
+	n, err := engine.ReplayWith(eng, s.in, opts)
+	wasInterrupted := false
 	if err != nil {
-		fatal(err)
+		if !strings.Contains(err.Error(), errInterrupted.Error()) {
+			return err
+		}
+		wasInterrupted = true
 	}
 	if err := eng.Close(); err != nil {
-		fatal(err)
+		return err
 	}
 	st := eng.Stats()
+	if wasInterrupted {
+		fmt.Printf("interrupted: checkpoint written to %s (resume with -restore %s)\n", o.ckptFile, o.ckptFile)
+	}
 	fmt.Printf("submitted %d events\n\n%s", n, st)
-	if rs, ok := sp.(*spatial.RoadSpace); ok {
+	if rs, ok := s.sp.(*spatial.RoadSpace); ok {
 		hits, misses := rs.CacheStats()
 		fmt.Printf("road dist    %d cache hits, %d misses\n", hits, misses)
 	}
+	return nil
 }
 
 func buildInstance(space, beijing string, duration, scale, workers, requests, periods, gridSide int, seed int64) (*market.Instance, market.ValuationModel, error) {
@@ -267,21 +385,7 @@ func strategyFactory(name string, params core.Params, basep *core.BaseP) (func(i
 // (write to a temp file, then rename), so a crash mid-write cannot corrupt
 // the last good checkpoint.
 func writeCheckpoint(eng *engine.Engine, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := eng.Checkpoint(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return server.WriteCheckpointAtomic(eng, path)
 }
 
 func fatal(err error) {

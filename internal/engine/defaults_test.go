@@ -1,0 +1,21 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestDefaultShards(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if got := DefaultShards(procs + 100); got != procs {
+		t.Errorf("DefaultShards(cells>procs) = %d, want GOMAXPROCS %d", got, procs)
+	}
+	if got := DefaultShards(1); got != 1 {
+		t.Errorf("DefaultShards(1) = %d, want 1 (clamped to cell count)", got)
+	}
+	for _, cells := range []int{0, -5} {
+		if got := DefaultShards(cells); got != 1 {
+			t.Errorf("DefaultShards(%d) = %d, want floor of 1", cells, got)
+		}
+	}
+}

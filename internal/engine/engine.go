@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,6 +95,12 @@ type Config struct {
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrBusy is returned by TrySubmit when the router's ingest queue is full.
+// The event was NOT accepted; the caller decides whether to retry, shed the
+// load, or push the backpressure further upstream (the HTTP server in
+// internal/server turns it into 429 + Retry-After).
+var ErrBusy = errors.New("engine: ingest queue full")
 
 // Engine is a streaming dispatch engine. Create it with New; feed it with
 // Submit; read decisions with Poll or Config.OnDecision; stop it with Close.
@@ -291,6 +298,86 @@ func (e *Engine) Submit(ev Event) error {
 	}
 	e.in <- ev
 	return nil
+}
+
+// TrySubmit is Submit without blocking: when the router's ingest queue is
+// full it returns ErrBusy instead of waiting for space, and the event is not
+// accepted. In deterministic mode events process inline, so TrySubmit never
+// reports ErrBusy there. This is the admission-control seam: a caller that
+// must not block (a network handler) uses TrySubmit and converts ErrBusy
+// into backpressure toward its own client.
+func (e *Engine) TrySubmit(ev Event) error {
+	if ev.Kind == 0 || ev.Kind > KindTick {
+		return fmt.Errorf("engine: invalid event kind %d", ev.Kind)
+	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	ev.at = time.Now()
+	if e.det != nil {
+		e.events.Add(1)
+		e.det.handle(ev)
+		return nil
+	}
+	select {
+	case e.in <- ev:
+		e.events.Add(1)
+		return nil
+	default:
+		return ErrBusy
+	}
+}
+
+// QueueDepths is a point-in-time snapshot of the engine's bounded ingest
+// queues: the router channel plus every shard channel. Depth counts
+// buffered-but-unprocessed events; Capacity is the fixed buffer size
+// (Config.Buffer). All zeros in deterministic mode, where events process
+// inline and nothing queues.
+type QueueDepths struct {
+	Router    int   // events waiting in the router channel
+	Shards    []int // events waiting per shard channel (nil in det mode)
+	Capacity  int   // per-channel buffer size
+	MaxShard  int   // deepest shard queue (0 in det mode)
+	Saturated bool  // the router queue is full: TrySubmit would return ErrBusy
+}
+
+// QueueDepths snapshots the ingest-queue depths. Safe to call concurrently
+// with event processing; the values are instantaneous and advisory (they can
+// change before the caller acts on them) — exactly what admission control
+// and metrics need.
+func (e *Engine) QueueDepths() QueueDepths {
+	if e.det != nil {
+		return QueueDepths{}
+	}
+	d := QueueDepths{
+		Router:   len(e.in),
+		Capacity: cap(e.in),
+		Shards:   make([]int, len(e.shards)),
+	}
+	for i, s := range e.shards {
+		n := len(s.in)
+		d.Shards[i] = n
+		if n > d.MaxShard {
+			d.MaxShard = n
+		}
+	}
+	d.Saturated = d.Router >= d.Capacity
+	return d
+}
+
+// DefaultShards picks a shard count for an engine over a space with the
+// given cell count when the operator did not choose one: GOMAXPROCS capped
+// at the cell count (a shard with no cells would idle) and floored at 1.
+// The deterministic mode (Shards == 0) is never selected implicitly.
+func DefaultShards(cells int) int {
+	n := runtime.GOMAXPROCS(0)
+	if cells > 0 && n > cells {
+		n = cells
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // route is the router goroutine: it owns the task map and the worker

@@ -28,7 +28,7 @@ func ReplayMobility(e *Engine, in *market.Instance, moves []market.Move) (int, e
 	return ReplayWith(e, in, ReplayOpts{Moves: moves})
 }
 
-// ReplayOpts parameterizes ReplayWith.
+// ReplayOpts parameterizes ReplayWith and StreamEvents.
 type ReplayOpts struct {
 	// Moves is an optional mobility trace interleaved as in ReplayMobility.
 	Moves []market.Move
@@ -37,6 +37,14 @@ type ReplayOpts struct {
 	// Engine.Restore, From = RestoredPeriod() + 1 continues the stream
 	// exactly where the checkpoint left off.
 	From int
+	// Until, when positive and below the instance horizon, stops the stream
+	// after period Until-1's events WITHOUT the final window-flushing Tick:
+	// the open window stays pending, exactly the state an interrupted live
+	// ingest leaves behind. A checkpoint taken then restores with
+	// RestoredPeriod() == Until-1, and resuming with From = Until replays
+	// the remainder — the seam the network server's drain test exercises.
+	// Zero (or >= Periods) streams the whole instance with the final Tick.
+	Until int
 	// AfterPeriod, when set, runs after each period's events have been
 	// submitted — the hook cmd/serve uses to write periodic checkpoints. A
 	// returned error aborts the replay.
@@ -44,10 +52,35 @@ type ReplayOpts struct {
 }
 
 // ReplayWith is the general replay driver: Replay and ReplayMobility are
-// thin wrappers over it.
+// thin wrappers over it. It submits the canonical stream of StreamEvents
+// through e.Submit.
 func ReplayWith(e *Engine, in *market.Instance, opts ReplayOpts) (int, error) {
+	n := 0
+	err := StreamEvents(in, e.Window(), opts, func(ev Event) error {
+		if err := e.Submit(ev); err != nil {
+			return fmt.Errorf("engine: replay event %d: %w", n+1, err)
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// StreamEvents generates the canonical event stream of a market instance —
+// the exact order ReplayWith submits — and hands each event to emit. This
+// is the single definition of "the trace of an instance": the in-process
+// replay driver and the network load generator (internal/server/loadgen)
+// both consume it, which is what makes HTTP-ingested revenue comparable
+// bit-for-bit against an in-process replay of the same instance.
+//
+// window is the engine's pricing window in periods (Engine.Window); it
+// positions the final flushing Tick past the last window boundary.
+func StreamEvents(in *market.Instance, window int, opts ReplayOpts, emit func(Event) error) error {
 	if err := in.Validate(); err != nil {
-		return 0, err
+		return err
+	}
+	if window <= 0 {
+		window = 1
 	}
 	tasksByPeriod := in.TasksByPeriod()
 	arrivals := in.WorkersByStart()
@@ -55,56 +88,58 @@ func ReplayWith(e *Engine, in *market.Instance, opts ReplayOpts) (int, error) {
 	for _, m := range opts.Moves {
 		movesByPeriod[m.Period] = append(movesByPeriod[m.Period], m)
 	}
-	n := 0
-	submit := func(ev Event) error {
-		if err := e.Submit(ev); err != nil {
-			return fmt.Errorf("engine: replay event %d: %w", n+1, err)
-		}
-		n++
-		return nil
-	}
 	from := opts.From
 	if from < 0 {
 		from = 0
 	}
-	for t := from; t < in.Periods; t++ {
-		if err := submit(Tick(t)); err != nil {
-			return n, err
+	until := in.Periods
+	partial := false
+	if opts.Until > 0 && opts.Until < in.Periods {
+		until = opts.Until
+		partial = true
+	}
+	for t := from; t < until; t++ {
+		if err := emit(Tick(t)); err != nil {
+			return err
 		}
 		for _, m := range movesByPeriod[t-1] {
-			if err := submit(WorkerMove(m.WorkerID, m.To)); err != nil {
-				return n, err
+			if err := emit(WorkerMove(m.WorkerID, m.To)); err != nil {
+				return err
 			}
 		}
 		for _, w := range arrivals[t] {
-			if err := submit(WorkerOnline(w)); err != nil {
-				return n, err
+			if err := emit(WorkerOnline(w)); err != nil {
+				return err
 			}
 		}
 		for _, task := range tasksByPeriod[t] {
-			if err := submit(TaskArrival(task)); err != nil {
-				return n, err
+			if err := emit(TaskArrival(task)); err != nil {
+				return err
 			}
 		}
 		if opts.AfterPeriod != nil {
 			if err := opts.AfterPeriod(t); err != nil {
-				return n, err
+				return err
 			}
 		}
 	}
-	w := e.Window()
-	final := ((in.Periods + w - 1) / w) * w
-	if err := submit(Tick(final)); err != nil {
-		return n, err
+	if partial {
+		// A truncated stream leaves the open window pending on purpose; the
+		// resumed stream's first Tick closes it.
+		return nil
+	}
+	final := ((in.Periods + window - 1) / window) * window
+	if err := emit(Tick(final)); err != nil {
+		return err
 	}
 	// The last periods' moves land after the final batch closed; submit
 	// them anyway so lifecycle accounting sees the full trace.
 	for t := in.Periods - 1; t < final; t++ {
 		for _, m := range movesByPeriod[t] {
-			if err := submit(WorkerMove(m.WorkerID, m.To)); err != nil {
-				return n, err
+			if err := emit(WorkerMove(m.WorkerID, m.To)); err != nil {
+				return err
 			}
 		}
 	}
-	return n, nil
+	return nil
 }

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+func fullStats() Stats {
+	return Stats{
+		Events:            123456,
+		TasksPriced:       4000,
+		Quoted:            3500,
+		Accepted:          3000,
+		Served:            2800,
+		Revenue:           98765.4321,
+		ShardRevenue:      []float64{50000.25, 48765.1821},
+		ShardTasks:        []int64{2100, 1900},
+		Batches:           400,
+		Late:              7,
+		StrategyErrors:    2,
+		LastStrategyError: errors.New("strategy returned 3 prices for 4 tasks"),
+		Lifecycle: LifecycleStats{
+			Onlines: 900, DuplicateOnlines: 3, Moves: 1200, Migrations: 80,
+			PinnedMoves: 5, RetiredAssigned: 700, RetiredExpired: 150,
+			RetiredOffline: 40, Pooled: 10, Tracked: 12, TrackedHeld: 2,
+		},
+		P50Latency:   1500 * time.Microsecond,
+		P99Latency:   42 * time.Millisecond,
+		Elapsed:      3*time.Minute + 9*time.Second,
+		EventsPerSec: 653.2,
+	}
+}
+
+// TestStatsMarshalJSONStableShape pins the wire contract of Stats: the
+// exact top-level and lifecycle key sets, durations as both integer
+// nanoseconds and human strings, and the error as its message. Renaming or
+// removing a key is a breaking change for /stats scrapers — this test is
+// the tripwire.
+func TestStatsMarshalJSONStableShape(t *testing.T) {
+	raw, err := json.Marshal(fullStats())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("unmarshal into map: %v", err)
+	}
+
+	wantKeys := []string{
+		"events", "tasks_priced", "quoted", "accepted", "served",
+		"revenue", "shard_revenue", "shard_tasks", "batches", "late",
+		"strategy_errors", "last_strategy_error", "lifecycle",
+		"p50_latency_ns", "p50_latency", "p99_latency_ns", "p99_latency",
+		"elapsed_ns", "elapsed", "events_per_sec",
+	}
+	gotKeys := make([]string, 0, len(m))
+	for k := range m {
+		gotKeys = append(gotKeys, k)
+	}
+	sort.Strings(gotKeys)
+	sort.Strings(wantKeys)
+	if !reflect.DeepEqual(gotKeys, wantKeys) {
+		t.Errorf("top-level key set changed:\n got %v\nwant %v", gotKeys, wantKeys)
+	}
+
+	lc, ok := m["lifecycle"].(map[string]any)
+	if !ok {
+		t.Fatalf("lifecycle is %T, want object", m["lifecycle"])
+	}
+	wantLC := []string{
+		"onlines", "duplicate_onlines", "moves", "migrations", "pinned_moves",
+		"retired_assigned", "retired_expired", "retired_offline",
+		"pooled", "tracked", "tracked_held",
+	}
+	gotLC := make([]string, 0, len(lc))
+	for k := range lc {
+		gotLC = append(gotLC, k)
+	}
+	sort.Strings(gotLC)
+	sort.Strings(wantLC)
+	if !reflect.DeepEqual(gotLC, wantLC) {
+		t.Errorf("lifecycle key set changed:\n got %v\nwant %v", gotLC, wantLC)
+	}
+
+	if ns := m["p50_latency_ns"].(float64); int64(ns) != int64(1500*time.Microsecond) {
+		t.Errorf("p50_latency_ns = %v, want %d", ns, int64(1500*time.Microsecond))
+	}
+	if s := m["p50_latency"].(string); s != "1.5ms" {
+		t.Errorf("p50_latency = %q, want \"1.5ms\"", s)
+	}
+	if ns := m["p99_latency_ns"].(float64); int64(ns) != int64(42*time.Millisecond) {
+		t.Errorf("p99_latency_ns = %v, want %d", ns, int64(42*time.Millisecond))
+	}
+	if s := m["elapsed"].(string); s != "3m9s" {
+		t.Errorf("elapsed = %q, want \"3m9s\"", s)
+	}
+	if msg := m["last_strategy_error"].(string); msg != "strategy returned 3 prices for 4 tasks" {
+		t.Errorf("last_strategy_error = %q", msg)
+	}
+}
+
+// TestStatsJSONRoundTrip checks Unmarshal(Marshal(s)) reproduces every
+// field; the error comes back equal in message (the typed value is
+// intentionally not preserved).
+func TestStatsJSONRoundTrip(t *testing.T) {
+	orig := fullStats()
+	raw, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Stats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.LastStrategyError == nil || back.LastStrategyError.Error() != orig.LastStrategyError.Error() {
+		t.Errorf("error message lost: %v", back.LastStrategyError)
+	}
+	a, b := orig, back
+	a.LastStrategyError, b.LastStrategyError = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("round trip changed stats:\n in  %+v\n out %+v", a, b)
+	}
+}
+
+// TestStatsJSONNilError checks the error field encodes as explicit null
+// and decodes back to nil.
+func TestStatsJSONNilError(t *testing.T) {
+	s := fullStats()
+	s.LastStrategyError = nil
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	v, present := m["last_strategy_error"]
+	if !present || v != nil {
+		t.Errorf("last_strategy_error = %v (present %v), want explicit null", v, present)
+	}
+	var back Stats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.LastStrategyError != nil {
+		t.Errorf("nil error decoded as %v", back.LastStrategyError)
+	}
+}

@@ -1,0 +1,215 @@
+// Package loadgen drives a market instance through the dispatch server
+// over real sockets: it renders the canonical event stream of the instance
+// (engine.StreamEvents — the exact order the in-process replay driver
+// submits) as NDJSON and posts it in chunks to /v1/{tenant}/ingest,
+// honoring the server's backpressure protocol: a 429 response carries the
+// number of events the server accepted, so the generator resumes the chunk
+// after that prefix once Retry-After elapses — no event is lost or
+// duplicated across retries. Because the stream is sent on one connection
+// in order, a deterministic tenant ingests exactly the in-process replay,
+// which is what makes HTTP revenue comparable bit for bit.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"spatialcrowd/internal/engine"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/server"
+)
+
+// Config parameterizes a load-generation run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Tenant is the target city.
+	Tenant string
+	// Client overrides the HTTP client (default: a dedicated client with
+	// keep-alives, no timeout — the chunks bound request sizes).
+	Client *http.Client
+	// ChunkEvents is the number of events per POST (default 5000).
+	ChunkEvents int
+	// Window is the tenant engine's pricing window (positions the final
+	// flushing tick); default 1.
+	Window int
+	// Opts select the slice of the trace to send (From/Until/Moves), as in
+	// engine.ReplayOpts.
+	Opts engine.ReplayOpts
+	// MaxRetries caps consecutive 429 retries of one chunk before giving
+	// up (default 1000 — effectively "keep pushing"; the server's
+	// Retry-After paces the loop).
+	MaxRetries int
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Events is the number of events the server accepted (sum of the
+	// Accepted counts — every event of the requested slice, on success).
+	Events int
+	// Posts counts HTTP requests; Rejections counts 429 responses (each
+	// followed by a resume).
+	Posts      int
+	Rejections int
+	// Duration spans first byte to last response; EventsPerSec is
+	// Events/Duration.
+	Duration     time.Duration
+	EventsPerSec float64
+}
+
+// Run streams the instance's events into the server and blocks until the
+// whole requested slice is ingested (or a non-retryable error).
+func Run(cfg Config, in *market.Instance) (Report, error) {
+	if cfg.ChunkEvents <= 0 {
+		cfg.ChunkEvents = 5000
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 1000
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	url := cfg.BaseURL + "/v1/" + cfg.Tenant + "/ingest"
+
+	var rep Report
+	start := time.Now()
+
+	chunk := newChunk(cfg.ChunkEvents)
+	flush := func() error {
+		if chunk.events() == 0 {
+			return nil
+		}
+		if err := postChunk(client, url, chunk, cfg.MaxRetries, &rep); err != nil {
+			return err
+		}
+		chunk.reset()
+		return nil
+	}
+	enc := json.NewEncoder(&chunk.buf)
+	emit := func(ev engine.Event) error {
+		we, err := server.FromEvent(ev)
+		if err != nil {
+			return err
+		}
+		chunk.markStart()
+		if err := enc.Encode(we); err != nil { // Encode appends the NDJSON newline
+			return err
+		}
+		if chunk.events() >= cfg.ChunkEvents {
+			return flush()
+		}
+		return nil
+	}
+	if err := engine.StreamEvents(in, cfg.Window, cfg.Opts, emit); err != nil {
+		return rep, err
+	}
+	if err := flush(); err != nil {
+		return rep, err
+	}
+	rep.Duration = time.Since(start)
+	if secs := rep.Duration.Seconds(); secs > 0 {
+		rep.EventsPerSec = float64(rep.Events) / secs
+	}
+	return rep, nil
+}
+
+// chunk accumulates encoded NDJSON lines plus the byte offset where each
+// event starts, so a partial acceptance can resume mid-chunk.
+type chunk struct {
+	buf     bytes.Buffer
+	offsets []int // offsets[i] = start of event i; len(offsets) = event count
+}
+
+func newChunk(hint int) *chunk {
+	return &chunk{offsets: make([]int, 0, hint)}
+}
+
+// markStart records the buffer position where the next event's bytes will
+// begin; call it immediately before encoding that event.
+func (c *chunk) markStart()  { c.offsets = append(c.offsets, c.buf.Len()) }
+func (c *chunk) events() int { return len(c.offsets) }
+func (c *chunk) reset()      { c.buf.Reset(); c.offsets = c.offsets[:0] }
+
+func (c *chunk) tail(fromEvent int) []byte {
+	if fromEvent >= len(c.offsets) {
+		return nil
+	}
+	return c.buf.Bytes()[c.offsets[fromEvent]:]
+}
+
+// postChunk sends the chunk, resuming on 429 from the server's accepted
+// count. Any other non-2xx status is a hard error.
+func postChunk(client *http.Client, url string, c *chunk, maxRetries int, rep *Report) error {
+	sent := 0 // events of this chunk the server has accepted
+	for retry := 0; ; retry++ {
+		body := c.tail(sent)
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		rep.Posts++
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		var res server.IngestResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			return fmt.Errorf("loadgen: %s: status %d, undecodable body %q", url, resp.StatusCode, truncate(raw))
+		}
+		sent += res.Accepted
+		rep.Events += res.Accepted
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			if sent != c.events() {
+				return fmt.Errorf("loadgen: server accepted %d of %d chunk events with status %d", sent, c.events(), resp.StatusCode)
+			}
+			return nil
+		case http.StatusTooManyRequests:
+			rep.Rejections++
+			if retry >= maxRetries {
+				return fmt.Errorf("loadgen: gave up after %d retries (%d of %d chunk events in): %s", retry, sent, c.events(), res.Error)
+			}
+			time.Sleep(retryDelay(resp, res))
+		default:
+			return fmt.Errorf("loadgen: %s: status %d: %s", url, resp.StatusCode, res.Error)
+		}
+	}
+}
+
+// retryDelay prefers the exact JSON retry hint over the whole-second
+// Retry-After header, clamped to keep the loop lively in tests.
+func retryDelay(resp *http.Response, res server.IngestResult) time.Duration {
+	if res.RetryAfterMS > 0 {
+		return time.Duration(res.RetryAfterMS * float64(time.Millisecond))
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			d := time.Duration(secs) * time.Second
+			if d > 2*time.Second {
+				d = 2 * time.Second
+			}
+			return d
+		}
+	}
+	return 20 * time.Millisecond
+}
+
+func truncate(b []byte) string {
+	const n = 200
+	if len(b) > n {
+		return string(b[:n]) + "..."
+	}
+	return string(b)
+}

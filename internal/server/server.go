@@ -1,0 +1,398 @@
+// Package server is the network-facing dispatch service over the streaming
+// engine: one HTTP listener hosting N isolated "city" tenants, each a
+// private engine instance. It ingests market events as JSON (single-shot
+// POSTs and NDJSON bulk streams), streams price quotes back to requesters
+// (SSE broadcast and long-poll by task ID), enforces admission control
+// against the engine's bounded ingest queues (429 + Retry-After — never
+// unbounded buffering), exposes engine statistics as Prometheus text on
+// /metrics and JSON on /stats, and drains gracefully: ingestion quiesces,
+// every tenant writes an atomic checkpoint through the PR-5 seam, engines
+// close.
+//
+// Endpoints (all tenant routes under /v1/{tenant}/):
+//
+//	POST /v1/{tenant}/events        one WireEvent            -> 202 IngestResult
+//	POST /v1/{tenant}/ingest        NDJSON of WireEvents     -> 200/429 IngestResult
+//	GET  /v1/{tenant}/quotes/{task} long-poll one decision   -> 200 WireDecision | 204
+//	GET  /v1/{tenant}/quotes/stream SSE of every decision
+//	GET  /v1/{tenant}/stats         engine.Stats JSON
+//	GET  /metrics                   Prometheus text, all tenants
+//	GET  /healthz                   200 while serving, 503 once draining
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"spatialcrowd/internal/engine"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Tenants are the cities to host. At least one; more can be added with
+	// AddTenant before serving.
+	Tenants []TenantConfig
+	// RetryAfter is the advisory client backoff sent with 429 responses
+	// (rounded up to whole seconds for the header; the JSON carries the
+	// exact value). Default 50ms.
+	RetryAfter time.Duration
+	// BusyGrace is how long an ingest handler nudges a momentarily full
+	// queue (short sleeps between TrySubmit attempts) before giving up with
+	// 429. It bounds handler latency, not memory — nothing is buffered
+	// while waiting. Default 2ms; negative disables the grace entirely.
+	BusyGrace time.Duration
+	// MaxBodyBytes caps a single request body. Default 64 MiB.
+	MaxBodyBytes int64
+}
+
+// IngestResult is the JSON body of every ingest response. Accepted counts
+// events durably handed to the engine in this request; a client that gets
+// 429 resumes its stream after skipping that many events — the retry
+// protocol that makes backpressure lossless end to end.
+type IngestResult struct {
+	Accepted     int     `json:"accepted"`
+	Error        string  `json:"error,omitempty"`
+	RetryAfterMS float64 `json:"retry_after_ms,omitempty"`
+}
+
+// Server hosts the tenant registry and implements http.Handler.
+type Server struct {
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	order   []string
+
+	retryAfter time.Duration
+	busyGrace  time.Duration
+	maxBody    int64
+	mux        *http.ServeMux
+	draining   bool
+}
+
+// New builds a server and starts every configured tenant's engine.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		tenants:    make(map[string]*Tenant),
+		retryAfter: cfg.RetryAfter,
+		busyGrace:  cfg.BusyGrace,
+		maxBody:    cfg.MaxBodyBytes,
+	}
+	if s.retryAfter <= 0 {
+		s.retryAfter = 50 * time.Millisecond
+	}
+	if s.busyGrace == 0 {
+		s.busyGrace = 2 * time.Millisecond
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = 64 << 20
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/{tenant}/events", s.handleEvent)
+	mux.HandleFunc("POST /v1/{tenant}/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/{tenant}/quotes/stream", s.handleQuoteStream)
+	mux.HandleFunc("GET /v1/{tenant}/quotes/{task}", s.handleQuote)
+	mux.HandleFunc("GET /v1/{tenant}/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	for _, tc := range cfg.Tenants {
+		if err := s.AddTenant(tc); err != nil {
+			s.Drain()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// AddTenant registers one more city. Fails on duplicate or invalid names
+// and after Drain.
+func (s *Server) AddTenant(cfg TenantConfig) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return fmt.Errorf("server: draining, cannot add tenant %q", cfg.Name)
+	}
+	if _, dup := s.tenants[cfg.Name]; dup {
+		return fmt.Errorf("server: duplicate tenant %q", cfg.Name)
+	}
+	t, err := newTenant(cfg)
+	if err != nil {
+		return err
+	}
+	s.tenants[cfg.Name] = t
+	s.order = append(s.order, cfg.Name)
+	return nil
+}
+
+// Tenant looks a city up by name.
+func (s *Server) Tenant(name string) (*Tenant, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[name]
+	return t, ok
+}
+
+// TenantNames lists the cities in registration order.
+func (s *Server) TenantNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}
+
+// Drain quiesces the whole server: every tenant stops admitting events
+// (503), writes its checkpoint if configured, and closes its engine. The
+// HTTP listener itself is the caller's to shut down (http.Server.Shutdown)
+// — typically after Drain returns so late scrapes of /metrics still see
+// the final counters. Idempotent; returns the joined per-tenant errors.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	s.draining = true
+	ts := make([]*Tenant, 0, len(s.order))
+	for _, name := range s.order {
+		ts = append(ts, s.tenants[name])
+	}
+	s.mu.Unlock()
+	var errs []error
+	for _, t := range ts {
+		if err := t.drain(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// tenantOf resolves the {tenant} path segment, answering 404 itself when
+// unknown.
+func (s *Server) tenantOf(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
+	name := r.PathValue("tenant")
+	t, ok := s.Tenant(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, IngestResult{Error: fmt.Sprintf("unknown tenant %q", name)})
+		return nil, false
+	}
+	return t, true
+}
+
+// submitAdmitted runs one event through the tenant's admission control,
+// with the configured busy grace: a full queue gets a few short waits (the
+// event is not buffered anywhere while waiting) before ErrBusy sticks.
+func (s *Server) submitAdmitted(t *Tenant, ev engine.Event) error {
+	err := t.submit(ev)
+	if err != engine.ErrBusy || s.busyGrace <= 0 {
+		return err
+	}
+	const step = 100 * time.Microsecond
+	for waited := time.Duration(0); waited < s.busyGrace; waited += step {
+		time.Sleep(step)
+		if err = t.submit(ev); err != engine.ErrBusy {
+			return err
+		}
+	}
+	return engine.ErrBusy
+}
+
+// handleEvent ingests one JSON event.
+func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	var we WireEvent
+	if err := json.NewDecoder(body).Decode(&we); err != nil {
+		writeJSON(w, http.StatusBadRequest, IngestResult{Error: "decoding event: " + err.Error()})
+		return
+	}
+	ev, err := we.Event()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, IngestResult{Error: err.Error()})
+		return
+	}
+	switch err := s.submitAdmitted(t, ev); err {
+	case nil:
+		writeJSON(w, http.StatusAccepted, IngestResult{Accepted: 1})
+	case engine.ErrBusy:
+		s.writeBusy(w, IngestResult{})
+	case errDraining, engine.ErrClosed:
+		writeJSON(w, http.StatusServiceUnavailable, IngestResult{Error: "draining"})
+	default:
+		writeJSON(w, http.StatusBadRequest, IngestResult{Error: err.Error()})
+	}
+}
+
+// handleIngest ingests an NDJSON stream of events, stopping at the first
+// refusal. The response's Accepted count tells the client exactly how far
+// the stream got, so a 429 retry resumes without loss or duplication.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	accepted := 0
+	for {
+		var we WireEvent
+		if err := dec.Decode(&we); err == io.EOF {
+			break
+		} else if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				IngestResult{Accepted: accepted, Error: fmt.Sprintf("event %d: %v", accepted+1, err)})
+			return
+		}
+		ev, err := we.Event()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				IngestResult{Accepted: accepted, Error: fmt.Sprintf("event %d: %v", accepted+1, err)})
+			return
+		}
+		switch err := s.submitAdmitted(t, ev); err {
+		case nil:
+			accepted++
+		case engine.ErrBusy:
+			s.writeBusy(w, IngestResult{Accepted: accepted})
+			return
+		case errDraining, engine.ErrClosed:
+			writeJSON(w, http.StatusServiceUnavailable, IngestResult{Accepted: accepted, Error: "draining"})
+			return
+		default:
+			writeJSON(w, http.StatusBadRequest,
+				IngestResult{Accepted: accepted, Error: fmt.Sprintf("event %d: %v", accepted+1, err)})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, IngestResult{Accepted: accepted})
+}
+
+// writeBusy answers 429 with the advisory Retry-After.
+func (s *Server) writeBusy(w http.ResponseWriter, res IngestResult) {
+	res.Error = "ingest queue full"
+	res.RetryAfterMS = float64(s.retryAfter) / float64(time.Millisecond)
+	secs := int(s.retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, res)
+}
+
+// handleQuote long-polls the decision for one task ID. ?timeout_ms bounds
+// the wait (default 30s, cap 120s); no decision in time answers 204.
+func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	taskID, err := strconv.Atoi(r.PathValue("task"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, IngestResult{Error: "task ID must be an integer"})
+		return
+	}
+	timeout := 30 * time.Second
+	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+		v, err := strconv.Atoi(ms)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, IngestResult{Error: "timeout_ms must be a non-negative integer"})
+			return
+		}
+		timeout = time.Duration(v) * time.Millisecond
+		if timeout > 120*time.Second {
+			timeout = 120 * time.Second
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	if d, ok := t.hub.Await(ctx, taskID); ok {
+		writeJSON(w, http.StatusOK, wireDecision(d))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleQuoteStream serves the tenant's full decision stream as SSE. A
+// consumer that falls behind its bounded buffer loses frames (counted in
+// the quote_stream_dropped metric) rather than growing server memory.
+func (s *Server) handleQuoteStream(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeJSON(w, http.StatusNotImplemented, IngestResult{Error: "streaming unsupported by this connection"})
+		return
+	}
+	sub := t.hub.Subscribe()
+	if sub == nil {
+		writeJSON(w, http.StatusServiceUnavailable, IngestResult{Error: "draining"})
+		return
+	}
+	defer t.hub.Unsubscribe(sub)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case d, open := <-sub.ch:
+			if !open {
+				return
+			}
+			if _, err := io.WriteString(w, "data: "); err != nil {
+				return
+			}
+			if err := enc.Encode(wireDecision(d)); err != nil { // Encode appends \n
+				return
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleStats serves the tenant's engine statistics in the stable JSON
+// shape of engine.Stats.MarshalJSON.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, t.eng.Stats())
+}
+
+// handleHealth answers 200 while serving and 503 once draining.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"spatialcrowd/internal/engine"
+)
+
+// defaultQuoteCache is the per-generation size of the recent-decision cache
+// (two generations live at once, so the worst-case footprint is twice this).
+const defaultQuoteCache = 1 << 16
+
+// subscriberBuffer is the bounded per-SSE-subscriber queue. A subscriber
+// that cannot keep up loses frames (counted in Dropped) — the hub never
+// buffers without bound on a slow consumer's behalf.
+const subscriberBuffer = 256
+
+// quoteHub fans one tenant's decision stream out to requesters. Two
+// delivery paths:
+//
+//   - Long-poll by task ID (Await): a requester that just posted a task
+//     blocks until the engine prices it. Decisions that arrive before the
+//     requester asks are held in a two-generation recent cache, rotated by
+//     size, so the memory stays bounded while a quote remains retrievable
+//     for roughly two cache generations.
+//   - Broadcast subscription (Subscribe): every decision, pushed over a
+//     bounded channel; SSE handlers drain it.
+//
+// Publish is called from engine shard goroutines (Config.OnDecision) and
+// holds the mutex only for map/slice operations — no I/O.
+type quoteHub struct {
+	mu      sync.Mutex
+	waiters map[int][]chan engine.Decision
+	cur     map[int]engine.Decision // recent decisions, current generation
+	prev    map[int]engine.Decision // previous generation
+	genSize int
+	subs    map[*subscriber]struct{}
+	closed  bool
+
+	published atomic.Int64
+	dropped   atomic.Int64 // frames lost to slow subscribers
+}
+
+type subscriber struct {
+	ch chan engine.Decision
+}
+
+func newQuoteHub(genSize int) *quoteHub {
+	if genSize <= 0 {
+		genSize = defaultQuoteCache
+	}
+	return &quoteHub{
+		waiters: make(map[int][]chan engine.Decision),
+		cur:     make(map[int]engine.Decision),
+		prev:    make(map[int]engine.Decision),
+		genSize: genSize,
+		subs:    make(map[*subscriber]struct{}),
+	}
+}
+
+// Publish delivers one decision: wakes the task's long-poll waiters, caches
+// it for late arrivals, and fans it out to broadcast subscribers without
+// blocking.
+func (h *quoteHub) Publish(d engine.Decision) {
+	h.published.Add(1)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	if ws := h.waiters[d.TaskID]; len(ws) > 0 {
+		for _, w := range ws {
+			w <- d // buffered cap 1, at most one send per waiter
+		}
+		delete(h.waiters, d.TaskID)
+	}
+	if len(h.cur) >= h.genSize {
+		h.prev = h.cur
+		h.cur = make(map[int]engine.Decision, h.genSize)
+	}
+	h.cur[d.TaskID] = d
+	var drops int64
+	for s := range h.subs {
+		select {
+		case s.ch <- d:
+		default:
+			drops++
+		}
+	}
+	h.mu.Unlock()
+	if drops > 0 {
+		h.dropped.Add(drops)
+	}
+}
+
+// Await returns the most recent decision for the task, blocking until one
+// is published or the context ends. ok is false on timeout/cancel.
+func (h *quoteHub) Await(ctx context.Context, taskID int) (engine.Decision, bool) {
+	h.mu.Lock()
+	if d, hit := h.cur[taskID]; hit {
+		h.mu.Unlock()
+		return d, true
+	}
+	if d, hit := h.prev[taskID]; hit {
+		h.mu.Unlock()
+		return d, true
+	}
+	if h.closed {
+		h.mu.Unlock()
+		return engine.Decision{}, false
+	}
+	ch := make(chan engine.Decision, 1)
+	h.waiters[taskID] = append(h.waiters[taskID], ch)
+	h.mu.Unlock()
+
+	select {
+	case d := <-ch:
+		return d, true
+	case <-ctx.Done():
+		h.mu.Lock()
+		ws := h.waiters[taskID]
+		for i, w := range ws {
+			if w == ch {
+				ws[i] = ws[len(ws)-1]
+				ws = ws[:len(ws)-1]
+				break
+			}
+		}
+		if len(ws) == 0 {
+			delete(h.waiters, taskID)
+		} else {
+			h.waiters[taskID] = ws
+		}
+		h.mu.Unlock()
+		// The publisher may have raced the cancellation; prefer the decision.
+		select {
+		case d := <-ch:
+			return d, true
+		default:
+			return engine.Decision{}, false
+		}
+	}
+}
+
+// Subscribe registers a broadcast consumer. The caller must Unsubscribe.
+// Returns nil after Close.
+func (h *quoteHub) Subscribe() *subscriber {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	s := &subscriber{ch: make(chan engine.Decision, subscriberBuffer)}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+// Unsubscribe removes a broadcast consumer and closes its channel.
+func (h *quoteHub) Unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[s]; ok {
+		delete(h.subs, s)
+		close(s.ch)
+	}
+}
+
+// Close wakes nothing further: waiters' channels stay empty (their contexts
+// will expire), subscribers' channels close so SSE handlers return.
+func (h *quoteHub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		delete(h.subs, s)
+		close(s.ch)
+	}
+	h.waiters = make(map[int][]chan engine.Decision)
+}
+
+// Dropped reports frames lost to slow broadcast subscribers.
+func (h *quoteHub) Dropped() int64 { return h.dropped.Load() }
+
+// Published reports total decisions seen.
+func (h *quoteHub) Published() int64 { return h.published.Load() }

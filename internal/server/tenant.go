@@ -1,0 +1,189 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"sync"
+	"sync/atomic"
+
+	"spatialcrowd/internal/engine"
+)
+
+// tenantNameRE constrains tenant names to characters that are safe in URL
+// paths and Prometheus label values without escaping.
+var tenantNameRE = regexp.MustCompile(`^[a-zA-Z0-9_-]{1,64}$`)
+
+// TenantConfig describes one isolated "city": a private engine instance
+// behind the shared listener.
+type TenantConfig struct {
+	// Name routes requests (/v1/{name}/...) and labels metrics. Letters,
+	// digits, '_' and '-' only.
+	Name string
+	// Engine configures the tenant's engine. OnDecision is chained: the
+	// server installs its quote hub first and then calls any configured
+	// callback. Shards == 0 keeps the engine's deterministic mode (useful
+	// for replay-exact tenants); use engine.DefaultShards to auto-size.
+	Engine engine.Config
+	// RestoreFrom, when non-empty, loads this checkpoint into the fresh
+	// engine before serving — the recovery half of a drained tenant.
+	RestoreFrom string
+	// CheckpointPath, when non-empty, receives an atomic checkpoint
+	// (tmp+rename) when the server drains.
+	CheckpointPath string
+	// QuoteCache overrides the per-generation recent-quote cache size
+	// (default 65536 entries; two generations live at once).
+	QuoteCache int
+}
+
+// Tenant is one running city: engine + quote hub + ingest accounting.
+type Tenant struct {
+	name     string
+	eng      *engine.Engine
+	hub      *quoteHub
+	ckptPath string
+
+	// ingestMu serializes ingestion against drain: handlers hold it shared
+	// around Submit calls; Drain takes it exclusively so the checkpoint
+	// cannot race an in-flight Submit (an Engine.Checkpoint precondition).
+	ingestMu sync.RWMutex
+
+	// det marks a deterministic (Shards == 0) engine, which processes
+	// events inline in the submitter's goroutine and therefore needs
+	// submissions serialized; detMu provides that. Concurrent engines
+	// skip it — their router channel is the synchronization point.
+	det   bool
+	detMu sync.Mutex
+
+	ingested atomic.Int64 // events accepted over HTTP
+	rejected atomic.Int64 // events refused with 429 (admission control)
+	draining atomic.Bool
+}
+
+// newTenant validates the config, builds the engine (restoring a checkpoint
+// when configured), and wires the quote hub into the decision stream.
+func newTenant(cfg TenantConfig) (*Tenant, error) {
+	if !tenantNameRE.MatchString(cfg.Name) {
+		return nil, fmt.Errorf("server: invalid tenant name %q (want [a-zA-Z0-9_-]{1,64})", cfg.Name)
+	}
+	t := &Tenant{name: cfg.Name, hub: newQuoteHub(cfg.QuoteCache), ckptPath: cfg.CheckpointPath}
+	ecfg := cfg.Engine
+	chained := ecfg.OnDecision
+	ecfg.OnDecision = func(d engine.Decision) {
+		t.hub.Publish(d)
+		if chained != nil {
+			chained(d)
+		}
+	}
+	eng, err := engine.New(ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %q: %w", cfg.Name, err)
+	}
+	if cfg.RestoreFrom != "" {
+		f, err := os.Open(cfg.RestoreFrom)
+		if err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("server: tenant %q: %w", cfg.Name, err)
+		}
+		err = eng.Restore(f)
+		f.Close()
+		if err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("server: tenant %q: restoring %s: %w", cfg.Name, cfg.RestoreFrom, err)
+		}
+	}
+	t.eng = eng
+	t.det = eng.Shards() == 0
+	return t, nil
+}
+
+// Name reports the tenant's routing name.
+func (t *Tenant) Name() string { return t.name }
+
+// Engine exposes the tenant's engine (stats, checkpoint in tests).
+func (t *Tenant) Engine() *engine.Engine { return t.eng }
+
+// Ingested reports events accepted over HTTP; Rejected reports events the
+// admission controller refused with 429.
+func (t *Tenant) Ingested() int64 { return t.ingested.Load() }
+func (t *Tenant) Rejected() int64 { return t.rejected.Load() }
+
+// submit runs one event through admission control: a non-blocking TrySubmit
+// against the engine's bounded ingest queue. engine.ErrBusy propagates to
+// the handler, which converts it into 429 + Retry-After — the queue never
+// grows beyond its fixed capacity on a client's behalf.
+func (t *Tenant) submit(ev engine.Event) error {
+	t.ingestMu.RLock()
+	defer t.ingestMu.RUnlock()
+	if t.draining.Load() {
+		return errDraining
+	}
+	if t.det {
+		t.detMu.Lock()
+		defer t.detMu.Unlock()
+	}
+	if err := t.eng.TrySubmit(ev); err != nil {
+		if err == engine.ErrBusy {
+			t.rejected.Add(1)
+		}
+		return err
+	}
+	t.ingested.Add(1)
+	return nil
+}
+
+var errDraining = fmt.Errorf("server: tenant draining")
+
+// drain quiesces the tenant: new ingestion is refused (503), in-flight
+// submits finish, a checkpoint is written while the engine still runs (the
+// FIFO barrier flushes every accepted event into it), and the engine closes
+// — finalizing pending quoted batches. Idempotent.
+func (t *Tenant) drain() error {
+	if !t.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Exclusive lock: every in-flight submit has returned and later ones
+	// see the draining flag, so Checkpoint/Close cannot race Submit.
+	t.ingestMu.Lock()
+	defer t.ingestMu.Unlock()
+	var err error
+	if t.ckptPath != "" {
+		err = writeCheckpointAtomic(t.eng, t.ckptPath)
+	}
+	if cerr := t.eng.Close(); cerr != nil && cerr != engine.ErrClosed && err == nil {
+		err = cerr
+	}
+	t.hub.Close()
+	if err != nil {
+		return fmt.Errorf("server: draining tenant %q: %w", t.name, err)
+	}
+	return nil
+}
+
+// writeCheckpointAtomic replaces path with a fresh engine checkpoint via
+// the write-temp-then-rename dance, so a crash mid-write cannot corrupt the
+// last good checkpoint. Shared with cmd/serve's periodic and
+// signal-triggered checkpoints.
+func writeCheckpointAtomic(eng *engine.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := eng.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// WriteCheckpointAtomic is the exported form of the atomic checkpoint
+// helper; cmd/serve reuses it for periodic and signal-triggered snapshots.
+func WriteCheckpointAtomic(eng *engine.Engine, path string) error {
+	return writeCheckpointAtomic(eng, path)
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"fmt"
+
+	"spatialcrowd/internal/engine"
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/market"
+)
+
+// Wire event types: the "type" discriminator of WireEvent. They mirror the
+// engine's public event kinds one-to-one; the engine's internal kinds
+// (evict, admit, checkpoint, restore) have no wire form on purpose — a
+// network client must not be able to fabricate control events.
+const (
+	WireTaskArrival   = "task"
+	WireWorkerOnline  = "worker_online"
+	WireWorkerOffline = "worker_offline"
+	WireWorkerMove    = "worker_move"
+	WireDecisionReply = "decision"
+	WireTick          = "tick"
+)
+
+// WirePoint is the JSON form of a geo.Point.
+type WirePoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+func (p WirePoint) point() geo.Point   { return geo.Point{X: p.X, Y: p.Y} }
+func wirePoint(p geo.Point) *WirePoint { return &WirePoint{X: p.X, Y: p.Y} }
+
+// WireTask is the JSON form of a market.Task. Valuation rides along only
+// for replay/selftest traffic against an AutoDecide tenant (the simulated
+// requester oracle lives server-side there); live quoted-mode clients send
+// 0 and answer quotes themselves with "decision" events.
+type WireTask struct {
+	ID        int        `json:"id"`
+	Period    int        `json:"period"`
+	Origin    WirePoint  `json:"origin"`
+	Dest      *WirePoint `json:"dest,omitempty"`
+	Distance  float64    `json:"distance"`
+	Valuation float64    `json:"valuation,omitempty"`
+}
+
+// WireWorker is the JSON form of a market.Worker.
+type WireWorker struct {
+	ID       int       `json:"id"`
+	Period   int       `json:"period"`
+	Loc      WirePoint `json:"loc"`
+	Radius   float64   `json:"radius"`
+	Duration int       `json:"duration,omitempty"`
+}
+
+// WireEvent is the JSON wire form of one engine event — the unit of the
+// single-shot POST body and of each NDJSON ingest line.
+type WireEvent struct {
+	Type string `json:"type"`
+
+	Task   *WireTask   `json:"task,omitempty"`   // type "task"
+	Worker *WireWorker `json:"worker,omitempty"` // type "worker_online"
+
+	WorkerID int        `json:"worker_id,omitempty"` // "worker_offline", "worker_move"
+	To       *WirePoint `json:"to,omitempty"`        // "worker_move"
+
+	TaskID int  `json:"task_id,omitempty"` // "decision"
+	Accept bool `json:"accept,omitempty"`  // "decision"
+
+	Period int `json:"period,omitempty"` // "tick"
+}
+
+// Event converts the wire form into an engine event, validating the
+// per-type required payload.
+func (w *WireEvent) Event() (engine.Event, error) {
+	switch w.Type {
+	case WireTaskArrival:
+		if w.Task == nil {
+			return engine.Event{}, fmt.Errorf(`event type %q needs a "task" payload`, w.Type)
+		}
+		t := market.Task{
+			ID:        w.Task.ID,
+			Period:    w.Task.Period,
+			Origin:    w.Task.Origin.point(),
+			Distance:  w.Task.Distance,
+			Valuation: w.Task.Valuation,
+		}
+		if w.Task.Dest != nil {
+			t.Dest = w.Task.Dest.point()
+		}
+		if t.Distance < 0 {
+			return engine.Event{}, fmt.Errorf("task %d has negative distance %v", t.ID, t.Distance)
+		}
+		return engine.TaskArrival(t), nil
+	case WireWorkerOnline:
+		if w.Worker == nil {
+			return engine.Event{}, fmt.Errorf(`event type %q needs a "worker" payload`, w.Type)
+		}
+		wk := market.Worker{
+			ID:       w.Worker.ID,
+			Period:   w.Worker.Period,
+			Loc:      w.Worker.Loc.point(),
+			Radius:   w.Worker.Radius,
+			Duration: w.Worker.Duration,
+		}
+		if wk.Radius <= 0 {
+			return engine.Event{}, fmt.Errorf("worker %d has non-positive radius %v", wk.ID, wk.Radius)
+		}
+		return engine.WorkerOnline(wk), nil
+	case WireWorkerOffline:
+		return engine.WorkerOffline(w.WorkerID), nil
+	case WireWorkerMove:
+		if w.To == nil {
+			return engine.Event{}, fmt.Errorf(`event type %q needs a "to" position`, w.Type)
+		}
+		return engine.WorkerMove(w.WorkerID, w.To.point()), nil
+	case WireDecisionReply:
+		return engine.AcceptDecision(w.TaskID, w.Accept), nil
+	case WireTick:
+		return engine.Tick(w.Period), nil
+	default:
+		return engine.Event{}, fmt.Errorf("unknown event type %q", w.Type)
+	}
+}
+
+// FromEvent converts an engine event into its wire form: the encoder the
+// load generator uses, and the exact inverse of Event for every public
+// event kind. Internal engine kinds return an error.
+func FromEvent(ev engine.Event) (WireEvent, error) {
+	switch ev.Kind {
+	case engine.KindTaskArrival:
+		t := ev.Task
+		return WireEvent{Type: WireTaskArrival, Task: &WireTask{
+			ID: t.ID, Period: t.Period,
+			Origin:   WirePoint{X: t.Origin.X, Y: t.Origin.Y},
+			Dest:     wirePoint(t.Dest),
+			Distance: t.Distance, Valuation: t.Valuation,
+		}}, nil
+	case engine.KindWorkerOnline:
+		w := ev.Worker
+		return WireEvent{Type: WireWorkerOnline, Worker: &WireWorker{
+			ID: w.ID, Period: w.Period,
+			Loc:    WirePoint{X: w.Loc.X, Y: w.Loc.Y},
+			Radius: w.Radius, Duration: w.Duration,
+		}}, nil
+	case engine.KindWorkerOffline:
+		return WireEvent{Type: WireWorkerOffline, WorkerID: ev.WorkerID}, nil
+	case engine.KindWorkerMove:
+		return WireEvent{Type: WireWorkerMove, WorkerID: ev.WorkerID, To: wirePoint(ev.Loc)}, nil
+	case engine.KindAcceptDecision:
+		return WireEvent{Type: WireDecisionReply, TaskID: ev.TaskID, Accept: ev.Accept}, nil
+	case engine.KindTick:
+		return WireEvent{Type: WireTick, Period: ev.Period}, nil
+	default:
+		return WireEvent{}, fmt.Errorf("event kind %d has no wire form", ev.Kind)
+	}
+}
+
+// WireDecision is the JSON form of an engine decision: the payload of the
+// long-poll quote endpoint and of each SSE frame on the quote stream.
+type WireDecision struct {
+	TaskID    int     `json:"task_id"`
+	Period    int     `json:"period"`
+	Cell      int     `json:"cell"`
+	Price     float64 `json:"price"`
+	Quoted    bool    `json:"quoted"`
+	Accepted  bool    `json:"accepted"`
+	Served    bool    `json:"served"`
+	WorkerID  int     `json:"worker_id"`
+	Revenue   float64 `json:"revenue,omitempty"`
+	LatencyNS int64   `json:"latency_ns"`
+}
+
+func wireDecision(d engine.Decision) WireDecision {
+	return WireDecision{
+		TaskID: d.TaskID, Period: d.Period, Cell: d.Cell,
+		Price: d.Price, Quoted: d.Quoted, Accepted: d.Accepted,
+		Served: d.Served, WorkerID: d.WorkerID, Revenue: d.Revenue,
+		LatencyNS: int64(d.Latency),
+	}
+}

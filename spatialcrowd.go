@@ -49,6 +49,8 @@ import (
 	"spatialcrowd/internal/match"
 	"spatialcrowd/internal/pworld"
 	"spatialcrowd/internal/roadnet"
+	"spatialcrowd/internal/server"
+	"spatialcrowd/internal/server/loadgen"
 	"spatialcrowd/internal/sim"
 	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/stats"
@@ -314,6 +316,64 @@ func AcceptDecisionEvent(taskID int, accept bool) EngineEvent {
 // TickEvent advances the engine clock; crossing a window boundary closes
 // and prices the open batch of every shard.
 func TickEvent(period int) EngineEvent { return engine.Tick(period) }
+
+// ErrEngineBusy is returned by Engine.TrySubmit when the bounded ingest
+// queue is full — the hook admission control (the dispatch server's 429
+// path) is built on.
+var ErrEngineBusy = engine.ErrBusy
+
+// EngineQueueDepths reports the engine's bounded-queue occupancy, for
+// backpressure monitoring.
+type EngineQueueDepths = engine.QueueDepths
+
+// DefaultEngineShards is the shard count used when none is specified:
+// GOMAXPROCS clamped to the cell count (an engine never needs more shards
+// than cells), floor 1.
+func DefaultEngineShards(cells int) int { return engine.DefaultShards(cells) }
+
+type (
+	// DispatchServer is the network-facing dispatch service: HTTP event
+	// ingestion with admission control, streaming quote delivery (SSE +
+	// long-poll), one isolated engine per tenant, Prometheus /metrics, and
+	// graceful drain with atomic checkpoints. See internal/server for the
+	// endpoint table.
+	DispatchServer = server.Server
+	// DispatchConfig parameterizes NewDispatchServer.
+	DispatchConfig = server.Config
+	// DispatchTenant is one city's isolated engine + quote hub inside a
+	// DispatchServer.
+	DispatchTenant = server.Tenant
+	// TenantConfig declares one tenant: name, engine configuration, and
+	// optional checkpoint/restore paths.
+	TenantConfig = server.TenantConfig
+	// IngestResult is the JSON body of every ingest response; Accepted is
+	// the durably submitted event count a client resumes after on 429.
+	IngestResult = server.IngestResult
+	// WireEvent and WireDecision are the JSON wire forms of engine events
+	// and decisions.
+	WireEvent    = server.WireEvent
+	WireDecision = server.WireDecision
+	// LoadGenConfig / LoadGenReport parameterize RunLoadGen.
+	LoadGenConfig = loadgen.Config
+	LoadGenReport = loadgen.Report
+)
+
+// NewDispatchServer assembles the dispatch service. The returned server is
+// an http.Handler; serve it with net/http and call Drain on shutdown.
+func NewDispatchServer(cfg DispatchConfig) (*DispatchServer, error) { return server.New(cfg) }
+
+// RunLoadGen streams an instance's canonical event order into a dispatch
+// server over HTTP as chunked NDJSON, following the 429 resume protocol:
+// the loopback driver behind `cmd/serve -selftest` and the e2e tests.
+func RunLoadGen(cfg LoadGenConfig, in *Instance) (LoadGenReport, error) {
+	return loadgen.Run(cfg, in)
+}
+
+// WriteEngineCheckpoint checkpoints the engine to path atomically
+// (tmp + rename in the destination directory).
+func WriteEngineCheckpoint(e *Engine, path string) error {
+	return server.WriteCheckpointAtomic(e, path)
+}
 
 // Demand distribution families for SyntheticConfig.
 const (
