@@ -20,6 +20,7 @@ import (
 	"spatialcrowd/internal/match"
 	"spatialcrowd/internal/pworld"
 	"spatialcrowd/internal/sim"
+	"spatialcrowd/internal/window"
 	"spatialcrowd/internal/workload"
 )
 
@@ -417,4 +418,150 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		b.ReportMetric(float64(events)/secs, "events/s")
 	}
 	b.ReportMetric(revenue, "engine-revenue")
+}
+
+// lowChurnFixture fabricates the workload the amortized-rebuild layer
+// targets: a large long-lived worker fleet and a demand pattern that repeats
+// window over window under fresh task IDs. mutateChurn relocates a small,
+// deterministic slice of the fleet — the "low churn" between consecutive
+// windows of a quiet shard.
+func lowChurnFixture() (protoTasks []market.Task, workers []market.Worker, grid geo.Grid) {
+	rng := rand.New(rand.NewSource(29))
+	grid = geo.SquareGrid(100, 10)
+	protoTasks = make([]market.Task, 100)
+	for i := range protoTasks {
+		o := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		d := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		protoTasks[i] = market.Task{Origin: o, Dest: d, Distance: o.Dist(d), Valuation: 5}
+	}
+	workers = make([]market.Worker, 4000)
+	for i := range workers {
+		workers[i] = market.Worker{
+			ID:  i + 1,
+			Loc: geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+			// Long-lived fleet: duration never lapses within the run.
+			Radius: 10, Duration: 1 << 20,
+		}
+	}
+	return protoTasks, workers, grid
+}
+
+// mutateChurn deterministically relocates ~2% of the fleet for the given
+// window — identical across benchmark legs, so fresh and cached runs see the
+// same pool history.
+func mutateChurn(workers []market.Worker, win int) {
+	for k := 0; k < len(workers)/50; k++ {
+		idx := (win*37 + k*101) % len(workers)
+		workers[idx].Loc = geo.Point{
+			X: float64((idx*13 + win*7 + k) % 100),
+			Y: float64((idx*19 + win*3 + 2*k) % 100),
+		}
+	}
+}
+
+// runLowChurnWindows drives one executor through the fixture for the given
+// number of windows — repeating demand with fresh task IDs, churn touching
+// the fleet every tenth window — and returns the accrued revenue.
+func runLowChurnWindows(x *window.Executor, strat core.Strategy,
+	protoTasks []market.Task, workers []market.Worker, windows int, b *testing.B) float64 {
+	tasks := make([]market.Task, len(protoTasks))
+	revenue := 0.0
+	for win := 0; win < windows; win++ {
+		if win%10 == 5 {
+			mutateChurn(workers, win)
+		}
+		copy(tasks, protoTasks)
+		for j := range tasks {
+			tasks[j].ID = win*len(tasks) + j + 1 // fresh identity, repeated content
+			tasks[j].Period = win
+		}
+		pr, err := x.Price(strat, win, tasks, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := x.ResolveImmediate(strat, pr, tasks)
+		revenue += out.Revenue
+	}
+	return revenue
+}
+
+// BenchmarkLowChurnWindow measures the full window pipeline (price -> accept
+// -> assign) on the low-churn fixture with the amortized-rebuild layer off
+// (fresh) and on (cached). The fixture is the layer's home turf — most
+// windows fingerprint identically to their predecessor — and the two paths
+// are first checked to accrue bit-identical revenue before either is timed.
+func BenchmarkLowChurnWindow(b *testing.B) {
+	protoTasks, protoWorkers, grid := lowChurnFixture()
+	mkStrat := func() core.Strategy {
+		s, err := core.NewSDR(core.DefaultParams(), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	mkPool := func() []market.Worker {
+		p := make([]market.Worker, len(protoWorkers))
+		copy(p, protoWorkers)
+		return p
+	}
+
+	// Transparency check before timing: same windows, same churn history,
+	// revenue must match to the bit.
+	fresh := window.NewExecutor(grid, window.GraphKD)
+	cached := window.NewExecutor(grid, window.GraphKD)
+	cached.SetAmortize(true)
+	const checkWindows = 50
+	revFresh := runLowChurnWindows(fresh, mkStrat(), protoTasks, mkPool(), checkWindows, b)
+	revCached := runLowChurnWindows(cached, mkStrat(), protoTasks, mkPool(), checkWindows, b)
+	if revFresh != revCached || revFresh <= 0 {
+		b.Fatalf("cached revenue %.12f != fresh %.12f over %d windows", revCached, revFresh, checkWindows)
+	}
+
+	b.Run("fresh", func(b *testing.B) {
+		x := window.NewExecutor(grid, window.GraphKD)
+		strat := mkStrat()
+		pool := mkPool()
+		b.ReportAllocs()
+		b.ResetTimer()
+		runLowChurnWindows(x, strat, protoTasks, pool, b.N, b)
+	})
+	b.Run("cached", func(b *testing.B) {
+		x := window.NewExecutor(grid, window.GraphKD)
+		x.SetAmortize(true)
+		strat := mkStrat()
+		pool := mkPool()
+		b.ReportAllocs()
+		b.ResetTimer()
+		runLowChurnWindows(x, strat, protoTasks, pool, b.N, b)
+		b.StopTimer()
+		st := x.CacheStats()
+		if total := st.CtxHits + st.CtxMisses; total > 0 {
+			b.ReportMetric(float64(st.CtxHits)/float64(total), "ctx-hit-rate")
+		}
+	})
+}
+
+// BenchmarkKDIncremental isolates the worker-index maintenance cost the
+// cached path saves: full Reindex every window versus Update applying the
+// ~2% location delta (the incremental path falls back to a rebuild
+// automatically above its churn threshold).
+func BenchmarkKDIncremental(b *testing.B) {
+	_, protoWorkers, _ := lowChurnFixture()
+	run := func(b *testing.B, incremental bool) {
+		workers := make([]market.Worker, len(protoWorkers))
+		copy(workers, protoWorkers)
+		ix := market.NewWorkerIndex(workers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mutateChurn(workers, i)
+			if incremental {
+				ix.Update(workers)
+			} else {
+				ix.Reindex(workers)
+			}
+		}
+	}
+	b.Run("reindex", func(b *testing.B) { run(b, false) })
+	b.Run("update", func(b *testing.B) { run(b, true) })
 }

@@ -32,8 +32,20 @@ func main() {
 		scale    = flag.Int("scale", 1, "population divisor")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		probes   = flag.Int("probes", 0, "calibration probes per price (0 = full Hoeffding)")
+		amortize = flag.String("amortize", "on", "fingerprint-gated window caching: on | off (results are bit-identical either way)")
+		selftest = flag.Bool("selftest", false, "run every strategy with amortization on AND off and fail on any revenue divergence")
 	)
 	flag.Parse()
+	var amortizeOn bool
+	switch strings.ToLower(*amortize) {
+	case "on":
+		amortizeOn = true
+	case "off":
+		amortizeOn = false
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -amortize value %q (want on or off)\n", *amortize)
+		os.Exit(2)
+	}
 
 	var (
 		instance *spatialcrowd.Instance
@@ -105,18 +117,58 @@ func main() {
 	pb := base.BasePrice()
 	fmt.Printf("calibrated base price p_b = %.4f (%d probes)\n\n", pb, base.ProbeCount())
 
+	if *selftest {
+		runSelftest(instance, *strategy, params, pb, base)
+		return
+	}
+
 	strategies, err := buildStrategies(*strategy, params, pb, base)
 	fail(err)
 
+	cfg := spatialcrowd.DefaultSimConfig()
+	cfg.Amortize = amortizeOn
 	fmt.Printf("%-10s %12s %9s %9s %9s %12s %10s\n",
 		"strategy", "revenue", "offered", "accepted", "served", "time", "peak heap")
 	for _, s := range strategies {
-		res, err := spatialcrowd.Run(instance, s, spatialcrowd.DefaultSimConfig())
+		res, err := spatialcrowd.Run(instance, s, cfg)
 		fail(err)
 		fmt.Printf("%-10s %12.1f %9d %9d %9d %12v %8.1fMB\n",
 			res.Strategy, res.Revenue, res.Offered, res.Accepted, res.Served,
 			res.StrategyTime.Round(1000), res.PeakHeapMB)
 	}
+}
+
+// runSelftest runs every selected strategy twice — amortization off, then on,
+// each leg with a fresh strategy instance — and fails unless the two legs
+// agree exactly on revenue and service counts. It is the executable form of
+// the amortization layer's transparency contract.
+func runSelftest(instance *spatialcrowd.Instance, which string, params spatialcrowd.Params, pb float64, base *spatialcrowd.BaseP) {
+	fresh := spatialcrowd.DefaultSimConfig()
+	amort := fresh
+	amort.Amortize = true
+	fmt.Printf("%-10s %14s %14s %8s\n", "strategy", "fresh revenue", "cached revenue", "verdict")
+	failed := false
+	freshStrats, err := buildStrategies(which, params, pb, base)
+	fail(err)
+	cachedStrats, err := buildStrategies(which, params, pb, base)
+	fail(err)
+	for i := range freshStrats {
+		a, err := spatialcrowd.Run(instance, freshStrats[i], fresh)
+		fail(err)
+		b, err := spatialcrowd.Run(instance, cachedStrats[i], amort)
+		fail(err)
+		verdict := "ok"
+		if a.Revenue != b.Revenue || a.Accepted != b.Accepted || a.Served != b.Served {
+			verdict = "DIVERGED"
+			failed = true
+		}
+		fmt.Printf("%-10s %14.4f %14.4f %8s\n", a.Strategy, a.Revenue, b.Revenue, verdict)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "selftest: amortized run diverged from fresh run")
+		os.Exit(1)
+	}
+	fmt.Println("selftest: PASS (amortization is transparent)")
 }
 
 func buildStrategies(which string, params spatialcrowd.Params, pb float64, base *spatialcrowd.BaseP) ([]spatialcrowd.Strategy, error) {

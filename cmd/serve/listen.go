@@ -136,6 +136,33 @@ func runSelftest(o *options) error {
 	}
 	refStats := ref.Stats()
 
+	// Amortization must be transparent: the same replay with the cache layer
+	// flipped has to land on exactly the same revenue before the network leg
+	// is worth comparing against either.
+	oAlt := *o
+	oAlt.amortize = !o.amortize
+	altCfg := engineConfig(&oAlt, s, true)
+	altCfg.OnDecision = func(engine.Decision) {}
+	alt, err := engine.New(altCfg)
+	if err != nil {
+		return err
+	}
+	if _, err := engine.ReplayWith(alt, s.in, engine.ReplayOpts{}); err != nil {
+		return err
+	}
+	if err := alt.Close(); err != nil {
+		return err
+	}
+	altStats := alt.Stats()
+	fmt.Printf("selftest: amortize on/off revenue %.6f vs %.6f (ctx cache %d/%d hits)\n",
+		refStats.Revenue, altStats.Revenue,
+		refStats.Cache.CtxHits+altStats.Cache.CtxHits,
+		refStats.Cache.CtxHits+refStats.Cache.CtxMisses+altStats.Cache.CtxHits+altStats.Cache.CtxMisses)
+	if altStats.Revenue != refStats.Revenue || altStats.Served != refStats.Served {
+		return fmt.Errorf("selftest: amortized and fresh replays diverged: revenue %.9f vs %.9f, served %d vs %d",
+			refStats.Revenue, altStats.Revenue, refStats.Served, altStats.Served)
+	}
+
 	srv, err := server.New(server.Config{Tenants: []server.TenantConfig{{
 		Name:   "selftest",
 		Engine: engineConfig(o, s, true),

@@ -72,6 +72,7 @@ type options struct {
 	mobility                             float64
 	seed                                 int64
 	probes                               int
+	amortize                             bool
 
 	ckptEvery int
 	ckptFile  string
@@ -102,6 +103,7 @@ func main() {
 	flag.Float64Var(&o.mobility, "mobility", 0, "per-worker per-period move probability (0 disables the mobility trace)")
 	flag.Int64Var(&o.seed, "seed", 42, "workload seed")
 	flag.IntVar(&o.probes, "probes", 200, "base-pricing calibration probes per price")
+	amortize := flag.String("amortize", "on", "fingerprint-gated window caching and incremental k-d maintenance: on | off (results are bit-identical either way)")
 
 	flag.IntVar(&o.ckptEvery, "checkpoint-every", 0, "write a crash-safe engine checkpoint every k periods (0 disables; SIGINT/SIGTERM also snapshot when enabled)")
 	flag.StringVar(&o.ckptFile, "checkpoint-file", "serve.ckpt", "checkpoint path for -checkpoint-every and signal-triggered snapshots")
@@ -114,6 +116,15 @@ func main() {
 	flag.BoolVar(&o.selftest, "selftest", false, "loopback smoke test: start a server on a random port, drive it with the load generator, verify revenue against an in-process replay")
 	flag.IntVar(&o.genChunk, "loadgen-chunk", 5000, "selftest load-generator events per POST")
 	flag.Parse()
+
+	switch strings.ToLower(*amortize) {
+	case "on":
+		o.amortize = true
+	case "off":
+		o.amortize = false
+	default:
+		fatal(fmt.Errorf("unknown -amortize value %q (want on or off)", *amortize))
+	}
 
 	switch {
 	case o.selftest:
@@ -182,6 +193,7 @@ func engineConfig(o *options, s *setup, autoDecide bool) engine.Config {
 		Window:      o.window,
 		NewStrategy: s.factory,
 		AutoDecide:  autoDecide,
+		Amortize:    o.amortize,
 	}
 	if nShards > 0 && spatial.BackendName(s.sp) != "grid" {
 		// Irregular cell structures load-balance better in contiguous runs.

@@ -24,6 +24,9 @@ type CappedUCB struct {
 	// tasks and workers in each grid").
 	taskCount   map[int]int
 	workerCount map[int]int
+
+	// ver counts price-relevant state changes; see PriceStateVersion.
+	ver uint64
 }
 
 // NewCappedUCB builds the baseline around a base price fallback.
@@ -87,7 +90,14 @@ func (c *CappedUCB) Prices(ctx *PeriodContext) []float64 {
 
 // Observe implements Strategy: per-grid UCB updates, as in MAPS.
 func (c *CappedUCB) Observe(ctx *PeriodContext, prices []float64, accepted []bool) {
+	if len(ctx.Tasks) > 0 {
+		c.ver++
+	}
 	for i, tv := range ctx.Tasks {
 		c.cellStats(tv.Cell).Observe(prices[i], accepted[i])
 	}
 }
+
+// PriceStateVersion implements PriceCacheable; the version advances on
+// every Observe and snapshot restore.
+func (c *CappedUCB) PriceStateVersion() uint64 { return c.ver }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/match"
+)
+
+// This file is the invalidation side of the window-level amortization
+// layer: cheap rolling fingerprints over the strategy-visible inputs of a
+// pricing window, the PriceCacheable opt-in for price-vector reuse, and
+// the context-reuse fast path that pairs with BuildContextScratch. The
+// cache layer itself lives in internal/window; core only defines what
+// "unchanged inputs" means, so the equality contract sits next to the
+// structures it protects.
+
+// FNV-1a folded over 64-bit words — the same constants the engine's
+// partition fingerprint uses. Word-at-a-time mixing keeps hashing a
+// window's inputs far cheaper than rebuilding anything from them, which is
+// the whole point: a fingerprint check must cost less than the cheapest
+// recomputation it can skip.
+const (
+	fpOffset uint64 = 14695981039346656037
+	fpPrime  uint64 = 1099511628211
+)
+
+func fpMix(h, v uint64) uint64 { return (h ^ v) * fpPrime }
+
+// TasksFingerprint hashes everything about a task batch that pricing can
+// see except the IDs: origins, destinations, and distances, in order,
+// plus the batch length. IDs are deliberately excluded — the engine mints
+// fresh task IDs every window even when the underlying demand pattern
+// repeats, and no strategy-visible derivation (cell grouping, adjacency,
+// prices) depends on them — and valuations are excluded because they are
+// hidden information that never reaches a strategy.
+func TasksFingerprint(tasks []market.Task) uint64 {
+	h := fpMix(fpOffset, uint64(len(tasks)))
+	for i := range tasks {
+		t := &tasks[i]
+		h = fpMix(h, math.Float64bits(t.Origin.X))
+		h = fpMix(h, math.Float64bits(t.Origin.Y))
+		h = fpMix(h, math.Float64bits(t.Dest.X))
+		h = fpMix(h, math.Float64bits(t.Dest.Y))
+		h = fpMix(h, math.Float64bits(t.Distance))
+	}
+	return h
+}
+
+// WorkersFingerprint hashes a worker batch in order, covering every field:
+// strategies see the worker slice verbatim through PeriodContext, so any
+// field change must invalidate.
+func WorkersFingerprint(workers []market.Worker) uint64 {
+	h := fpMix(fpOffset, uint64(len(workers)))
+	for i := range workers {
+		w := &workers[i]
+		h = fpMix(h, uint64(w.ID))
+		h = fpMix(h, uint64(w.Period))
+		h = fpMix(h, math.Float64bits(w.Loc.X))
+		h = fpMix(h, math.Float64bits(w.Loc.Y))
+		h = fpMix(h, math.Float64bits(w.Radius))
+		h = fpMix(h, uint64(w.Duration))
+	}
+	return h
+}
+
+// PriceCacheable is the opt-in for price-vector caching. A strategy
+// implementing it declares that Prices is a pure function of (its internal
+// state as versioned here, the window's tasks and workers, and the spatial
+// backend) — in particular independent of ctx.Period and of call count —
+// so a caller may replay the previous window's price vector verbatim when
+// the version and both input fingerprints are unchanged.
+//
+// Implementations must bump the version on every state change that could
+// alter future prices: observing outcomes, replacing the ladder, restoring
+// a snapshot. Learning strategies therefore never produce stale hits (each
+// Observe invalidates); the stateless heuristics return a constant and hit
+// whenever the market repeats.
+type PriceCacheable interface {
+	PriceStateVersion() uint64
+}
+
+// ReuseContextScratch rewires the context left in sc by the previous
+// BuildContextScratch call for a new window whose tasks have the same
+// fingerprint (TasksFingerprint — identical origins, destinations,
+// distances, and count; only IDs may differ). The per-cell grouping, the
+// distance-sorted order inside each cell, and every view field except ID
+// are input-identical, so only the IDs are rewritten and the
+// window-specific fields (period, workers, graph) reassigned. The caller
+// owns the fingerprint check; calling this with non-matching tasks
+// silently corrupts the context.
+func ReuseContextScratch(sc *ContextScratch, period int, tasks []market.Task, workers []market.Worker, graph *match.Graph) *PeriodContext {
+	views := sc.views[:len(tasks)]
+	for i := range tasks {
+		views[i].ID = tasks[i].ID
+	}
+	sc.ctx.Period = period
+	sc.ctx.Tasks = views
+	sc.ctx.Workers = workers
+	sc.ctx.Graph = graph
+	return &sc.ctx
+}
+
+// Len reports how many task views the scratch currently holds — the guard
+// a caller pairs with the fingerprint check before ReuseContextScratch.
+func (sc *ContextScratch) Len() int { return len(sc.views) }

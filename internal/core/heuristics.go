@@ -57,6 +57,12 @@ func (s *SDR) Prices(ctx *PeriodContext) []float64 {
 // Observe implements Strategy; SDR does not learn.
 func (s *SDR) Observe(*PeriodContext, []float64, []bool) {}
 
+// PriceStateVersion implements PriceCacheable: SDR carries no learned
+// state, so its prices depend only on the window's tasks and workers and a
+// cached vector stays valid whenever the market repeats. (Callers mutating
+// the public knobs mid-stream forfeit that guarantee.)
+func (s *SDR) PriceStateVersion() uint64 { return 0 }
+
 // SDE is the exponential supply-demand-difference baseline of Section 5.1:
 // p^tg = p_b * (1 + 2 e^{|W^tg| - |R^tg|}) when tasks outnumber workers,
 // and p_b otherwise.
@@ -95,3 +101,6 @@ func (s *SDE) Prices(ctx *PeriodContext) []float64 {
 
 // Observe implements Strategy; SDE does not learn.
 func (s *SDE) Observe(*PeriodContext, []float64, []bool) {}
+
+// PriceStateVersion implements PriceCacheable; like SDR, SDE is stateless.
+func (s *SDE) PriceStateVersion() uint64 { return 0 }

@@ -110,8 +110,14 @@ func (pm *ParametricMAPS) Prices(ctx *PeriodContext) []float64 {
 	return pm.MAPS.Prices(ctx)
 }
 
-// Observe implements Strategy: feed outcomes to the logistic fits.
+// Observe implements Strategy: feed outcomes to the logistic fits. The
+// embedded MAPS version counter is bumped directly — this override never
+// reaches MAPS.Observe, but the fits feed the next Prices call all the
+// same, so the cached price vector must invalidate.
 func (pm *ParametricMAPS) Observe(ctx *PeriodContext, prices []float64, accepted []bool) {
+	if len(ctx.Tasks) > 0 {
+		pm.ver++
+	}
 	for i, tv := range ctx.Tasks {
 		pm.fit(tv.Cell).Observe(prices[i], accepted[i])
 	}

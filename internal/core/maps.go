@@ -55,6 +55,17 @@ type MAPS struct {
 	h         deltaHeap
 	rounds    map[int]*cellRound
 	roundFree []*cellRound
+
+	// ver counts state changes that can alter future prices (Observe,
+	// SetLadder, snapshot restore); see PriceStateVersion.
+	ver uint64
+
+	// Previous smoothing pass (raw input, smoothed output, weight), kept as
+	// private copies so SmoothPricesIncremental can skip cells whose
+	// neighborhood did not change between windows.
+	prevRaw    map[int]float64
+	prevSmooth map[int]float64
+	prevW      float64
 }
 
 // NewMAPS builds a MAPS strategy around a base price (typically
@@ -99,7 +110,13 @@ func (m *MAPS) CellStats(cell int) *CellStats {
 func (m *MAPS) SetLadder(ladder []float64) {
 	m.ladder = append([]float64(nil), ladder...)
 	m.cells = make(map[int]*CellStats)
+	m.ver++
 }
+
+// PriceStateVersion implements PriceCacheable: the version advances on
+// every Observe, SetLadder, and snapshot restore, so a cached price vector
+// is replayed only for windows between which MAPS learned nothing.
+func (m *MAPS) PriceStateVersion() uint64 { return m.ver }
 
 // heapEntry is the tuple ((g, n_new, p_new), Δ^g) of Algorithm 2.
 type heapEntry struct {
@@ -305,7 +322,17 @@ func (m *MAPS) Prices(ctx *PeriodContext) []float64 {
 		m.LastPrices[cell] = m.P.Clamp(cr.price)
 	}
 	if m.Smoothing > 0 {
-		m.LastPrices = SmoothPrices(ctx.Space, m.LastPrices, m.Smoothing)
+		raw := m.LastPrices
+		hist := m.prevRaw
+		if m.Smoothing != m.prevW {
+			hist = nil // weight changed: the previous pass is not comparable
+		}
+		m.LastPrices = SmoothPricesIncremental(ctx.Space, raw, hist, m.prevSmooth, m.Smoothing)
+		// Keep private copies for the next window's delta detection (the
+		// exported maps may be retained or mutated by callers).
+		m.prevRaw = copyPriceMap(m.prevRaw, raw)
+		m.prevSmooth = copyPriceMap(m.prevSmooth, m.LastPrices)
+		m.prevW = m.Smoothing
 	}
 	for cell, cr := range rounds {
 		p := m.LastPrices[cell]
@@ -355,7 +382,26 @@ func (m *MAPS) Observe(ctx *PeriodContext, prices []float64, accepted []bool) {
 		panic(fmt.Sprintf("core: Observe with %d prices / %d outcomes for %d tasks",
 			len(prices), len(accepted), len(ctx.Tasks)))
 	}
+	if len(ctx.Tasks) > 0 {
+		m.ver++
+	}
 	for i, tv := range ctx.Tasks {
 		m.CellStats(tv.Cell).Observe(prices[i], accepted[i])
 	}
+}
+
+// copyPriceMap replaces dst's contents with src's, reusing dst when
+// possible.
+func copyPriceMap(dst, src map[int]float64) map[int]float64 {
+	if dst == nil {
+		dst = make(map[int]float64, len(src))
+	} else {
+		for k := range dst {
+			delete(dst, k)
+		}
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
 }

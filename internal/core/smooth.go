@@ -43,6 +43,72 @@ func SmoothPrices(space spatial.Space, prices map[int]float64, w float64) map[in
 	return out
 }
 
+// SmoothPricesIncremental is SmoothPrices restricted to the cells whose
+// result can actually have changed since a previous smoothing pass: given
+// the previous pass's raw input (prevRaw) and output (prevSmoothed) under
+// the same weight and spatial backend, a cell is recomputed iff its own raw
+// price or any neighbor's raw price changed, appeared, or disappeared;
+// every other cell copies its previous smoothed value, which is bit-exact
+// because its entire input neighborhood is unchanged and the per-cell
+// computation touches nothing else. Passing nil history falls back to a
+// full SmoothPrices pass. The result is a new map; no input is modified.
+func SmoothPricesIncremental(space spatial.Space, prices, prevRaw, prevSmoothed map[int]float64, w float64) map[int]float64 {
+	if prevRaw == nil || prevSmoothed == nil {
+		return SmoothPrices(space, prices, w)
+	}
+	out := make(map[int]float64, len(prices))
+	if w <= 0 {
+		for c, p := range prices {
+			out[c] = p
+		}
+		return out
+	}
+	if w >= 1 {
+		w = 0.999
+	}
+	dirty := make(map[int]struct{})
+	for c, p := range prices {
+		if pp, ok := prevRaw[c]; !ok || pp != p {
+			dirty[c] = struct{}{}
+		}
+	}
+	for c := range prevRaw {
+		if _, ok := prices[c]; !ok {
+			dirty[c] = struct{}{}
+		}
+	}
+	var buf []int
+	for cell, p := range prices {
+		buf = space.NeighborsAppend(cell, buf[:0])
+		_, recompute := dirty[cell]
+		if !recompute {
+			for _, nb := range buf {
+				if _, d := dirty[nb]; d {
+					recompute = true
+					break
+				}
+			}
+		}
+		if !recompute {
+			out[cell] = prevSmoothed[cell]
+			continue
+		}
+		sum, n := 0.0, 0
+		for _, nb := range buf {
+			if np, ok := prices[nb]; ok {
+				sum += np
+				n++
+			}
+		}
+		if n == 0 {
+			out[cell] = p
+			continue
+		}
+		out[cell] = (1-w)*p + w*sum/float64(n)
+	}
+	return out
+}
+
 // PriceGap measures the maximum absolute price difference between any two
 // neighboring priced cells — the quantity smoothing is meant to shrink.
 func PriceGap(space spatial.Space, prices map[int]float64) float64 {

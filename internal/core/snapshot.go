@@ -284,6 +284,7 @@ func (c *CappedUCB) RestoreState(st StrategyState) error {
 	c.cells = make(map[int]*CellStats)
 	c.taskCount = make(map[int]int)
 	c.workerCount = make(map[int]int)
+	c.ver++ // restored state invalidates any cached price vector
 	return restoreUCBCells(st.Cells, c.cellStats)
 }
 

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/spatial"
+	"spatialcrowd/internal/workload"
+)
+
+// amortizeRun replays the instance through a deterministic AutoDecide engine
+// and returns its final stats. Runs of a pair differ ONLY in Config.Amortize,
+// which is exactly what the transparency contract says must not matter.
+func amortizeRun(t *testing.T, in *market.Instance, shards int, on bool, mk func() core.Strategy) Stats {
+	t.Helper()
+	space := in.Spatial()
+	cfg := Config{
+		Space:      space,
+		Shards:     shards,
+		AutoDecide: true,
+		Amortize:   on,
+		OnDecision: func(Decision) {},
+	}
+	if shards > 0 {
+		cfg.Partitioner = spatial.BalancedPartition(space, shards)
+		cfg.NewStrategy = func(int) core.Strategy { return mk() }
+	} else {
+		cfg.Strategy = mk()
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayWith(e, in, ReplayOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return e.Stats()
+}
+
+// assertAmortizeEqual demands exact equality — not tolerance-based — between
+// a fresh and an amortized run: same revenue to the bit, same funnel, same
+// per-shard breakdown. Any drift means a cache hit returned content that a
+// fresh rebuild would not have produced.
+func assertAmortizeEqual(t *testing.T, off, on Stats) {
+	t.Helper()
+	if on.Revenue != off.Revenue {
+		t.Fatalf("amortized revenue %.12f != fresh %.12f", on.Revenue, off.Revenue)
+	}
+	if on.Served != off.Served || on.Accepted != off.Accepted || on.TasksPriced != off.TasksPriced {
+		t.Fatalf("funnel mismatch: amortized %d/%d/%d, fresh %d/%d/%d",
+			on.TasksPriced, on.Accepted, on.Served,
+			off.TasksPriced, off.Accepted, off.Served)
+	}
+	if len(on.ShardRevenue) != len(off.ShardRevenue) {
+		t.Fatalf("shard count changed: %d vs %d", len(on.ShardRevenue), len(off.ShardRevenue))
+	}
+	for i := range on.ShardRevenue {
+		if on.ShardRevenue[i] != off.ShardRevenue[i] {
+			t.Fatalf("shard %d revenue %.12f != fresh %.12f", i, on.ShardRevenue[i], off.ShardRevenue[i])
+		}
+		if on.ShardTasks[i] != off.ShardTasks[i] {
+			t.Fatalf("shard %d priced %d tasks, fresh %d", i, on.ShardTasks[i], off.ShardTasks[i])
+		}
+	}
+}
+
+// TestAmortizeTransparencyProperty sweeps random workloads over both spatial
+// backends and both execution modes and asserts the amortized-rebuild layer
+// is invisible in the books: revenue, funnel, and per-shard breakdowns are
+// exactly equal with the cache on and off. MAPS is the adversarial choice of
+// strategy here — it learns from every outcome, so a single stale cached
+// price vector would compound into visible revenue drift.
+func TestAmortizeTransparencyProperty(t *testing.T) {
+	mkMAPS := func() core.Strategy {
+		m, _ := core.NewMAPS(core.DefaultParams(), 2)
+		return m
+	}
+	backends := map[string]*market.Instance{}
+	for _, seed := range []int64{1, 7, 23, 91} {
+		in, _, err := workload.Synthetic(workload.SyntheticConfig{
+			Workers: 150 + int(seed)*13, Requests: 600 + int(seed)*29,
+			Periods: 30, GridSide: 4, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[fmt.Sprintf("grid/seed=%d", seed)] = in
+	}
+	road, _, _, err := workload.BeijingRoad(workload.RoadConfig{
+		Variant: workload.BeijingRush, WorkerDuration: 8, Scale: 200, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["road"] = road
+
+	for name, in := range backends {
+		for _, shards := range []int{0, 4} {
+			t.Run(name+modeName(shards), func(t *testing.T) {
+				off := amortizeRun(t, in, shards, false, mkMAPS)
+				on := amortizeRun(t, in, shards, true, mkMAPS)
+				if off.Revenue <= 0 {
+					t.Fatalf("degenerate workload: fresh revenue %v", off.Revenue)
+				}
+				assertAmortizeEqual(t, off, on)
+				if off.Cache != (CacheStats{}) {
+					t.Fatalf("amortize off reported cache activity: %+v", off.Cache)
+				}
+				// Every priced window scores exactly one context outcome.
+				if got := on.Cache.CtxHits + on.Cache.CtxMisses; got != on.Batches {
+					t.Fatalf("ctx outcomes %d != batches %d (cache %+v)", got, on.Batches, on.Cache)
+				}
+				if got := on.Cache.PriceHits + on.Cache.PriceMisses; got != on.Batches {
+					t.Fatalf("price outcomes %d != batches %d (cache %+v)", got, on.Batches, on.Cache)
+				}
+			})
+		}
+	}
+}
+
+// lowChurnInstance fabricates the workload the amortization layer is built
+// for: the same demand pattern re-issued every period under fresh task IDs
+// (repeated content, new identity — fingerprints match, IDs do not), served
+// by a long-lived worker pool. Positions are deterministic functions of the
+// task/worker index so every period's batch hashes identically.
+func lowChurnInstance(periods, tasksPerPeriod, workers int) *market.Instance {
+	grid := geo.SquareGrid(100, 4)
+	in := &market.Instance{Grid: grid, Periods: periods}
+	for p := 0; p < periods; p++ {
+		for i := 0; i < tasksPerPeriod; i++ {
+			origin := geo.Point{X: float64(5 + (i*17)%90), Y: float64(5 + (i*29)%90)}
+			dest := geo.Point{X: float64(5 + (i*13)%90), Y: float64(5 + (i*7)%90)}
+			in.Tasks = append(in.Tasks, market.Task{
+				ID:        p*tasksPerPeriod + i + 1,
+				Period:    p,
+				Origin:    origin,
+				Dest:      dest,
+				Distance:  1 + origin.Dist(dest),
+				Valuation: 50,
+			})
+		}
+	}
+	for j := 0; j < workers; j++ {
+		in.Workers = append(in.Workers, market.Worker{
+			ID:       1_000_000 + j,
+			Period:   0,
+			Loc:      geo.Point{X: float64((j * 11) % 100), Y: float64((j * 19) % 100)},
+			Radius:   300,
+			Duration: periods,
+		})
+	}
+	return in
+}
+
+// TestAmortizeLowChurnCacheHits drives the repeating-demand fixture through
+// fresh and amortized engines and asserts both sides of the bargain: the
+// books agree exactly, AND the cache actually fired — repeated task content
+// scores context hits, and once the pool quiesces the stateless SDR ladder
+// scores price-vector hits. A transparent cache that never hits would pass
+// the property test above while being dead weight; this pins the hit path.
+func TestAmortizeLowChurnCacheHits(t *testing.T) {
+	in := lowChurnInstance(40, 12, 72)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mkSDR := func() core.Strategy {
+		s, _ := core.NewSDR(core.DefaultParams(), 2)
+		return s
+	}
+	off := amortizeRun(t, in, 0, false, mkSDR)
+	on := amortizeRun(t, in, 0, true, mkSDR)
+	if off.Revenue <= 0 {
+		t.Fatalf("degenerate fixture: fresh revenue %v", off.Revenue)
+	}
+	assertAmortizeEqual(t, off, on)
+
+	c := on.Cache
+	if c.CtxHits == 0 {
+		t.Fatalf("no context cache hits on repeating demand: %+v", c)
+	}
+	if c.PriceHits == 0 {
+		t.Fatalf("no price cache hits for SDR on a quiesced pool: %+v", c)
+	}
+	if got := c.CtxHits + c.CtxMisses; got != on.Batches {
+		t.Fatalf("ctx outcomes %d != batches %d (%+v)", got, on.Batches, c)
+	}
+	// The repeated content dominates: all but the first window reuse the
+	// context, so hits must carry the overwhelming share.
+	if c.CtxHits < c.CtxMisses {
+		t.Fatalf("expected ctx hits to dominate on low churn, got %d hits / %d misses", c.CtxHits, c.CtxMisses)
+	}
+}

@@ -97,6 +97,17 @@ type countersCk struct {
 	ShardRevenue   []float64 `json:"shard_revenue"`
 	ShardTasks     []int64   `json:"shard_tasks"`
 	CarriedRevenue float64   `json:"carried_revenue,omitempty"`
+
+	// Aggregate amortization-cache counters (Config.Amortize). Per-shard
+	// attribution is not preserved across a restart: a fresh engine's
+	// executors start with cold caches regardless of layout, so the totals
+	// restore as carried values.
+	CacheCtxHits       int64 `json:"cache_ctx_hits,omitempty"`
+	CacheCtxMisses     int64 `json:"cache_ctx_misses,omitempty"`
+	CachePriceHits     int64 `json:"cache_price_hits,omitempty"`
+	CachePriceMisses   int64 `json:"cache_price_misses,omitempty"`
+	CacheKDIncremental int64 `json:"cache_kd_incremental,omitempty"`
+	CacheKDRebuilds    int64 `json:"cache_kd_rebuilds,omitempty"`
 }
 
 // shardCk is one shard's serialized market state. Workers are recorded in
@@ -312,6 +323,11 @@ func (e *Engine) restoreCounters(f *checkpointFile, exact bool) error {
 	e.accepted = c.Accepted
 	e.served = c.Served
 	e.carriedRevenue = c.CarriedRevenue
+	e.carriedCache = CacheStats{
+		CtxHits: c.CacheCtxHits, CtxMisses: c.CacheCtxMisses,
+		PriceHits: c.CachePriceHits, PriceMisses: c.CachePriceMisses,
+		KDIncremental: c.CacheKDIncremental, KDRebuilds: c.CacheKDRebuilds,
+	}
 	if exact {
 		if len(c.ShardRevenue) != len(e.shardRevenue) || len(c.ShardTasks) != len(e.shardTasks) {
 			return fmt.Errorf("engine: checkpoint has %d shard revenue entries, engine has %d",
@@ -365,7 +381,17 @@ func (e *Engine) newCheckpointFile(states []shardCk) *checkpointFile {
 	f.Counters.ShardRevenue = append([]float64(nil), e.shardRevenue...)
 	f.Counters.ShardTasks = append([]int64(nil), e.shardTasks...)
 	f.Counters.CarriedRevenue = e.carriedRevenue
+	cache := e.carriedCache
+	for _, c := range e.shardCache {
+		cache = cache.Add(c)
+	}
 	e.aggMu.Unlock()
+	f.Counters.CacheCtxHits = cache.CtxHits
+	f.Counters.CacheCtxMisses = cache.CtxMisses
+	f.Counters.CachePriceHits = cache.PriceHits
+	f.Counters.CachePriceMisses = cache.PriceMisses
+	f.Counters.CacheKDIncremental = cache.KDIncremental
+	f.Counters.CacheKDRebuilds = cache.KDRebuilds
 	return f
 }
 
@@ -542,6 +568,9 @@ func (s *shard) restore(st *shardCk) error {
 	if len(st.Seqs) != len(st.Workers) {
 		return fmt.Errorf("engine: shard state has %d seqs for %d workers", len(st.Seqs), len(st.Workers))
 	}
+	// Whatever the executor cached describes the pre-restore engine; the
+	// restored market must rebuild from scratch.
+	s.exec.InvalidateCache()
 	s.batchStart = st.BatchStart
 	s.lastTick = st.LastTick
 	s.nextSeq = st.NextSeq
@@ -567,6 +596,10 @@ func (s *shard) restore(st *shardCk) error {
 			return fmt.Errorf("engine: shard %d strategy restore: %w", s.id, err)
 		}
 	}
+	// Swallow the restore's own executor bookkeeping (re-arming a quoted
+	// batch rebuilds a context outside any priced window) so reported cache
+	// deltas keep counting priced windows only.
+	s.lastCache = s.exec.CacheStats()
 	return nil
 }
 

@@ -43,6 +43,7 @@ import (
 	"spatialcrowd/internal/geo"
 	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/stats"
+	"spatialcrowd/internal/window"
 )
 
 const defaultBuffer = 4096
@@ -91,6 +92,13 @@ type Config struct {
 	// queue. It is called from shard goroutines and must be fast and
 	// concurrency-safe.
 	OnDecision func(Decision)
+	// Amortize enables the executors' fingerprint-gated amortized-rebuild
+	// layer: pricing contexts, batch graphs, and (for core.PriceCacheable
+	// strategies) price vectors are reused across consecutive windows whose
+	// inputs fingerprint identically, and the k-d worker index is maintained
+	// incrementally under low churn. Cached windows are bit-identical to
+	// fresh ones — revenue and the decision stream do not change.
+	Amortize bool
 }
 
 // ErrClosed is returned by Submit after Close.
@@ -171,6 +179,11 @@ type Engine struct {
 	shardRevenue   []float64
 	shardTasks     []int64 // tasks priced per shard (per-shard throughput)
 	carriedRevenue float64
+	// Cache counters mirror the revenue discipline: per-shard deltas folded
+	// in at batch grain, plus a carried aggregate restored from checkpoints
+	// taken under a different shard layout.
+	shardCache  []window.CacheStats
+	carriedCache window.CacheStats
 
 	// Checkpoint restore bookkeeping (written before any event, read-only
 	// afterwards).
@@ -228,6 +241,7 @@ func New(cfg Config) (*Engine, error) {
 		e.det = s
 		e.shardRevenue = make([]float64, 1)
 		e.shardTasks = make([]int64, 1)
+		e.shardCache = make([]window.CacheStats, 1)
 		return e, nil
 	}
 
@@ -248,6 +262,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.shardRevenue = make([]float64, cfg.Shards)
 	e.shardTasks = make([]int64, cfg.Shards)
+	e.shardCache = make([]window.CacheStats, cfg.Shards)
 	e.in = make(chan Event, cfg.Buffer)
 	e.taskShardCur = make(map[int]int)
 	e.taskShardPrev = make(map[int]int)
@@ -651,5 +666,13 @@ func (e *Engine) notePriced(shard, tasks int) {
 	e.batches.Add(1)
 	e.aggMu.Lock()
 	e.shardTasks[shard] += int64(tasks)
+	e.aggMu.Unlock()
+}
+
+// noteCache folds a shard's cache-counter delta (one priced window's worth)
+// into the aggregate, under the same lock discipline as noteBatch.
+func (e *Engine) noteCache(shard int, d window.CacheStats) {
+	e.aggMu.Lock()
+	e.shardCache[shard] = e.shardCache[shard].Add(d)
 	e.aggMu.Unlock()
 }

@@ -45,6 +45,10 @@ type shard struct {
 	// context, and matcher arenas inside, reused window over window.
 	exec    *window.Executor
 	scratch batchScratch // engine-side per-batch arenas, reused every window
+
+	// lastCache is the executor's cumulative cache counters as of the last
+	// report to the engine; closeBatch pushes the delta after each Price.
+	lastCache window.CacheStats
 }
 
 // batchScratch is the shard's reusable engine-side working state (the
@@ -81,9 +85,24 @@ func newShard(id int, eng *Engine, strat core.Strategy) *shard {
 	if eng.cfg.CellIndexGraphs {
 		mode = window.GraphCellIndex
 	}
-	return &shard{id: id, eng: eng, strat: strat, window: eng.cfg.Window,
+	s := &shard{id: id, eng: eng, strat: strat, window: eng.cfg.Window,
 		poolPos: make(map[int]int),
 		exec:    window.NewExecutor(eng.space, mode)}
+	s.exec.SetAmortize(eng.cfg.Amortize)
+	return s
+}
+
+// reportCache pushes the executor's cache-counter delta since the last
+// report to the engine aggregate (called after every Price, on both the
+// success and the dropped-batch path, so counters track pricing attempts).
+func (s *shard) reportCache() {
+	cur := s.exec.CacheStats()
+	d := cur.Sub(s.lastCache)
+	if d == (window.CacheStats{}) {
+		return
+	}
+	s.lastCache = cur
+	s.eng.noteCache(s.id, d)
 }
 
 // run drains the shard's channel until the router closes it, then finalizes
@@ -431,6 +450,7 @@ func (s *shard) closeBatch(period int, at time.Time) {
 	}
 
 	pr, err := s.exec.Price(s.strat, period, tasks, batchWorkers)
+	s.reportCache()
 	if err != nil {
 		s.eng.noteStrategyError(err)
 		return

@@ -82,7 +82,22 @@ func TestSoakRandomizedLifecycle(t *testing.T) {
 	for _, shards := range []int{0, 4} {
 		t.Run("shards="+strconv.Itoa(shards), func(t *testing.T) {
 			reportFailureSeed(t, seed, budget)
-			runSoak(t, seed, budget, shards, false)
+			runSoak(t, seed, budget, shards, false, false)
+		})
+	}
+}
+
+// TestSoakAmortizedLifecycle is the same randomized soak with the
+// amortized-rebuild layer on: every lifecycle/revenue invariant must hold
+// unchanged (the cache is transparent), and additionally the cache counters
+// must cohere — every priced window scores exactly one context and one price
+// outcome, so hits+misses reconcile against the batch count.
+func TestSoakAmortizedLifecycle(t *testing.T) {
+	seed, budget := soakSeed(), soakEvents(t)
+	for _, shards := range []int{0, 4} {
+		t.Run("shards="+strconv.Itoa(shards), func(t *testing.T) {
+			reportFailureSeed(t, seed, budget)
+			runSoak(t, seed, budget, shards, false, true)
 		})
 	}
 }
@@ -99,7 +114,7 @@ func TestSoakCheckpointRestore(t *testing.T) {
 	for _, shards := range []int{0, 4} {
 		t.Run("shards="+strconv.Itoa(shards), func(t *testing.T) {
 			reportFailureSeed(t, seed, budget)
-			runSoak(t, seed, budget, shards, true)
+			runSoak(t, seed, budget, shards, true, false)
 		})
 	}
 }
@@ -128,10 +143,10 @@ func pooledIDs(t *testing.T, e *Engine, when string) map[int]bool {
 	return ids
 }
 
-func runSoak(t *testing.T, seed int64, budget, shards int, restoreMid bool) {
+func runSoak(t *testing.T, seed int64, budget, shards int, restoreMid, amortize bool) {
 	t.Helper()
 	grid := geo.SquareGrid(100, 8) // 64 cells
-	cfg := Config{Grid: grid, Shards: shards}
+	cfg := Config{Grid: grid, Shards: shards, Amortize: amortize}
 	if shards > 0 {
 		cfg.Partitioner = spatial.BalancedPartition(spatial.NewGridSpace(grid), shards)
 		cfg.NewStrategy = func(int) core.Strategy {
@@ -409,5 +424,37 @@ func runSoak(t *testing.T, seed int64, budget, shards int, restoreMid bool) {
 	if lc.Onlines < lc.Pooled+retired || lc.Onlines > lc.Pooled+retired+lc.DuplicateOnlines {
 		t.Fatalf("lifecycle ledger broken: onlines=%d pooled=%d retired=%d dup=%d mig=%d",
 			lc.Onlines, lc.Pooled, retired, lc.DuplicateOnlines, lc.Migrations)
+	}
+
+	// Cache-counter coherence. Off: the counters never move. On (without a
+	// mid-stream restore, which legitimately swallows re-arm rebuilds): every
+	// priced window scores exactly one context and one price outcome, the
+	// per-shard breakdown sums to the total, and no counter is negative.
+	if !amortize {
+		if st.Cache != (CacheStats{}) {
+			t.Fatalf("amortize off but cache counters moved: %+v", st.Cache)
+		}
+		return
+	}
+	c := st.Cache
+	if c.CtxHits < 0 || c.CtxMisses < 0 || c.PriceHits < 0 || c.PriceMisses < 0 ||
+		c.KDIncremental < 0 || c.KDRebuilds < 0 {
+		t.Fatalf("negative cache counter: %+v", c)
+	}
+	var fromShards CacheStats
+	for _, sc := range st.ShardCache {
+		fromShards = fromShards.Add(sc)
+	}
+	if fromShards != c {
+		t.Fatalf("shard cache counters sum to %+v, total %+v", fromShards, c)
+	}
+	if !restoreMid {
+		windows := st.Batches + st.StrategyErrors
+		if got := c.CtxHits + c.CtxMisses; got != windows {
+			t.Fatalf("ctx outcomes %d != priced windows %d (cache %+v)", got, windows, c)
+		}
+		if got := c.PriceHits + c.PriceMisses; got != windows {
+			t.Fatalf("price outcomes %d != priced windows %d (cache %+v)", got, windows, c)
+		}
 	}
 }

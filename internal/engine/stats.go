@@ -5,7 +5,13 @@ import (
 	"math"
 	"strings"
 	"time"
+
+	"spatialcrowd/internal/window"
 )
+
+// CacheStats re-exports the window executor's amortization counters so
+// engine consumers (stats JSON, metrics) need not import internal/window.
+type CacheStats = window.CacheStats
 
 // Stats is a point-in-time snapshot of the engine's aggregate counters.
 // Revenue, Accepted, and Served count finalized batches only; quoted batches
@@ -34,6 +40,15 @@ type Stats struct {
 	// target (duplicate decisions, offlines or moves for unknown workers,
 	// duplicate onlines, replies after their batch finalized).
 	Late int64
+	// Cache aggregates the executors' amortization counters (Config.Amortize);
+	// all zero when amortization is off. ShardCache breaks Cache down by
+	// shard (one entry in deterministic mode). With amortization on, every
+	// priced window scores exactly one context hit or miss and one price hit
+	// or miss, so CtxHits + CtxMisses == Batches + StrategyErrors — the soak
+	// harness asserts it (restore-time rebuilds are deliberately excluded
+	// from the deltas shards report).
+	Cache      CacheStats
+	ShardCache []CacheStats
 	// StrategyErrors counts pricing batches dropped because the strategy
 	// violated the one-price-per-task contract; LastStrategyError is the
 	// most recent such error (a typed *window.PriceCountError), nil when
@@ -115,9 +130,14 @@ func (e *Engine) Stats() Stats {
 	// Revenue restored onto a different shard layout loses per-shard
 	// attribution; the carried total keeps Revenue exact (checkpoint.go).
 	s.Revenue = e.carriedRevenue
+	s.ShardCache = append([]CacheStats(nil), e.shardCache...)
+	s.Cache = e.carriedCache
 	e.aggMu.Unlock()
 	for _, r := range s.ShardRevenue {
 		s.Revenue += r
+	}
+	for _, c := range s.ShardCache {
+		s.Cache = s.Cache.Add(c)
 	}
 
 	e.latMu.Lock()
@@ -160,6 +180,11 @@ func (s Stats) String() string {
 			}
 		}
 		b.WriteString("\n")
+	}
+	if c := s.Cache; c != (CacheStats{}) {
+		fmt.Fprintf(&b, "cache       ctx %d/%d hit, price %d/%d hit, kd %d incr / %d rebuilds\n",
+			c.CtxHits, c.CtxHits+c.CtxMisses, c.PriceHits, c.PriceHits+c.PriceMisses,
+			c.KDIncremental, c.KDRebuilds)
 	}
 	fmt.Fprintf(&b, "latency     p50=%v p99=%v\n", s.P50Latency.Round(time.Microsecond), s.P99Latency.Round(time.Microsecond))
 	lc := s.Lifecycle

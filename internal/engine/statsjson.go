@@ -25,6 +25,8 @@ type statsJSON struct {
 	Late              int64         `json:"late"`
 	StrategyErrors    int64         `json:"strategy_errors"`
 	LastStrategyError *string       `json:"last_strategy_error"`
+	Cache             cacheJSON     `json:"cache"`
+	ShardCache        []cacheJSON   `json:"shard_cache,omitempty"`
 	Lifecycle         lifecycleJSON `json:"lifecycle"`
 	P50LatencyNanos   int64         `json:"p50_latency_ns"`
 	P50Latency        string        `json:"p50_latency"`
@@ -33,6 +35,27 @@ type statsJSON struct {
 	ElapsedNanos      int64         `json:"elapsed_ns"`
 	Elapsed           string        `json:"elapsed"`
 	EventsPerSec      float64       `json:"events_per_sec"`
+}
+
+type cacheJSON struct {
+	CtxHits       int64 `json:"ctx_hits"`
+	CtxMisses     int64 `json:"ctx_misses"`
+	PriceHits     int64 `json:"price_hits"`
+	PriceMisses   int64 `json:"price_misses"`
+	KDIncremental int64 `json:"kd_incremental"`
+	KDRebuilds    int64 `json:"kd_rebuilds"`
+}
+
+func cacheToJSON(c CacheStats) cacheJSON {
+	return cacheJSON{CtxHits: c.CtxHits, CtxMisses: c.CtxMisses,
+		PriceHits: c.PriceHits, PriceMisses: c.PriceMisses,
+		KDIncremental: c.KDIncremental, KDRebuilds: c.KDRebuilds}
+}
+
+func cacheFromJSON(j cacheJSON) CacheStats {
+	return CacheStats{CtxHits: j.CtxHits, CtxMisses: j.CtxMisses,
+		PriceHits: j.PriceHits, PriceMisses: j.PriceMisses,
+		KDIncremental: j.KDIncremental, KDRebuilds: j.KDRebuilds}
 }
 
 type lifecycleJSON struct {
@@ -71,6 +94,7 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		ElapsedNanos:    int64(s.Elapsed),
 		Elapsed:         s.Elapsed.String(),
 		EventsPerSec:    s.EventsPerSec,
+		Cache:           cacheToJSON(s.Cache),
 		Lifecycle: lifecycleJSON{
 			Onlines:          s.Lifecycle.Onlines,
 			DuplicateOnlines: s.Lifecycle.DuplicateOnlines,
@@ -84,6 +108,9 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 			Tracked:          s.Lifecycle.Tracked,
 			TrackedHeld:      s.Lifecycle.TrackedHeld,
 		},
+	}
+	for _, c := range s.ShardCache {
+		j.ShardCache = append(j.ShardCache, cacheToJSON(c))
 	}
 	if s.LastStrategyError != nil {
 		msg := s.LastStrategyError.Error()
@@ -117,6 +144,7 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 		P99Latency:     time.Duration(j.P99LatencyNanos),
 		Elapsed:        time.Duration(j.ElapsedNanos),
 		EventsPerSec:   j.EventsPerSec,
+		Cache:          cacheFromJSON(j.Cache),
 		Lifecycle: LifecycleStats{
 			Onlines:          j.Lifecycle.Onlines,
 			DuplicateOnlines: j.Lifecycle.DuplicateOnlines,
@@ -130,6 +158,9 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 			Tracked:          j.Lifecycle.Tracked,
 			TrackedHeld:      j.Lifecycle.TrackedHeld,
 		},
+	}
+	for _, c := range j.ShardCache {
+		s.ShardCache = append(s.ShardCache, cacheFromJSON(c))
 	}
 	if j.LastStrategyError != nil {
 		s.LastStrategyError = statsWireError(*j.LastStrategyError)

@@ -23,6 +23,14 @@ func fullStats() Stats {
 		Late:              7,
 		StrategyErrors:    2,
 		LastStrategyError: errors.New("strategy returned 3 prices for 4 tasks"),
+		Cache: CacheStats{CtxHits: 300, CtxMisses: 100, PriceHits: 250,
+			PriceMisses: 150, KDIncremental: 280, KDRebuilds: 20},
+		ShardCache: []CacheStats{
+			{CtxHits: 200, CtxMisses: 40, PriceHits: 180, PriceMisses: 60,
+				KDIncremental: 200, KDRebuilds: 5},
+			{CtxHits: 100, CtxMisses: 60, PriceHits: 70, PriceMisses: 90,
+				KDIncremental: 80, KDRebuilds: 15},
+		},
 		Lifecycle: LifecycleStats{
 			Onlines: 900, DuplicateOnlines: 3, Moves: 1200, Migrations: 80,
 			PinnedMoves: 5, RetiredAssigned: 700, RetiredExpired: 150,
@@ -53,7 +61,8 @@ func TestStatsMarshalJSONStableShape(t *testing.T) {
 	wantKeys := []string{
 		"events", "tasks_priced", "quoted", "accepted", "served",
 		"revenue", "shard_revenue", "shard_tasks", "batches", "late",
-		"strategy_errors", "last_strategy_error", "lifecycle",
+		"strategy_errors", "last_strategy_error", "cache", "shard_cache",
+		"lifecycle",
 		"p50_latency_ns", "p50_latency", "p99_latency_ns", "p99_latency",
 		"elapsed_ns", "elapsed", "events_per_sec",
 	}
@@ -84,6 +93,24 @@ func TestStatsMarshalJSONStableShape(t *testing.T) {
 	sort.Strings(wantLC)
 	if !reflect.DeepEqual(gotLC, wantLC) {
 		t.Errorf("lifecycle key set changed:\n got %v\nwant %v", gotLC, wantLC)
+	}
+
+	cache, ok := m["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("cache is %T, want object", m["cache"])
+	}
+	wantCache := []string{
+		"ctx_hits", "ctx_misses", "price_hits", "price_misses",
+		"kd_incremental", "kd_rebuilds",
+	}
+	gotCache := make([]string, 0, len(cache))
+	for k := range cache {
+		gotCache = append(gotCache, k)
+	}
+	sort.Strings(gotCache)
+	sort.Strings(wantCache)
+	if !reflect.DeepEqual(gotCache, wantCache) {
+		t.Errorf("cache key set changed:\n got %v\nwant %v", gotCache, wantCache)
 	}
 
 	if ns := m["p50_latency_ns"].(float64); int64(ns) != int64(1500*time.Microsecond) {

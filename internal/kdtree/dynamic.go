@@ -1,0 +1,384 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"spatialcrowd/internal/geo"
+)
+
+// DynamicTree is a 2-d tree supporting Insert and Delete between queries,
+// for indexes whose point set changes by small deltas per batch (the
+// streaming engine's worker pool under low churn). It complements the
+// static Tree: where Rebuild pays O(n log^2 n) every window, a DynamicTree
+// absorbs k updates in O(k log n) amortized and leaves the rest of the
+// structure untouched.
+//
+// Balance is maintained scapegoat-style: every node carries a subtree size,
+// inserts walk one root-to-leaf path, and when a node on that path becomes
+// alpha-weight-unbalanced its whole subtree is rebuilt perfectly balanced
+// (the classic rebuild-when-unbalanced policy, amortized O(log n) per
+// insert). Deletes tombstone the node in place — queries skip dead nodes
+// but still use their coordinates for pruning, which stays correct because
+// pruning only ever discards regions, never reports them — and the whole
+// tree is compacted once dead nodes outnumber live ones.
+//
+// The zero value is an empty tree. Not safe for concurrent mutation.
+type DynamicTree struct {
+	pts  []geo.Point
+	ids  []int
+	left []int32
+	size []int32 // nodes (live + dead) in subtree, self included
+	rite []int32
+	dead []bool
+
+	free    []int32 // tombstoned slots released by the last compaction
+	root    int32
+	nLive   int
+	nDead   int
+	path    []int32 // reusable insert path
+	scratch []int32 // reusable rebuild buffer
+	sorter  dynByAxis
+}
+
+// scapegoatAlpha is the weight-balance bound: a subtree is rebuilt when one
+// child holds more than this fraction of its nodes. 0.7 trades slightly
+// deeper trees for fewer rebuilds, which suits the low-churn workloads the
+// dynamic index targets.
+const scapegoatAlpha = 0.7
+
+// scapegoatMinRebuild is the smallest subtree worth rebalancing; below it a
+// skewed subtree is cheaper to search than to rebuild.
+const scapegoatMinRebuild = 8
+
+// NewDynamicTree returns an empty dynamic tree.
+func NewDynamicTree() *DynamicTree {
+	return &DynamicTree{root: -1}
+}
+
+// Len returns the number of live (inserted and not deleted) points.
+func (t *DynamicTree) Len() int { return t.nLive }
+
+// Reset empties the tree, keeping the node arena for reuse.
+func (t *DynamicTree) Reset() {
+	t.pts = t.pts[:0]
+	t.ids = t.ids[:0]
+	t.left = t.left[:0]
+	t.rite = t.rite[:0]
+	t.size = t.size[:0]
+	t.dead = t.dead[:0]
+	t.free = t.free[:0]
+	t.root = -1
+	t.nLive, t.nDead = 0, 0
+}
+
+// Bulk resets the tree and loads the given points in one perfectly
+// balanced build — the fast path when the caller decides incremental
+// maintenance is not worth it for this batch. ids[i] is the payload of
+// points[i]; pass nil to use positions 0..n-1.
+func (t *DynamicTree) Bulk(points []geo.Point, ids []int) {
+	t.Reset()
+	n := len(points)
+	if n == 0 {
+		return
+	}
+	t.pts = append(t.pts, points...)
+	if ids == nil {
+		for i := 0; i < n; i++ {
+			t.ids = append(t.ids, i)
+		}
+	} else {
+		t.ids = append(t.ids, ids...)
+	}
+	t.scratch = t.scratch[:0]
+	for i := 0; i < n; i++ {
+		t.left = append(t.left, -1)
+		t.rite = append(t.rite, -1)
+		t.size = append(t.size, 1)
+		t.dead = append(t.dead, false)
+		t.scratch = append(t.scratch, int32(i))
+	}
+	t.nLive = n
+	t.root = t.buildBalanced(t.scratch, 0, n, 0)
+}
+
+// alloc claims a node slot for (p, id), reusing compacted slots first.
+func (t *DynamicTree) alloc(p geo.Point, id int) int32 {
+	if n := len(t.free); n > 0 {
+		ni := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.pts[ni], t.ids[ni] = p, id
+		t.left[ni], t.rite[ni], t.size[ni] = -1, -1, 1
+		t.dead[ni] = false
+		return ni
+	}
+	t.pts = append(t.pts, p)
+	t.ids = append(t.ids, id)
+	t.left = append(t.left, -1)
+	t.rite = append(t.rite, -1)
+	t.size = append(t.size, 1)
+	t.dead = append(t.dead, false)
+	return int32(len(t.pts) - 1)
+}
+
+// Insert adds a point with its payload id. Duplicate points and ids are
+// allowed; Delete removes one matching (point, id) occurrence.
+func (t *DynamicTree) Insert(p geo.Point, id int) {
+	if len(t.pts) == 0 {
+		t.root = -1 // zero-value tree: no arena yet, root index 0 is meaningless
+	}
+	ni := t.alloc(p, id)
+	t.nLive++
+	if t.root < 0 {
+		t.root = ni
+		return
+	}
+	// Walk one path to a leaf slot, bumping subtree sizes. Equal axis
+	// coordinates descend right; searches must (and do) check both sides on
+	// equality because subtree rebuilds do not preserve that convention.
+	t.path = t.path[:0]
+	cur, axis := t.root, 0
+	for {
+		t.path = append(t.path, cur)
+		t.size[cur]++
+		var next *int32
+		var pa, ca float64
+		if axis == 0 {
+			pa, ca = p.X, t.pts[cur].X
+		} else {
+			pa, ca = p.Y, t.pts[cur].Y
+		}
+		if pa < ca {
+			next = &t.left[cur]
+		} else {
+			next = &t.rite[cur]
+		}
+		if *next < 0 {
+			*next = ni
+			break
+		}
+		cur = *next
+		axis = 1 - axis
+	}
+	// Scapegoat check: rebuild the highest alpha-unbalanced subtree on the
+	// path. Sizes shrink along the path, so the scan can stop early.
+	for depth, n := range t.path {
+		s := t.size[n]
+		if int(s) < scapegoatMinRebuild {
+			break
+		}
+		heavier := int32(0)
+		if l := t.left[n]; l >= 0 && t.size[l] > heavier {
+			heavier = t.size[l]
+		}
+		if r := t.rite[n]; r >= 0 && t.size[r] > heavier {
+			heavier = t.size[r]
+		}
+		if float64(heavier) > scapegoatAlpha*float64(s) {
+			parent := int32(-1)
+			if depth > 0 {
+				parent = t.path[depth-1]
+			}
+			t.rebuildSubtree(n, depth, parent)
+			return
+		}
+	}
+}
+
+// rebuildSubtree rebalances the subtree rooted at n (which sits at the
+// given depth, under parent, or at the root when parent < 0). Tombstones
+// inside the subtree are kept — only the global compaction drops them — so
+// every ancestor size stays valid.
+func (t *DynamicTree) rebuildSubtree(n int32, depth int, parent int32) {
+	t.scratch = t.scratch[:0]
+	t.collect(n)
+	nr := t.buildBalanced(t.scratch, 0, len(t.scratch), depth&1)
+	switch {
+	case parent < 0:
+		t.root = nr
+	case t.left[parent] == n:
+		t.left[parent] = nr
+	default:
+		t.rite[parent] = nr
+	}
+}
+
+// collect appends every node index (dead or alive) of n's subtree to
+// t.scratch.
+func (t *DynamicTree) collect(n int32) {
+	if n < 0 {
+		return
+	}
+	t.scratch = append(t.scratch, n)
+	t.collect(t.left[n])
+	t.collect(t.rite[n])
+}
+
+// buildBalanced links buf[lo:hi] into a perfectly balanced subtree split on
+// axis and returns its root (-1 when empty). The subrange is fully sorted
+// per level with a reused sorter, mirroring the static builder's
+// n log^2 n strategy — fine at rebuild sizes, and allocation-free.
+func (t *DynamicTree) buildBalanced(buf []int32, lo, hi, axis int) int32 {
+	if hi <= lo {
+		return -1
+	}
+	t.sorter.t, t.sorter.idx, t.sorter.axis = t, buf[lo:hi], axis
+	sort.Sort(&t.sorter)
+	mid := (lo + hi) / 2
+	n := buf[mid]
+	t.left[n] = t.buildBalanced(buf, lo, mid, 1-axis)
+	t.rite[n] = t.buildBalanced(buf, mid+1, hi, 1-axis)
+	t.size[n] = int32(hi - lo)
+	return n
+}
+
+type dynByAxis struct {
+	t    *DynamicTree
+	idx  []int32
+	axis int
+}
+
+func (s *dynByAxis) Len() int { return len(s.idx) }
+func (s *dynByAxis) Less(i, j int) bool {
+	pi, pj := s.t.pts[s.idx[i]], s.t.pts[s.idx[j]]
+	if s.axis == 0 {
+		return pi.X < pj.X
+	}
+	return pi.Y < pj.Y
+}
+func (s *dynByAxis) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+
+// Delete removes one live occurrence of (p, id) and reports whether it was
+// found. When tombstones come to outnumber live nodes the tree is compacted
+// into a fresh balanced build, so query cost stays O(log n) in the live
+// population.
+func (t *DynamicTree) Delete(p geo.Point, id int) bool {
+	if t.nLive == 0 || t.root < 0 || !t.findAndKill(t.root, 0, p, id) {
+		return false
+	}
+	t.nLive--
+	t.nDead++
+	if t.nDead > t.nLive {
+		t.compact()
+	}
+	return true
+}
+
+// findAndKill locates a live node holding exactly (p, id) and tombstones
+// it. Both children are searched when the query coordinate equals the
+// node's split coordinate — required because balanced rebuilds place equal
+// coordinates on either side.
+func (t *DynamicTree) findAndKill(n int32, axis int, p geo.Point, id int) bool {
+	if n < 0 {
+		return false
+	}
+	if !t.dead[n] && t.ids[n] == id && t.pts[n] == p {
+		t.dead[n] = true
+		return true
+	}
+	var qa, pa float64
+	if axis == 0 {
+		qa, pa = p.X, t.pts[n].X
+	} else {
+		qa, pa = p.Y, t.pts[n].Y
+	}
+	if qa <= pa && t.findAndKill(t.left[n], 1-axis, p, id) {
+		return true
+	}
+	return qa >= pa && t.findAndKill(t.rite[n], 1-axis, p, id)
+}
+
+// compact rebuilds the whole tree over the live nodes only and releases
+// tombstoned slots to the free list.
+func (t *DynamicTree) compact() {
+	t.scratch = t.scratch[:0]
+	t.collectLive(t.root)
+	t.root = t.buildBalanced(t.scratch, 0, len(t.scratch), 0)
+	t.nDead = 0
+}
+
+func (t *DynamicTree) collectLive(n int32) {
+	if n < 0 {
+		return
+	}
+	l, r := t.left[n], t.rite[n]
+	if t.dead[n] {
+		t.dead[n] = false
+		t.free = append(t.free, n)
+	} else {
+		t.scratch = append(t.scratch, n)
+	}
+	t.collectLive(l)
+	t.collectLive(r)
+}
+
+// Nearest returns the payload id and distance of the live point closest to
+// q, or (-1, +Inf) on an empty tree.
+func (t *DynamicTree) Nearest(q geo.Point) (int, float64) {
+	if t.nLive == 0 {
+		return -1, math.Inf(1)
+	}
+	bestID, bestD2 := -1, math.Inf(1)
+	t.nearest(t.root, 0, q, &bestID, &bestD2)
+	return bestID, math.Sqrt(bestD2)
+}
+
+func (t *DynamicTree) nearest(n int32, axis int, q geo.Point, bestID *int, bestD2 *float64) {
+	if n < 0 {
+		return
+	}
+	p := t.pts[n]
+	if !t.dead[n] {
+		if d2 := p.SqDist(q); d2 < *bestD2 {
+			*bestD2 = d2
+			*bestID = t.ids[n]
+		}
+	}
+	var qa, pa float64
+	if axis == 0 {
+		qa, pa = q.X, p.X
+	} else {
+		qa, pa = q.Y, p.Y
+	}
+	near, far := t.left[n], t.rite[n]
+	if qa > pa {
+		near, far = far, near
+	}
+	t.nearest(near, 1-axis, q, bestID, bestD2)
+	if diff := qa - pa; diff*diff < *bestD2 {
+		t.nearest(far, 1-axis, q, bestID, bestD2)
+	}
+}
+
+// InRadiusAppend appends the payload ids of all live points within the
+// closed disk of radius r around q to out and returns the extended slice.
+func (t *DynamicTree) InRadiusAppend(q geo.Point, r float64, out []int) []int {
+	if t.nLive == 0 || r < 0 {
+		return out
+	}
+	t.inRadius(t.root, 0, q, r*r, &out)
+	return out
+}
+
+func (t *DynamicTree) inRadius(n int32, axis int, q geo.Point, r2 float64, out *[]int) {
+	if n < 0 {
+		return
+	}
+	p := t.pts[n]
+	if !t.dead[n] && p.SqDist(q) <= r2 {
+		*out = append(*out, t.ids[n])
+	}
+	var qa, pa float64
+	if axis == 0 {
+		qa, pa = q.X, p.X
+	} else {
+		qa, pa = q.Y, p.Y
+	}
+	diff := qa - pa
+	if diff <= 0 || diff*diff <= r2 {
+		t.inRadius(t.left[n], 1-axis, q, r2, out)
+	}
+	if diff >= 0 || diff*diff <= r2 {
+		t.inRadius(t.rite[n], 1-axis, q, r2, out)
+	}
+}

@@ -1,0 +1,177 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialcrowd/internal/geo"
+)
+
+// TestDynamicTreeFuzzVsRebuild drives a DynamicTree through randomized
+// Insert/Delete interleavings and, after every mutation burst, checks its
+// Nearest and InRadius answers against a static Tree rebuilt from scratch
+// over the same live set. Nearest is compared by distance (ties may
+// legitimately resolve to different ids); InRadius is compared as an id
+// multiset.
+func TestDynamicTreeFuzzVsRebuild(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23, 91} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dyn := NewDynamicTree()
+			ref := &Tree{}
+			type entry struct {
+				p  geo.Point
+				id int
+			}
+			var live []entry
+			nextID := 0
+			randPoint := func() geo.Point {
+				// Snap to a coarse lattice so duplicate coordinates (the
+				// delete-search edge case) occur often.
+				return geo.Point{
+					X: float64(rng.Intn(40)) * 0.5,
+					Y: float64(rng.Intn(40)) * 0.5,
+				}
+			}
+
+			check := func(round int) {
+				pts := make([]geo.Point, len(live))
+				ids := make([]int, len(live))
+				for i, e := range live {
+					pts[i], ids[i] = e.p, e.id
+				}
+				ref.Rebuild(pts, ids)
+				if dyn.Len() != len(live) {
+					t.Fatalf("round %d: dynamic Len %d, want %d", round, dyn.Len(), len(live))
+				}
+				for probe := 0; probe < 20; probe++ {
+					q := geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+					_, wd := ref.Nearest(q)
+					gi, gd := dyn.Nearest(q)
+					if gd != wd {
+						t.Fatalf("round %d probe %d: Nearest(%v) distance %v, want %v", round, probe, q, gd, wd)
+					}
+					if gi >= 0 {
+						// The returned id must belong to a live point at that distance.
+						found := false
+						for _, e := range live {
+							if e.id == gi && math.Sqrt(e.p.SqDist(q)) == gd {
+								found = true
+								break
+							}
+						}
+						if !found && len(live) > 0 {
+							t.Fatalf("round %d probe %d: Nearest returned id %d not at distance %v", round, probe, gi, gd)
+						}
+					}
+					r := rng.Float64() * 8
+					want := append([]int(nil), ref.InRadiusAppend(q, r, nil)...)
+					got := append([]int(nil), dyn.InRadiusAppend(q, r, nil)...)
+					sort.Ints(want)
+					sort.Ints(got)
+					if len(want) != len(got) {
+						t.Fatalf("round %d probe %d: InRadius(%v, %v) returned %d ids, want %d", round, probe, q, r, len(got), len(want))
+					}
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("round %d probe %d: InRadius mismatch at %d: %d vs %d", round, probe, i, got[i], want[i])
+						}
+					}
+				}
+			}
+
+			for round := 0; round < 60; round++ {
+				// A burst of mutations: inserts early, deletes dominating later
+				// so the tombstone-compaction path triggers.
+				for m := 0; m < 25; m++ {
+					delBias := 0.3
+					if round > 40 {
+						delBias = 0.7
+					}
+					if len(live) > 0 && rng.Float64() < delBias {
+						i := rng.Intn(len(live))
+						e := live[i]
+						if !dyn.Delete(e.p, e.id) {
+							t.Fatalf("round %d: Delete(%v, %d) not found", round, e.p, e.id)
+						}
+						live[i] = live[len(live)-1]
+						live = live[:len(live)-1]
+					} else {
+						e := entry{p: randPoint(), id: nextID}
+						nextID++
+						dyn.Insert(e.p, e.id)
+						live = append(live, e)
+					}
+				}
+				check(round)
+			}
+
+			// Deleting something absent must report false and change nothing.
+			before := dyn.Len()
+			if dyn.Delete(geo.Point{X: -1000, Y: -1000}, 999999) {
+				t.Fatal("Delete of absent point reported true")
+			}
+			if dyn.Len() != before {
+				t.Fatalf("failed Delete changed Len: %d -> %d", before, dyn.Len())
+			}
+		})
+	}
+}
+
+// TestDynamicTreeBulkMatchesStatic checks a Bulk load answers queries
+// exactly like a static build over the same points.
+func TestDynamicTreeBulkMatchesStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geo.Point, 500)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	dyn := NewDynamicTree()
+	dyn.Bulk(pts, nil)
+	ref := Build(pts, nil)
+	for probe := 0; probe < 50; probe++ {
+		q := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		wi, wd := ref.Nearest(q)
+		gi, gd := dyn.Nearest(q)
+		if wd != gd {
+			t.Fatalf("probe %d: Nearest distance %v, want %v", probe, gd, wd)
+		}
+		if pts[gi].SqDist(q) != pts[wi].SqDist(q) {
+			t.Fatalf("probe %d: Nearest ids at different distances", probe)
+		}
+		r := rng.Float64() * 15
+		want := append([]int(nil), ref.InRadiusAppend(q, r, nil)...)
+		got := append([]int(nil), dyn.InRadiusAppend(q, r, nil)...)
+		sort.Ints(want)
+		sort.Ints(got)
+		if len(want) != len(got) {
+			t.Fatalf("probe %d: InRadius count %d, want %d", probe, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("probe %d: InRadius sets differ", probe)
+			}
+		}
+	}
+}
+
+// TestDynamicTreeZeroValue checks the zero value behaves as an empty tree.
+func TestDynamicTreeZeroValue(t *testing.T) {
+	var tr DynamicTree
+	if id, _ := tr.Nearest(geo.Point{}); id != -1 {
+		t.Fatalf("empty Nearest id = %d", id)
+	}
+	if got := tr.InRadiusAppend(geo.Point{}, 10, nil); len(got) != 0 {
+		t.Fatalf("empty InRadius returned %v", got)
+	}
+	if tr.Delete(geo.Point{}, 0) {
+		t.Fatal("empty Delete reported true")
+	}
+	tr.Insert(geo.Point{X: 1, Y: 2}, 42)
+	if id, d := tr.Nearest(geo.Point{X: 1, Y: 2}); id != 42 || d != 0 {
+		t.Fatalf("Nearest after first insert = (%d, %v)", id, d)
+	}
+}

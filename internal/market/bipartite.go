@@ -1,6 +1,7 @@
 package market
 
 import (
+	"math/bits"
 	"sort"
 
 	"spatialcrowd/internal/geo"
@@ -125,13 +126,59 @@ func BuildBipartiteKD(tasks []Task, workers []Worker) *match.Graph {
 // queries. The streaming dispatch engine builds one per pricing batch and
 // uses it both to generate the batch's bipartite edges and to answer
 // ad-hoc "who can serve this origin" lookups without rescanning the pool.
+//
+// Two maintenance modes share the same query API. Reindex rebuilds a static
+// tree from scratch every batch. Update diffs the batch against the
+// previously indexed pool by worker ID and applies only the delta to a
+// dynamic (scapegoat) tree, falling back to a full rebuild when churn
+// exceeds updateRebuildFrac of the pool; under low churn this replaces the
+// per-window O(n log^2 n) rebuild with O(churn * log n) tree updates.
+// Candidate order is identical in both modes (ascending pool index), so a
+// caller may switch between them without perturbing adjacency order.
 type WorkerIndex struct {
 	workers []Worker
 	tree    *kdtree.Tree
 	maxR    float64
 	pts     []geo.Point // reused coordinate buffer for Reindex
 	buf     []int       // reused candidate buffer for BuildGraphInto
+
+	// Incremental mode (Update). The dynamic tree stores stable slot
+	// numbers, not batch indices: the engine's pool uses swap-delete, so a
+	// worker's position moves even when the worker does not. Per batch the
+	// slotBatch table translates slots back to pool indices.
+	dyn       *kdtree.DynamicTree
+	dynMode   bool        // whether the last build used the dynamic tree
+	slotOf    map[int]int // worker ID -> slot
+	slotID    []int       // slot -> worker ID
+	slotLoc   []geo.Point // slot -> indexed location
+	slotUsed  []bool      // slot -> live
+	slotSeen  []uint32    // slot -> epoch of last batch containing it
+	slotBatch []int       // slot -> pool index in the current batch
+	slotFree  []int       // recycled slot numbers
+	epoch     uint32
+	liveSlots int
+	movedBuf  []int    // batch indices whose location changed
+	freshBuf  []int    // batch indices absent from the registry
+	markWords []uint64 // reused bitmap for ascending candidate emission
+	stats     IndexStats
 }
+
+// IndexStats counts how Update maintained the index: batches applied as
+// deltas versus batches that fell back to a full rebuild (high churn,
+// duplicate IDs, or the initial build).
+type IndexStats struct {
+	Incremental int64
+	Rebuilds    int64
+}
+
+// Stats returns the cumulative maintenance counters.
+func (ix *WorkerIndex) Stats() IndexStats { return ix.stats }
+
+// updateRebuildFrac is the churn fraction (moves + arrivals + departures
+// over the larger of the old and new pool sizes) above which Update prefers
+// a full rebuild: past roughly a quarter of the pool the delta path does
+// more pointer-chasing than one bulk build.
+const updateRebuildFrac = 0.25
 
 // NewWorkerIndex indexes the pool. The slice is retained (not copied); the
 // caller must not mutate worker locations while the index is in use.
@@ -159,11 +206,168 @@ func (ix *WorkerIndex) Reindex(workers []Worker) {
 	}
 	ix.workers = workers
 	ix.maxR = maxR
+	ix.dynMode = false
 	if ix.tree == nil {
 		ix.tree = kdtree.Build(ix.pts, nil)
 	} else {
 		ix.tree.Rebuild(ix.pts, nil)
 	}
+}
+
+// Update indexes the pool like Reindex but incrementally: the batch is
+// diffed against the previously indexed pool by worker ID, and only moved,
+// arrived, and departed workers touch the tree. High churn (or duplicate
+// IDs in the batch, which the slot registry cannot represent) falls back to
+// a bulk rebuild. The resulting candidate sets are identical to Reindex's.
+func (ix *WorkerIndex) Update(workers []Worker) {
+	maxR := 0.0
+	for i := range workers {
+		if workers[i].Radius > maxR {
+			maxR = workers[i].Radius
+		}
+	}
+	ix.maxR = maxR
+	if ix.dyn == nil {
+		ix.dyn = kdtree.NewDynamicTree()
+		ix.slotOf = make(map[int]int, len(workers))
+	}
+	ix.epoch++
+	prevLive := ix.liveSlots
+	if !ix.dynMode {
+		// The registry does not describe the last build (Reindex ran, or
+		// this is the first batch); start from a bulk load.
+		ix.rebuildDynamic(workers)
+		return
+	}
+
+	// Pass 1: classify the batch against the registry without touching the
+	// tree, so the churn threshold can still choose the bulk path.
+	moved, fresh, matched := ix.movedBuf[:0], ix.freshBuf[:0], 0
+	dup := false
+	for i := range workers {
+		w := &workers[i]
+		slot, ok := ix.slotOf[w.ID]
+		if ok && ix.slotSeen[slot] == ix.epoch {
+			dup = true
+			break
+		}
+		if ok {
+			ix.slotSeen[slot] = ix.epoch
+			ix.slotBatch[slot] = i
+			matched++
+			if ix.slotLoc[slot] != w.Loc {
+				moved = append(moved, i)
+			}
+		} else {
+			fresh = append(fresh, i)
+		}
+	}
+	ix.movedBuf, ix.freshBuf = moved, fresh
+	departed := prevLive - matched
+	churn := len(moved) + len(fresh) + departed
+	scale := len(workers)
+	if prevLive > scale {
+		scale = prevLive
+	}
+	if dup || scale == 0 || float64(churn) > updateRebuildFrac*float64(scale) {
+		ix.rebuildDynamic(workers)
+		return
+	}
+
+	// Pass 2: apply the delta. Departures first so a freed slot can be
+	// recycled by an arrival in the same batch.
+	ix.workers = workers
+	if departed > 0 {
+		for slot, used := range ix.slotUsed {
+			if used && ix.slotSeen[slot] != ix.epoch {
+				ix.dyn.Delete(ix.slotLoc[slot], slot)
+				delete(ix.slotOf, ix.slotID[slot])
+				ix.slotUsed[slot] = false
+				ix.slotFree = append(ix.slotFree, slot)
+			}
+		}
+	}
+	for _, i := range moved {
+		w := &workers[i]
+		slot := ix.slotOf[w.ID]
+		ix.dyn.Delete(ix.slotLoc[slot], slot)
+		ix.dyn.Insert(w.Loc, slot)
+		ix.slotLoc[slot] = w.Loc
+	}
+	for _, i := range fresh {
+		w := &workers[i]
+		slot := ix.allocSlot(w.ID, w.Loc)
+		ix.slotSeen[slot] = ix.epoch
+		ix.slotBatch[slot] = i
+		ix.dyn.Insert(w.Loc, slot)
+	}
+	ix.liveSlots = len(workers)
+	ix.stats.Incremental++
+}
+
+// rebuildDynamic bulk-loads the dynamic tree and resets the slot registry
+// to slot == batch index. Duplicate IDs are tolerated: each occurrence gets
+// its own slot (the map keeps the last), so the candidate sets stay exact;
+// the inflated diff next batch simply lands on this path again.
+func (ix *WorkerIndex) rebuildDynamic(workers []Worker) {
+	n := len(workers)
+	if cap(ix.pts) >= n {
+		ix.pts = ix.pts[:n]
+	} else {
+		ix.pts = make([]geo.Point, n)
+	}
+	for k := range ix.slotOf {
+		delete(ix.slotOf, k)
+	}
+	ix.slotID = resizeInts(ix.slotID, n)
+	ix.slotLoc = ix.slotLoc[:0]
+	ix.slotUsed = ix.slotUsed[:0]
+	ix.slotSeen = ix.slotSeen[:0]
+	ix.slotBatch = resizeInts(ix.slotBatch, n)
+	ix.slotFree = ix.slotFree[:0]
+	for i := range workers {
+		w := &workers[i]
+		ix.pts[i] = w.Loc
+		ix.slotOf[w.ID] = i
+		ix.slotID[i] = w.ID
+		ix.slotLoc = append(ix.slotLoc, w.Loc)
+		ix.slotUsed = append(ix.slotUsed, true)
+		ix.slotSeen = append(ix.slotSeen, ix.epoch)
+		ix.slotBatch[i] = i
+	}
+	ix.dyn.Bulk(ix.pts, nil)
+	ix.workers = workers
+	ix.liveSlots = n
+	ix.dynMode = true
+	ix.stats.Rebuilds++
+}
+
+// allocSlot registers a new worker, recycling freed slot numbers.
+func (ix *WorkerIndex) allocSlot(id int, loc geo.Point) int {
+	if n := len(ix.slotFree); n > 0 {
+		slot := ix.slotFree[n-1]
+		ix.slotFree = ix.slotFree[:n-1]
+		ix.slotOf[id] = slot
+		ix.slotID[slot] = id
+		ix.slotLoc[slot] = loc
+		ix.slotUsed[slot] = true
+		return slot
+	}
+	slot := len(ix.slotID)
+	ix.slotOf[id] = slot
+	ix.slotID = append(ix.slotID, id)
+	ix.slotLoc = append(ix.slotLoc, loc)
+	ix.slotUsed = append(ix.slotUsed, true)
+	ix.slotSeen = append(ix.slotSeen, 0)
+	ix.slotBatch = append(ix.slotBatch, 0)
+	return slot
+}
+
+func resizeInts(p []int, n int) []int {
+	if cap(p) >= n {
+		return p[:n]
+	}
+	return make([]int, n)
 }
 
 // Len returns the number of indexed workers.
@@ -172,21 +376,87 @@ func (ix *WorkerIndex) Len() int { return len(ix.workers) }
 // Candidates appends to out the pool indices of every worker whose range
 // constraint admits a task at origin, and returns the extended slice. Pass a
 // reused buffer to stay allocation-free across queries; candidates beyond
-// the buffer's capacity still grow it as usual.
+// the buffer's capacity still grow it as usual. Candidates are returned in
+// ascending pool order regardless of maintenance mode, so adjacency order —
+// which steers tie breaks in the greedy matching — cannot drift between
+// Reindex and Update builds of the same pool.
 func (ix *WorkerIndex) Candidates(origin geo.Point, out []int) []int {
 	from := len(out)
-	out = ix.tree.InRadiusAppend(origin, ix.maxR, out)
-	// Filter each candidate by its own radius in place (the tree query used
-	// the pool-wide maximum).
 	keep := from
-	for _, wi := range out[from:] {
-		w := &ix.workers[wi]
-		if origin.SqDist(w.Loc) <= w.Radius*w.Radius {
-			out[keep] = wi
-			keep++
+	if ix.dynMode {
+		out = ix.dyn.InRadiusAppend(origin, ix.maxR, out)
+		// The dynamic tree yields slots; translate to this batch's pool
+		// indices and filter by each worker's own radius.
+		for _, slot := range out[from:] {
+			wi := ix.slotBatch[slot]
+			w := &ix.workers[wi]
+			if origin.SqDist(w.Loc) <= w.Radius*w.Radius {
+				out[keep] = wi
+				keep++
+			}
+		}
+	} else {
+		out = ix.tree.InRadiusAppend(origin, ix.maxR, out)
+		// Filter each candidate by its own radius in place (the tree query
+		// used the pool-wide maximum).
+		for _, wi := range out[from:] {
+			w := &ix.workers[wi]
+			if origin.SqDist(w.Loc) <= w.Radius*w.Radius {
+				out[keep] = wi
+				keep++
+			}
 		}
 	}
-	return out[:keep]
+	out = out[:keep]
+	ix.ascending(out[from:])
+	return out
+}
+
+// ascending reorders a query's candidate pool indices into ascending order.
+// A comparison sort here costs more than the tree query it follows, so the
+// candidates — distinct integers below the pool size — are scattered into a
+// reused bitmap and re-emitted by scanning the touched word range: O(k +
+// (max-min)/64) per query instead of O(k log k), with the bitmap left zeroed
+// for the next call.
+func (ix *WorkerIndex) ascending(cand []int) {
+	n := len(cand)
+	if n <= 12 {
+		for i := 1; i < n; i++ {
+			v := cand[i]
+			j := i - 1
+			for j >= 0 && cand[j] > v {
+				cand[j+1] = cand[j]
+				j--
+			}
+			cand[j+1] = v
+		}
+		return
+	}
+	words := (len(ix.workers) + 63) / 64
+	if cap(ix.markWords) < words {
+		ix.markWords = make([]uint64, words)
+	}
+	mark := ix.markWords[:words]
+	lo, hi := cand[0], cand[0]
+	for _, wi := range cand {
+		mark[wi>>6] |= 1 << (uint(wi) & 63)
+		if wi < lo {
+			lo = wi
+		}
+		if wi > hi {
+			hi = wi
+		}
+	}
+	k := 0
+	for w := lo >> 6; w <= hi>>6; w++ {
+		b := mark[w]
+		mark[w] = 0
+		for b != 0 {
+			cand[k] = w<<6 + bits.TrailingZeros64(b)
+			k++
+			b &= b - 1
+		}
+	}
 }
 
 // BuildGraph constructs the bipartite graph of the given tasks against the

@@ -143,6 +143,18 @@ var metricFamilies = []metricFamily{
 			lc := st.Lifecycle
 			return float64(lc.RetiredAssigned + lc.RetiredExpired + lc.RetiredOffline)
 		}),
+	counter("spatialcrowd_context_cache_hits_total", "Pricing windows whose context was reused from the previous window (amortization on).",
+		func(_ *Tenant, st engine.Stats, _ engine.QueueDepths) float64 { return float64(st.Cache.CtxHits) }),
+	counter("spatialcrowd_context_cache_misses_total", "Pricing windows whose context was rebuilt from scratch (amortization on).",
+		func(_ *Tenant, st engine.Stats, _ engine.QueueDepths) float64 { return float64(st.Cache.CtxMisses) }),
+	counter("spatialcrowd_price_cache_hits_total", "Pricing windows served from the cached price vector (amortization on).",
+		func(_ *Tenant, st engine.Stats, _ engine.QueueDepths) float64 { return float64(st.Cache.PriceHits) }),
+	counter("spatialcrowd_price_cache_misses_total", "Pricing windows that invoked the strategy's Prices (amortization on).",
+		func(_ *Tenant, st engine.Stats, _ engine.QueueDepths) float64 { return float64(st.Cache.PriceMisses) }),
+	counter("spatialcrowd_kd_incremental_total", "Worker-index updates applied as incremental deltas (amortization on, kd mode).",
+		func(_ *Tenant, st engine.Stats, _ engine.QueueDepths) float64 { return float64(st.Cache.KDIncremental) }),
+	counter("spatialcrowd_kd_rebuilds_total", "Worker-index updates that fell back to a bulk rebuild (amortization on, kd mode).",
+		func(_ *Tenant, st engine.Stats, _ engine.QueueDepths) float64 { return float64(st.Cache.KDRebuilds) }),
 	counter("spatialcrowd_quote_stream_dropped_total", "SSE frames dropped on slow quote-stream subscribers.",
 		func(t *Tenant, _ engine.Stats, _ engine.QueueDepths) float64 { return float64(t.hub.Dropped()) }),
 	gauge("spatialcrowd_events_per_second", "Engine event throughput since start.",

@@ -178,6 +178,12 @@ func TestMetricsExposition(t *testing.T) {
 			"spatialcrowd_http_ingested_total",
 			"spatialcrowd_revenue_total",
 			"spatialcrowd_events_total",
+			"spatialcrowd_context_cache_hits_total",
+			"spatialcrowd_context_cache_misses_total",
+			"spatialcrowd_price_cache_hits_total",
+			"spatialcrowd_price_cache_misses_total",
+			"spatialcrowd_kd_incremental_total",
+			"spatialcrowd_kd_rebuilds_total",
 		} {
 			if _, ok := findSample(samples, name, lbl); !ok {
 				t.Errorf("[%s] missing metric %s", tenant, name)

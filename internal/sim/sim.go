@@ -41,6 +41,11 @@ type Config struct {
 	// (engine.ReplayMobility) reproduces this run event for event, so
 	// replay equivalence covers mobility.
 	OnMove func(market.Move)
+	// Amortize turns on the executor's fingerprint-gated amortized-rebuild
+	// layer (window.Executor.SetAmortize). Results are bit-identical either
+	// way; amortization only changes how much work repeats across periods
+	// whose market content did not change.
+	Amortize bool
 }
 
 // PeriodStats is one period's slice of the simulation trace.
@@ -114,6 +119,7 @@ func Run(in *market.Instance, strat core.Strategy, cfg Config) (Result, error) {
 
 	space := in.Spatial()
 	exec := window.NewExecutor(space, window.GraphCellIndex)
+	exec.SetAmortize(cfg.Amortize)
 	tasksByPeriod := in.TasksByPeriod()
 	arrivals := in.WorkersByStart()
 

@@ -1,0 +1,205 @@
+package window_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spatialcrowd/internal/core"
+	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/match"
+	"spatialcrowd/internal/window"
+	"spatialcrowd/internal/workload"
+)
+
+// assertGraphsEqual demands byte-identical adjacency: same sizes, same edge
+// count, and the same neighbor list in the same order for every left vertex.
+// Order matters — matching tie breaks follow adjacency order, so a cached
+// graph in a different order would silently change who serves whom.
+func assertGraphsEqual(t *testing.T, period int, fresh, cached *match.Graph) {
+	t.Helper()
+	if fresh.NLeft() != cached.NLeft() || fresh.NRight() != cached.NRight() ||
+		fresh.NumEdges() != cached.NumEdges() {
+		t.Fatalf("period %d: graph shape %dx%d/%d edges vs cached %dx%d/%d",
+			period, fresh.NLeft(), fresh.NRight(), fresh.NumEdges(),
+			cached.NLeft(), cached.NRight(), cached.NumEdges())
+	}
+	for l := 0; l < fresh.NLeft(); l++ {
+		fa, ca := fresh.Adj(l), cached.Adj(l)
+		if len(fa) != len(ca) {
+			t.Fatalf("period %d: task %d has %d fresh neighbors, %d cached", period, l, len(fa), len(ca))
+		}
+		for k := range fa {
+			if fa[k] != ca[k] {
+				t.Fatalf("period %d: task %d adjacency diverges at %d: fresh %v, cached %v",
+					period, l, k, fa, ca)
+			}
+		}
+	}
+}
+
+// runLockstep drives a fresh executor and an amortized executor through the
+// same instance in lockstep, each with its own strategy instance and worker
+// pool, asserting per window that prices are element-exact and adjacency is
+// byte-identical, then resolving both and asserting identical books. Because
+// outcomes are asserted equal every window, the two pools evolve identically
+// and a single stale cache entry is caught in the very window it happens.
+func runLockstep(t *testing.T, in *market.Instance, mode window.GraphMode, mk func() core.Strategy) window.CacheStats {
+	t.Helper()
+	space := in.Spatial()
+	fresh := window.NewExecutor(space, mode)
+	cached := window.NewExecutor(space, mode)
+	cached.SetAmortize(true)
+	fStrat, cStrat := mk(), mk()
+
+	tasksByPeriod := in.TasksByPeriod()
+	arrivals := in.WorkersByStart()
+	fPool := make([]market.Worker, 0, 256)
+	cPool := make([]market.Worker, 0, 256)
+
+	step := func(pool []market.Worker, p int) []market.Worker {
+		pool = append(pool, arrivals[p]...)
+		live := pool[:0]
+		for _, w := range pool {
+			if w.ActiveAt(p) {
+				live = append(live, w)
+			}
+		}
+		return live
+	}
+	consume := func(pool []market.Worker, rights []int) []market.Worker {
+		drop := make(map[int]bool, len(rights))
+		for _, r := range rights {
+			drop[r] = true
+		}
+		live := pool[:0]
+		for wi, w := range pool {
+			if !drop[wi] {
+				live = append(live, w)
+			}
+		}
+		return live
+	}
+
+	for p := 0; p < in.Periods; p++ {
+		fPool = step(fPool, p)
+		cPool = step(cPool, p)
+		tasks := tasksByPeriod[p]
+		if len(tasks) == 0 {
+			continue
+		}
+		fPr, err := fresh.Price(fStrat, p, tasks, fPool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cPr, err := cached.Price(cStrat, p, tasks, cPool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fPr.Prices) != len(cPr.Prices) {
+			t.Fatalf("period %d: %d fresh prices, %d cached", p, len(fPr.Prices), len(cPr.Prices))
+		}
+		for i := range fPr.Prices {
+			if fPr.Prices[i] != cPr.Prices[i] {
+				t.Fatalf("period %d task %d: fresh price %.17g, cached %.17g",
+					p, i, fPr.Prices[i], cPr.Prices[i])
+			}
+		}
+		assertGraphsEqual(t, p, fPr.Graph, cPr.Graph)
+
+		fOut := fresh.ResolveImmediate(fStrat, fPr, tasks)
+		cOut := cached.ResolveImmediate(cStrat, cPr, tasks)
+		if fOut.Revenue != cOut.Revenue || fOut.Served != cOut.Served ||
+			fOut.AcceptedCount != cOut.AcceptedCount {
+			t.Fatalf("period %d: fresh outcome %.12f/%d/%d, cached %.12f/%d/%d",
+				p, fOut.Revenue, fOut.Served, fOut.AcceptedCount,
+				cOut.Revenue, cOut.Served, cOut.AcceptedCount)
+		}
+		fPool = consume(fPool, fOut.ConsumedRights)
+		cPool = consume(cPool, cOut.ConsumedRights)
+	}
+	if fs := fresh.CacheStats(); fs != (window.CacheStats{}) {
+		t.Fatalf("fresh executor reported cache activity: %+v", fs)
+	}
+	return cached.CacheStats()
+}
+
+// TestAmortizedExecutorLockstep is the window-level half of the amortization
+// transparency contract: across seeds, both graph modes, and both a learning
+// (MAPS) and a stateless (SDR) strategy, every window an amortized executor
+// produces must carry the exact price vector and adjacency a fresh executor
+// builds from scratch.
+func TestAmortizedExecutorLockstep(t *testing.T) {
+	strategies := map[string]func() core.Strategy{
+		"maps": func() core.Strategy { m, _ := core.NewMAPS(core.DefaultParams(), 2); return m },
+		"sdr":  func() core.Strategy { s, _ := core.NewSDR(core.DefaultParams(), 2); return s },
+	}
+	modes := map[string]window.GraphMode{"cellindex": window.GraphCellIndex, "kd": window.GraphKD}
+	for _, seed := range []int64{1, 7, 23, 91} {
+		in, _, err := workload.Synthetic(workload.SyntheticConfig{
+			Workers: 120 + int(seed)*11, Requests: 500 + int(seed)*23,
+			Periods: 25, GridSide: 4, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sname, mk := range strategies {
+			for mname, mode := range modes {
+				t.Run(fmt.Sprintf("seed=%d/%s/%s", seed, sname, mname), func(t *testing.T) {
+					runLockstep(t, in, mode, mk)
+				})
+			}
+		}
+	}
+}
+
+// TestAmortizedExecutorRepeatingWindows replays the exact same batch content
+// (fresh task IDs each window, as the engine mints them) through the
+// amortized executor and asserts the fast paths actually engage while
+// remaining lockstep-identical to a fresh executor: context hits every
+// window after the first, and price hits for the stateless SDR ladder once
+// the pool stops changing.
+func TestAmortizedExecutorRepeatingWindows(t *testing.T) {
+	const periods = 20
+	protoTasks, protoWorkers, grid := exampleBatch()
+	in := &market.Instance{Grid: grid, Periods: periods}
+	for p := 0; p < periods; p++ {
+		for i, task := range protoTasks {
+			task.ID = p*len(protoTasks) + i + 1
+			task.Period = p
+			in.Tasks = append(in.Tasks, task)
+		}
+	}
+	// One immortal worker cohort arriving up front: after the first few
+	// windows consume the reachable supply, the pool quiesces and the worker
+	// fingerprint stabilizes window over window.
+	for j, w := range protoWorkers {
+		w.ID = 100 + j
+		w.Period = 0
+		w.Duration = periods
+		in.Workers = append(in.Workers, w)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	for mname, mode := range map[string]window.GraphMode{"cellindex": window.GraphCellIndex, "kd": window.GraphKD} {
+		t.Run(mname, func(t *testing.T) {
+			st := runLockstep(t, in, mode, func() core.Strategy {
+				s, _ := core.NewSDR(core.DefaultParams(), 2)
+				return s
+			})
+			if st.CtxHits == 0 {
+				t.Fatalf("no context hits on repeating windows: %+v", st)
+			}
+			if st.PriceHits == 0 {
+				t.Fatalf("no price hits for SDR on a quiesced pool: %+v", st)
+			}
+			if st.CtxHits+st.CtxMisses != periods {
+				t.Fatalf("ctx outcomes %d != %d windows (%+v)", st.CtxHits+st.CtxMisses, periods, st)
+			}
+			if st.CtxHits != periods-1 {
+				t.Fatalf("want %d ctx hits (every window after the first), got %d", periods-1, st.CtxHits)
+			}
+		})
+	}
+}

@@ -127,6 +127,78 @@ type Executor struct {
 
 	pr  Priced
 	out Outcome
+
+	// Amortization layer (SetAmortize): fingerprint-gated reuse of the
+	// context, graph, and price vector across consecutive windows, plus
+	// incremental k-d maintenance. Off by default; transparent when on —
+	// cache hits return content bit-identical to a fresh rebuild.
+	am        amortizer
+	lastGraph *match.Graph // graph returned by the previous Rebuild
+}
+
+// amortizer is the executor's window-over-window cache state. Fingerprints
+// cover everything a strategy or graph builder can see (core.TasksFingerprint
+// deliberately skips task IDs and hidden valuations); a hit therefore
+// guarantees the recomputation being skipped would have produced identical
+// output, which is what keeps cached and fresh runs revenue-equal to the
+// bit.
+type amortizer struct {
+	enabled bool
+	have    bool // fingerprints below describe the previous window
+
+	taskFP   uint64
+	workerFP uint64
+
+	// Per-window comparison results, set by Rebuild for Price to consume.
+	sameTasks   bool
+	sameWorkers bool
+
+	// Price-vector cache for core.PriceCacheable strategies: a private copy
+	// of the previous window's prices and the strategy state version it was
+	// computed under.
+	havePrice bool
+	priceVer  uint64
+	prices    []float64
+
+	stats CacheStats
+}
+
+// CacheStats counts the amortization layer's cache outcomes. Context
+// counters are per window: every Rebuild under amortization scores exactly
+// one context hit or miss, so CtxHits + CtxMisses equals the number of
+// windows executed. Price counters likewise score one outcome per Price
+// call (strategies that do not opt into price caching always score a
+// miss). KD counters mirror market.IndexStats: windows whose worker index
+// was maintained by delta application versus bulk rebuilds.
+type CacheStats struct {
+	CtxHits       int64
+	CtxMisses     int64
+	PriceHits     int64
+	PriceMisses   int64
+	KDIncremental int64
+	KDRebuilds    int64
+}
+
+// Add returns the field-wise sum of c and o.
+func (c CacheStats) Add(o CacheStats) CacheStats {
+	c.CtxHits += o.CtxHits
+	c.CtxMisses += o.CtxMisses
+	c.PriceHits += o.PriceHits
+	c.PriceMisses += o.PriceMisses
+	c.KDIncremental += o.KDIncremental
+	c.KDRebuilds += o.KDRebuilds
+	return c
+}
+
+// Sub returns the field-wise difference c - o.
+func (c CacheStats) Sub(o CacheStats) CacheStats {
+	c.CtxHits -= o.CtxHits
+	c.CtxMisses -= o.CtxMisses
+	c.PriceHits -= o.PriceHits
+	c.PriceMisses -= o.PriceMisses
+	c.KDIncremental -= o.KDIncremental
+	c.KDRebuilds -= o.KDRebuilds
+	return c
 }
 
 // NewExecutor returns an executor over the given spatial backend and graph
@@ -141,6 +213,42 @@ func (x *Executor) Space() spatial.Space { return x.space }
 // Mode reports the executor's graph-builder mode.
 func (x *Executor) Mode() GraphMode { return x.mode }
 
+// SetAmortize toggles the amortized-rebuild layer. When on, each Rebuild
+// fingerprints the window's tasks and workers and reuses the previous
+// window's context (same tasks), graph (same tasks and workers), and — for
+// core.PriceCacheable strategies via Price — price vector (same inputs and
+// strategy state version); the k-d worker index is additionally maintained
+// incrementally under low churn. Disabling also invalidates the cache.
+func (x *Executor) SetAmortize(on bool) {
+	x.am.enabled = on
+	if !on {
+		x.InvalidateCache()
+	}
+}
+
+// Amortize reports whether the amortized-rebuild layer is on.
+func (x *Executor) Amortize() bool { return x.am.enabled }
+
+// InvalidateCache drops every cached window artifact; the next Rebuild and
+// Price recompute from scratch. Callers restoring external state (engine
+// checkpoint restore) use it to keep the cache honest.
+func (x *Executor) InvalidateCache() {
+	x.am.have = false
+	x.am.havePrice = false
+	x.am.sameTasks, x.am.sameWorkers = false, false
+}
+
+// CacheStats returns the cumulative cache counters, folding in the worker
+// index's maintenance counters when the executor runs in kd mode.
+func (x *Executor) CacheStats() CacheStats {
+	st := x.am.stats
+	if x.ix != nil {
+		ks := x.ix.Stats()
+		st.KDIncremental, st.KDRebuilds = ks.Incremental, ks.Rebuilds
+	}
+	return st
+}
+
 // Price executes phase one of a window: build the batch graph and context
 // over the executor's arenas and price the tasks with the strategy. The
 // returned Priced is valid until the next Price or Rebuild call. A strategy
@@ -148,6 +256,34 @@ func (x *Executor) Mode() GraphMode { return x.mode }
 // nothing half-resolved.
 func (x *Executor) Price(strat core.Strategy, period int, tasks []market.Task, workers []market.Worker) (*Priced, error) {
 	pr := x.Rebuild(period, tasks, workers)
+	if x.am.enabled {
+		if pc, ok := strat.(core.PriceCacheable); ok {
+			ver := pc.PriceStateVersion()
+			if x.am.havePrice && x.am.sameTasks && x.am.sameWorkers && ver == x.am.priceVer {
+				// Inputs and strategy state are unchanged since the cached
+				// vector was computed, so by the PriceCacheable contract the
+				// strategy would return exactly these prices again.
+				pr.Prices = x.am.prices
+				x.am.stats.PriceHits++
+				return pr, nil
+			}
+			start := time.Now()
+			prices := strat.Prices(pr.Ctx)
+			pr.PriceTime = time.Since(start)
+			if len(prices) != len(tasks) {
+				x.am.havePrice = false
+				return nil, &PriceCountError{Strategy: strat.Name(), Got: len(prices), Want: len(tasks)}
+			}
+			pr.Prices = prices
+			// Cache a private copy: strategies may reuse their price buffer.
+			x.am.prices = append(x.am.prices[:0], prices...)
+			x.am.priceVer = ver
+			x.am.havePrice = true
+			x.am.stats.PriceMisses++
+			return pr, nil
+		}
+		x.am.stats.PriceMisses++
+	}
 	start := time.Now()
 	prices := strat.Prices(pr.Ctx)
 	pr.PriceTime = time.Since(start)
@@ -163,24 +299,67 @@ func (x *Executor) Price(strat core.Strategy, period int, tasks []market.Task, w
 // pending quoted batch against prices recorded earlier; construction is
 // deterministic, so the rebuilt adjacency is identical to the original.
 func (x *Executor) Rebuild(period int, tasks []market.Task, workers []market.Worker) *Priced {
+	if !x.am.enabled {
+		graph := x.buildGraph(tasks, workers, false)
+		ctx := core.BuildContextScratch(x.space, period, tasks, workers, graph, &x.ctxSc)
+		x.pr = Priced{Ctx: ctx, Graph: graph}
+		x.lastGraph = graph
+		return &x.pr
+	}
+
+	taskFP := core.TasksFingerprint(tasks)
+	workerFP := core.WorkersFingerprint(workers)
+	// The length guard backs up the fingerprint: a (vanishingly unlikely)
+	// collision across different batch sizes must not slice stale views.
+	sameTasks := x.am.have && taskFP == x.am.taskFP && x.ctxSc.Len() == len(tasks)
+	sameWorkers := x.am.have && workerFP == x.am.workerFP
+	x.am.sameTasks, x.am.sameWorkers = sameTasks, sameWorkers
+	x.am.taskFP, x.am.workerFP = taskFP, workerFP
+	x.am.have = true
+
 	var graph *match.Graph
+	if sameTasks && sameWorkers && x.lastGraph != nil {
+		// Identical inputs: the previous window's graph is exactly what the
+		// builder would produce, and nothing has touched it since.
+		graph = x.lastGraph
+	} else {
+		graph = x.buildGraph(tasks, workers, true)
+	}
+	var ctx *core.PeriodContext
+	if sameTasks {
+		ctx = core.ReuseContextScratch(&x.ctxSc, period, tasks, workers, graph)
+		x.am.stats.CtxHits++
+	} else {
+		ctx = core.BuildContextScratch(x.space, period, tasks, workers, graph, &x.ctxSc)
+		x.am.stats.CtxMisses++
+	}
+	x.pr = Priced{Ctx: ctx, Graph: graph}
+	x.lastGraph = graph
+	return &x.pr
+}
+
+// buildGraph constructs the batch bipartite graph in the executor's mode.
+// In kd mode with amortization the worker index is maintained incrementally
+// (market.WorkerIndex.Update); candidate order is ascending either way, so
+// the two maintenance modes build identical adjacency.
+func (x *Executor) buildGraph(tasks []market.Task, workers []market.Worker, amortized bool) *match.Graph {
 	switch x.mode {
 	case GraphKD:
 		if x.ix == nil {
-			x.ix = market.NewWorkerIndex(workers)
+			x.ix = &market.WorkerIndex{}
+		}
+		if amortized {
+			x.ix.Update(workers)
 		} else {
 			x.ix.Reindex(workers)
 		}
 		if x.kdGraph == nil {
 			x.kdGraph = match.NewGraph(len(tasks), len(workers))
 		}
-		graph = x.ix.BuildGraphInto(tasks, x.kdGraph)
+		return x.ix.BuildGraphInto(tasks, x.kdGraph)
 	default:
-		graph = market.BuildBipartiteCellIndexScratch(x.space, tasks, workers, &x.cellIx)
+		return market.BuildBipartiteCellIndexScratch(x.space, tasks, workers, &x.cellIx)
 	}
-	ctx := core.BuildContextScratch(x.space, period, tasks, workers, graph, &x.ctxSc)
-	x.pr = Priced{Ctx: ctx, Graph: graph}
-	return &x.pr
 }
 
 // ResolveImmediate executes phase two in immediate mode: requesters decide
