@@ -1,0 +1,99 @@
+// Command spatiallint runs the spatialcrowd static-analysis suite — the
+// determinism, arena-aliasing, and snapshot-completeness analyzers under
+// internal/analysis — over package patterns.
+//
+// Standalone mode:
+//
+//	go run ./cmd/spatiallint ./...
+//	spatiallint -only detmaprange,detsource ./internal/engine
+//
+// exits 0 when the tree is clean (all findings fixed or carrying justified
+// //lint: waivers) and 3 when findings remain, vet-style.
+//
+// Vet-tool mode: when invoked by cmd/go (via
+// `go vet -vettool=$(command -v spatiallint) ./...`) the binary speaks the
+// unit-checker protocol instead; see internal/analysis/unit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spatialcrowd/internal/analysis/checker"
+	"spatialcrowd/internal/analysis/load"
+	"spatialcrowd/internal/analysis/suite"
+	"spatialcrowd/internal/analysis/unit"
+)
+
+func main() {
+	// cmd/go's vet driver calls with -flags / -V=full / a single .cfg path.
+	if code, handled := unit.Main(suite.All(), os.Args[1:], os.Stdout, os.Stderr); handled {
+		os.Exit(code)
+	}
+
+	fs := flag.NewFlagSet("spatiallint", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: spatiallint [-only a,b] [packages]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "\nanalyzers:\n")
+		for _, a := range suite.All() {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	fs.Parse(os.Args[1:])
+
+	if *list {
+		for _, a := range suite.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := suite.All()
+	if *only != "" {
+		var ok bool
+		analyzers, ok = suite.ByName(strings.Split(*only, ","))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "spatiallint: unknown analyzer in -only=%s\n", *only)
+			os.Exit(1)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatiallint:", err)
+		os.Exit(1)
+	}
+	pkgs, err := load.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatiallint:", err)
+		os.Exit(1)
+	}
+	// The analysis framework itself is exempt: its testdata trees contain
+	// deliberate violations, and the framework is not on a replay path.
+	kept := pkgs[:0]
+	for _, p := range pkgs {
+		if p.Path == "spatialcrowd/internal/analysis" || strings.HasPrefix(p.Path, "spatialcrowd/internal/analysis/") {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	findings, err := checker.Run(analyzers, kept)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatiallint:", err)
+		os.Exit(1)
+	}
+	if len(findings) > 0 {
+		checker.Print(os.Stdout, findings)
+		fmt.Fprintf(os.Stderr, "spatiallint: %d finding(s)\n", len(findings))
+		os.Exit(3)
+	}
+}

@@ -1,0 +1,70 @@
+// Package analysis is spatialcrowd's static-analysis framework: a small,
+// dependency-free analogue of golang.org/x/tools/go/analysis built on the
+// standard library's go/ast and go/types. The container this repo builds in
+// has no module proxy access, so the x/tools module cannot be vendored; the
+// subset implemented here (Analyzer, Pass, diagnostics, an analysistest-style
+// want-comment runner, a go-list-based package loader, and the `go vet
+// -vettool` unit-checker protocol) is exactly what the spatiallint suite
+// needs. The API shapes deliberately mirror x/tools so the analyzers could be
+// ported to the real framework by changing imports.
+//
+// The suite's analyzers live under passes/ and enforce the engine's replay
+// invariants — see README.md in this directory for the contract, the
+// `//lint:` waiver syntax, and how to add an analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Unlike x/tools there is no fact or
+// result plumbing between analyzers: every spatiallint pass is independent.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in `//lint:<name>`
+	// waiver directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by `spatiallint -help`.
+	Doc string
+	// Run executes the analyzer on one package, reporting findings through
+	// pass.Report. Returning an error aborts the whole run (reserved for
+	// internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass is the interface between one analyzer and one package being analyzed.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token positions for every file in the package.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// PkgPath is the import path the driver loaded the package under. For
+	// analysistest packages this is the testdata-relative path, which is why
+	// analyzers scope themselves with In*Scope helpers instead of comparing
+	// against Pkg.Path directly.
+	PkgPath string
+	// TypesInfo records type and object resolution for the package's ASTs.
+	TypesInfo *types.Info
+	// Report delivers one finding. The driver owns waiver filtering: a
+	// reported diagnostic whose source line (or the line above it) carries a
+	// justified `//lint:<analyzer>` directive is suppressed.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is stamped by the driver before printing.
+	Analyzer string
+}

@@ -1,0 +1,210 @@
+// Package analysistest runs one analyzer over testdata packages and checks
+// its diagnostics against `// want` expectations, mirroring the x/tools
+// package of the same name.
+//
+// Layout: testdata/src/<importpath>/*.go, one package per directory (the
+// import path may contain slashes, so allow-list behavior keyed on package
+// paths — cmd/*, internal/engine — can be exercised). Expectations are
+// trailing comments:
+//
+//	for k := range m { // want `nondeterministic map iteration`
+//
+// Each backquoted or double-quoted string after `want` is a regexp that must
+// match exactly one diagnostic reported on that line; diagnostics on lines
+// with no matching expectation, and expectations with no matching
+// diagnostic, fail the test. Waiver filtering runs exactly as in the real
+// driver, so testdata also pins the `//lint:` escape hatch.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"spatialcrowd/internal/analysis"
+	"spatialcrowd/internal/analysis/checker"
+	"spatialcrowd/internal/analysis/load"
+)
+
+var wantRe = regexp.MustCompile("(?://|/\\*)\\s*want\\s+(.*)$")
+var wantArgRe = regexp.MustCompile("^\\s*(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// expectation is one `want` regexp with its location.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads each testdata package, applies the analyzer, and reports any
+// mismatch between diagnostics and want expectations through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	moduleRoot := findModuleRoot(t)
+
+	fset := token.NewFileSet()
+	type loaded struct {
+		path  string
+		files []string
+	}
+	var pkgs []loaded
+	imports := map[string]bool{}
+	for _, p := range pkgPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(p))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading testdata package %s: %v", p, err)
+		}
+		var files []string
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, filepath.Join(dir, e.Name()))
+			}
+		}
+		if len(files) == 0 {
+			t.Fatalf("testdata package %s has no Go files", p)
+		}
+		pkgs = append(pkgs, loaded{path: p, files: files})
+	}
+	// Scan imports up front, then resolve the whole universe through
+	// build-cache export data in one go list call.
+	impFset := token.NewFileSet()
+	for i := range pkgs {
+		for _, f := range pkgs[i].files {
+			af, err := parser.ParseFile(impFset, f, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, imp := range af.Imports {
+				imports[strings.Trim(imp.Path.Value, `"`)] = true
+			}
+		}
+	}
+	var importList []string
+	for p := range imports {
+		importList = append(importList, p)
+	}
+	sort.Strings(importList)
+	exports, err := load.Exports(moduleRoot, importList...)
+	if err != nil {
+		t.Fatalf("resolving testdata imports: %v", err)
+	}
+	imp := load.ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+
+	var lpkgs []*load.Package
+	for _, p := range pkgs {
+		lp, err := load.TypeCheck(fset, imp, p.path, p.files)
+		if err != nil {
+			t.Fatalf("type-checking testdata package %s: %v", p.path, err)
+		}
+		lpkgs = append(lpkgs, lp)
+	}
+
+	findings, err := checker.Run([]*analysis.Analyzer{a}, lpkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, lpkgs)
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", posKey(f.Pos.Filename, f.Pos.Line), f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: expected diagnostic matching %q, got none", posKey(w.file, w.line), w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering the finding.
+func claim(wants []*expectation, f checker.Finding) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+func posKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// collectWants extracts want expectations from every comment in the loaded
+// files.
+func collectWants(t *testing.T, pkgs []*load.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, af := range pkg.Files {
+			for _, cg := range af.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := m[1]
+					n := 0
+					for {
+						am := wantArgRe.FindStringSubmatch(rest)
+						if am == nil {
+							break
+						}
+						raw := am[1]
+						var pat string
+						if raw[0] == '`' {
+							pat = raw[1 : len(raw)-1]
+						} else {
+							pat = raw[1 : len(raw)-1] // good enough: testdata avoids escapes
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+						rest = rest[len(am[0]):]
+						n++
+					}
+					if n == 0 {
+						t.Fatalf("%s:%d: want comment with no regexp arguments", pos.Filename, pos.Line)
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// findModuleRoot walks up from the working directory to the enclosing
+// go.mod.
+func findModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found above test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,85 @@
+// Package checker drives a set of analyzers over loaded packages: it runs
+// each analyzer, filters findings through `//lint:` waivers, and renders
+// the survivors in the conventional file:line:col format. Both the
+// cmd/spatiallint standalone mode and its `go vet -vettool` unit mode are
+// built on it.
+package checker
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"spatialcrowd/internal/analysis"
+	"spatialcrowd/internal/analysis/load"
+)
+
+// Finding is one surviving (non-waived) diagnostic with its resolved
+// position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in vet's file:line:col format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run executes every analyzer over every package and returns the surviving
+// findings sorted by position. An analyzer returning an error aborts the
+// run.
+func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package) ([]Finding, error) {
+	waivers := analysis.NewWaivers()
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.Path,
+				TypesInfo: pkg.Info,
+				Report: func(d analysis.Diagnostic) {
+					d.Analyzer = a.Name
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if waivers.Waived(a.Name, pos.Filename, pos.Line) {
+					continue
+				}
+				out = append(out, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// Print writes the findings one per line.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+}

@@ -1,0 +1,260 @@
+// Package arenaescape tracks values returned by the scratch-arena APIs —
+// the Reset / *Scratch / *Append / *Into families introduced by the
+// zero-allocation batch pipeline — and flags stores that retain them in
+// struct fields or package variables. Arena-backed memory is recycled on
+// the next batch: a retained slice or graph silently aliases the next
+// window's data, which corrupts replay without crashing.
+//
+// The legitimate recycle idiom stays clean: storing the result back into
+// the same object that owns the arena (`s.buf = copyInto(s.buf, ...)`,
+// `x.pr = Priced{Ctx: core.BuildContextScratch(..., &x.ctxSc)}`) is how the
+// arenas are threaded, and is recognized by matching the store target's
+// root against the call's receiver and argument roots. Returning an
+// arena-backed value is also fine — the contract ("valid until the next
+// Price/Reset") is the callee's to document and the caller's to honor.
+package arenaescape
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"spatialcrowd/internal/analysis"
+)
+
+// Analyzer is the arenaescape pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "arenaescape",
+	Doc: "flags scratch-arena results (Reset/*Scratch/*Append/*Into families) retained " +
+		"in struct fields or package variables across batch boundaries",
+	Run: run,
+}
+
+// arenaFunc matches the arena API families. Only calls whose results carry
+// references (slices, pointers, maps) are tracked.
+var arenaFunc = regexp.MustCompile(`^Reset$|Scratch$|Append$|Into$`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc runs the two-pass escape check over one function: first taint
+// every local assigned from an arena call, then flag stores of tainted
+// values (or direct call results) into fields and package variables.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	tainted := map[types.Object]*ast.CallExpr{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call := arenaCall(pass, as.Rhs[0])
+		if call == nil {
+			return true
+		}
+		for _, l := range as.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := identObj(pass, id); obj != nil && obj.Parent() != pass.Pkg.Scope() {
+				tainted[obj] = call
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, l := range as.Lhs {
+			if i >= len(as.Rhs) && len(as.Rhs) != 1 {
+				break
+			}
+			r := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				r = as.Rhs[i]
+			}
+			call, src := taintSource(pass, tainted, r)
+			if call == nil {
+				continue
+			}
+			target, root := escapeTarget(pass, l)
+			if target == "" {
+				continue
+			}
+			if root != nil && ownsArena(pass, call, root) {
+				continue
+			}
+			pass.Reportf(l.Pos(), "%s is arena-backed (%s) and must not be retained in %s across batch boundaries; copy it, or waive with //lint:arenaescape <why>", src, callName(call), target)
+		}
+		return true
+	})
+}
+
+// arenaCall returns the call if e is a call to an arena-family function
+// whose results carry references.
+func arenaCall(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || !arenaFunc.MatchString(fn.Name()) {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if carriesReference(sig.Results().At(i).Type()) {
+			return call
+		}
+	}
+	return nil
+}
+
+func carriesReference(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map:
+		return true
+	}
+	return false
+}
+
+// taintSource resolves an expression to the arena call backing it: the call
+// itself, a tainted local, or a composite literal embedding either.
+func taintSource(pass *analysis.Pass, tainted map[types.Object]*ast.CallExpr, e ast.Expr) (*ast.CallExpr, string) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		e = ast.Unparen(u.X)
+	}
+	if call := arenaCall(pass, e); call != nil {
+		return call, "the result of this call"
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if call, ok := tainted[identObj(pass, id)]; ok {
+			return call, id.Name
+		}
+	}
+	if lit, ok := e.(*ast.CompositeLit); ok {
+		for _, el := range lit.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if call, src := taintSource(pass, tainted, v); call != nil {
+				return call, src
+			}
+		}
+	}
+	return nil, ""
+}
+
+// escapeTarget classifies an assignment LHS that outlives the batch:
+// a field store (selector or indexed field) or a package variable. It
+// returns a description and the root object the store hangs off.
+func escapeTarget(pass *analysis.Pass, l ast.Expr) (string, types.Object) {
+	switch x := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		obj := identObj(pass, x)
+		if obj != nil && obj.Parent() == pass.Pkg.Scope() {
+			return "package variable " + x.Name, nil
+		}
+		return "", nil
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		root := rootIdent(l)
+		if root == nil {
+			return "", nil
+		}
+		obj := identObj(pass, root)
+		if obj == nil {
+			return "", nil
+		}
+		if _, isPkg := obj.(*types.PkgName); isPkg {
+			return "", nil
+		}
+		return "field " + types.ExprString(l), obj
+	}
+	return "", nil
+}
+
+// ownsArena reports whether the store target's root object also appears as
+// the call's receiver root or among its argument roots — the self-recycle
+// idiom, where the object retaining the result owns the arena it came from.
+func ownsArena(pass *analysis.Pass, call *ast.CallExpr, root types.Object) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if r := rootIdent(sel.X); r != nil && identObj(pass, r) == root {
+			return true
+		}
+	}
+	for _, a := range call.Args {
+		if r := rootIdent(a); r != nil && identObj(pass, r) == root {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent walks to the base identifier of a selector/index/slice/unary
+// chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// calleeFunc resolves the called function or method, if statically known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func callName(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}

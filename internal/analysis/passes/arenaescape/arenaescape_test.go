@@ -1,0 +1,12 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"spatialcrowd/internal/analysis/analysistest"
+	"spatialcrowd/internal/analysis/passes/arenaescape"
+)
+
+func TestArenaEscape(t *testing.T) {
+	analysistest.Run(t, "testdata", arenaescape.Analyzer, "arena/a")
+}

@@ -1,0 +1,75 @@
+// Package a models the engine's batch-scratch recycle idiom
+// (engine.shard.closeBatch and its batchScratch arenas) together with the
+// retention bugs arenaescape exists to catch.
+package a
+
+type worker struct{ id int }
+
+// scratch owns per-batch arenas, like engine.batchScratch.
+type scratch struct {
+	batchW  []worker
+	poolIdx []int
+}
+
+// FilterAppend is an arena-family API: appends active workers to dst and
+// returns the (possibly regrown) buffer. The result is valid until the
+// buffer's next reuse.
+func FilterAppend(dst []worker, src []worker, period int) []worker {
+	for _, w := range src {
+		if w.id >= period {
+			dst = append(dst, w)
+		}
+	}
+	return dst
+}
+
+// IDsScratch exposes s's reusable id buffer, truncated.
+func (s *scratch) IDsScratch() []int { return s.poolIdx[:0] }
+
+type batchView struct{ workers []worker }
+
+type shard struct {
+	sc   scratch
+	pool []worker
+
+	view     []worker
+	last     batchView
+	cacheIDs []int
+}
+
+// closeBatch is the clean idiom: the result lands back in the arena that
+// produced it, exactly like shard.closeBatch refilling sc.batchW.
+func (s *shard) closeBatch(period int) int {
+	s.sc.batchW = FilterAppend(s.sc.batchW[:0], s.pool, period)
+	ids := s.sc.IDsScratch() // local use of a scratch view is fine
+	s.cacheIDs = s.sc.IDsScratch()
+	return len(ids) + len(s.sc.batchW)
+}
+
+// consume only inspects the arena-backed slice locally: clean.
+func (s *shard) consume(o *scratch, period int) int {
+	tmp := FilterAppend(o.batchW[:0], s.pool, period)
+	return len(tmp)
+}
+
+var lastBatch []worker
+
+// leaks retains another object's arena memory across the batch boundary in
+// a struct field, a package variable, a tainted local, and a composite
+// literal — all four escape routes.
+func (s *shard) leaks(o *scratch, src []worker, period int) {
+	s.view = FilterAppend(o.batchW[:0], src, period)    // want `arena-backed`
+	lastBatch = FilterAppend(o.batchW[:0], src, period) // want `arena-backed`
+
+	buf := FilterAppend(o.batchW[:0], src, period)
+	s.view = buf // want `arena-backed`
+
+	s.last = batchView{workers: FilterAppend(o.batchW[:0], src, period)} // want `arena-backed`
+
+	s.cacheIDs = o.IDsScratch() // want `arena-backed`
+}
+
+// waived documents a deliberate ownership transfer.
+func (s *shard) waived(o *scratch, src []worker, period int) {
+	s.view = FilterAppend(o.batchW[:0], src, period) //lint:arenaescape o is discarded after this call; ownership transfers to s
+}

@@ -1,0 +1,353 @@
+// Package detmaprange flags `for range` over maps in the engine's
+// deterministic packages. Map iteration order is randomized per run, so a
+// map-range on a replay path can reorder float additions (revenue), event
+// emission, or checkpoint encoding — exactly the nondeterminism the
+// engine's bit-identical replay contract forbids.
+//
+// A loop is accepted without a waiver when its body is provably
+// order-insensitive:
+//
+//   - it only writes map entries (m[k] = v), deletes (delete(m, k)), or
+//     accumulates with commutative integer ops (n++, n += x, bitwise or/and/
+//     xor); float accumulation is never accepted — float addition is not
+//     associative, which is the whole point;
+//   - it only tracks an extremum (if v > best { best = v });
+//   - it collects keys or values into a slice that is sorted by a
+//     sort/slices call later in the same block (the sortedKeys pattern).
+//
+// Anything else needs `//lint:ordered <justification>` on the offending
+// line (or the comment line above it).
+package detmaprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spatialcrowd/internal/analysis"
+)
+
+// Analyzer is the detmaprange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmaprange",
+	Doc: "flags map iteration on deterministic replay paths unless the loop body " +
+		"is provably order-insensitive or carries a //lint:ordered waiver",
+	Run: run,
+}
+
+// detPackages are the packages whose execution must be bit-reproducible:
+// everything between an event entering the engine and revenue leaving it.
+var detPackages = []string{
+	"spatialcrowd/internal/engine",
+	"spatialcrowd/internal/window",
+	"spatialcrowd/internal/core",
+	"spatialcrowd/internal/market",
+	"spatialcrowd/internal/match",
+}
+
+// inScope reports whether the package is held to the determinism contract.
+// Packages outside the spatialcrowd module are analysistest testdata and
+// are always in scope.
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "spatialcrowd/") && path != "spatialcrowd" {
+		return true
+	}
+	for _, p := range detPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Tests assert determinism rather than sit on the replay path, and
+		// ranging over a case map is idiomatic there (subtest order is
+		// random by design).
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var stmts []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				stmts = b.List
+			case *ast.CaseClause:
+				stmts = b.Body
+			case *ast.CommClause:
+				stmts = b.Body
+			default:
+				return true
+			}
+			for i, st := range stmts {
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if bodyOrderInsensitive(pass, rs.Body.List) {
+					continue
+				}
+				if collectThenSort(pass, rs, stmts[i+1:]) {
+					continue
+				}
+				pass.Reportf(rs.For, "map iteration order is nondeterministic and the loop body is not provably order-insensitive; iterate sorted keys, or waive with //lint:ordered <why>")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// bodyOrderInsensitive reports whether executing the statements once per
+// map entry produces the same final state under any entry order.
+func bodyOrderInsensitive(pass *analysis.Pass, stmts []ast.Stmt) bool {
+	for _, st := range stmts {
+		if !stmtOrderInsensitive(pass, st) {
+			return false
+		}
+	}
+	return true
+}
+
+func stmtOrderInsensitive(pass *analysis.Pass, st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		return assignOrderInsensitive(pass, s)
+	case *ast.IncDecStmt:
+		return isIntegerish(pass.TypesInfo.TypeOf(s.X))
+	case *ast.ExprStmt:
+		// delete(m, k) commutes across distinct keys; any other call may
+		// observe order through its side effects.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil && !stmtOrderInsensitive(pass, s.Init) {
+			return false
+		}
+		if !pureExpr(pass, s.Cond) {
+			return false
+		}
+		if extremumUpdate(s) {
+			return true
+		}
+		if !bodyOrderInsensitive(pass, s.Body.List) {
+			return false
+		}
+		if s.Else != nil {
+			return stmtOrderInsensitive(pass, s.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return bodyOrderInsensitive(pass, s.List)
+	case *ast.BranchStmt:
+		// continue is harmless; break/goto make the result depend on which
+		// entry came first.
+		return s.Tok == token.CONTINUE
+	case *ast.DeclStmt:
+		// A per-iteration declaration is fine as long as its initializers
+		// are pure; the variable's effects are judged where it is used.
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if !pureExpr(pass, v) {
+					return false
+				}
+			}
+		}
+		return true
+	default:
+		// break/return make the result depend on which entry came first;
+		// nested loops, sends, and the rest are beyond this proof.
+		return false
+	}
+}
+
+// assignOrderInsensitive accepts map writes, commutative integer/bitwise
+// accumulation, and idempotent constant stores.
+func assignOrderInsensitive(pass *analysis.Pass, s *ast.AssignStmt) bool {
+	for _, r := range s.Rhs {
+		if !pureExpr(pass, r) {
+			return false
+		}
+	}
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, l := range s.Lhs {
+			if ix, ok := l.(*ast.IndexExpr); ok {
+				if _, isMap := pass.TypesInfo.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+					continue // set/map insert: last-writer conflicts aside, commutative per key
+				}
+			}
+			if s.Tok == token.DEFINE {
+				continue // fresh per-iteration variable, judged at use sites
+			}
+			// A constant store is idempotent (found = true).
+			if i < len(s.Rhs) && pass.TypesInfo.Types[s.Rhs[i]].Value != nil {
+				continue
+			}
+			return false
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		// Integer addition commutes; float addition does not associate.
+		return allIntegerish(pass, s.Lhs)
+	case token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return allIntegerish(pass, s.Lhs)
+	default:
+		return false
+	}
+}
+
+func allIntegerish(pass *analysis.Pass, exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		if !isIntegerish(pass.TypesInfo.TypeOf(e)) {
+			return false
+		}
+	}
+	return true
+}
+
+func isIntegerish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// extremumUpdate recognizes `if a OP b { x = y }` where OP is an ordering
+// comparison and {x, y} are the compared expressions — the max/min pattern,
+// which is order-insensitive.
+func extremumUpdate(s *ast.IfStmt) bool {
+	cmp, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	as, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	l, r := types.ExprString(as.Lhs[0]), types.ExprString(as.Rhs[0])
+	a, b := types.ExprString(cmp.X), types.ExprString(cmp.Y)
+	return (l == a && r == b) || (l == b && r == a)
+}
+
+// collectThenSort recognizes the sortedKeys pattern: the loop only appends
+// the key (or value) to a slice, and a later statement in the same block
+// sorts that slice before anything else can observe its order.
+func collectThenSort(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	target, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if base, ok := call.Args[0].(*ast.Ident); !ok || base.Name != target.Name {
+		return false
+	}
+	for _, st := range rest {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			// Any intervening statement might observe the unsorted slice.
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if !sortsIdent(pass, call, target.Name) {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// sortsIdent reports whether the call is sort.X(name, ...) or
+// slices.X(name, ...).
+func sortsIdent(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) < 1 {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	if !ok || arg.Name != name {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == "sort" || p == "slices"
+}
+
+// pureExpr reports whether evaluating e cannot observe iteration order
+// through side effects: no calls (len/cap excepted), receives, or new
+// closures.
+func pureExpr(pass *analysis.Pass, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			id, ok := x.Fun.(*ast.Ident)
+			if !ok {
+				pure = false
+				return false
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin || (id.Name != "len" && id.Name != "cap") {
+				pure = false
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}

@@ -1,0 +1,15 @@
+package detmaprange_test
+
+import (
+	"testing"
+
+	"spatialcrowd/internal/analysis/analysistest"
+	"spatialcrowd/internal/analysis/passes/detmaprange"
+)
+
+func TestDetMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata", detmaprange.Analyzer,
+		"detmap/a",
+		"spatialcrowd/internal/util",
+	)
+}

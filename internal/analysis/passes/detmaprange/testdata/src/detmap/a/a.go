@@ -1,0 +1,93 @@
+// Package a exercises detmaprange: map iteration on a deterministic path.
+package a
+
+import "sort"
+
+// Float accumulation over a map is the canonical violation: float addition
+// is not associative, so iteration order changes the sum's low bits.
+func sumRevenue(rev map[int]float64) float64 {
+	total := 0.0
+	for _, r := range rev { // want `map iteration order is nondeterministic`
+		total += r
+	}
+	return total
+}
+
+// Integer accumulation commutes: clean.
+func countTasks(byCell map[int][]int) int {
+	n := 0
+	for _, ts := range byCell {
+		n += len(ts)
+	}
+	return n
+}
+
+// Per-key map writes commute across distinct keys: clean.
+func invert(src map[int]int) map[int]int {
+	dst := make(map[int]int, len(src))
+	for k, v := range src {
+		dst[v] = k
+	}
+	return dst
+}
+
+// delete commutes across distinct keys: clean.
+func clearSeen(old, seen map[int]bool) {
+	for k := range old {
+		delete(seen, k)
+	}
+}
+
+// Extremum tracking is order-insensitive: clean.
+func maxPrice(prices map[int]float64) float64 {
+	best := 0.0
+	for _, v := range prices {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// The sortedKeys pattern: collect, then sort before anything observes the
+// order. Clean.
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Appending values in map order without a sort leaks the order: flagged.
+func keysUnsorted(m map[int]float64) []int {
+	var out []int
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// break makes the result depend on which entry came first: flagged.
+func anyNegative(m map[int]float64) bool {
+	found := false
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		if v < 0 {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+func process(v float64) float64 { return v * 2 }
+
+// The call defeats the prover, but the waiver (with its mandatory
+// justification) suppresses the diagnostic.
+func waived(m map[int]float64, out map[int]float64) {
+	//lint:ordered writes are keyed per entry and process is stateless
+	for k, v := range m {
+		out[k] = process(v)
+	}
+}

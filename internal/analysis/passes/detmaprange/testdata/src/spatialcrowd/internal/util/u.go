@@ -1,0 +1,11 @@
+// Package util models a spatialcrowd package outside the deterministic set:
+// detmaprange must not report here even for the canonical violation.
+package util
+
+func Sum(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,118 @@
+// Package detsource bans nondeterministic inputs — wall-clock reads and the
+// global math/rand source — in replay-path packages. Replays are
+// bit-reproducible only if every input reaches the pipeline through the
+// event stream or an explicitly seeded generator: time.Now on a pricing path
+// or an unseeded rand call would make two runs of the same event log
+// diverge.
+//
+// Allowed everywhere: constructing seeded generators (rand.New,
+// rand.NewSource, rand.NewPCG, rand.NewChaCha8, rand.NewZipf) and methods on
+// a *rand.Rand a caller injected. Allow-listed locations: cmd/* packages
+// (operational tooling legitimately reads the clock) and *_test.go files.
+// Anything else needs `//lint:detsource <justification>` — the engine's own
+// latency metrics carry exactly such waivers, which is the audit trail that
+// they never feed pricing, matching, or event order.
+package detsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spatialcrowd/internal/analysis"
+)
+
+// Analyzer is the detsource pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detsource",
+	Doc: "bans time.Now and global math/rand in replay-path packages " +
+		"(cmd/* and _test.go files are allow-listed)",
+	Run: run,
+}
+
+// replayPackages must be drivable from a recorded event stream with
+// bit-identical results.
+var replayPackages = []string{
+	"spatialcrowd/internal/engine",
+	"spatialcrowd/internal/window",
+	"spatialcrowd/internal/core",
+	"spatialcrowd/internal/market",
+	"spatialcrowd/internal/match",
+	"spatialcrowd/internal/sim",
+	"spatialcrowd/internal/spatial",
+	"spatialcrowd/internal/kdtree",
+	"spatialcrowd/internal/geo",
+	"spatialcrowd/internal/roadnet",
+	"spatialcrowd/internal/stats",
+}
+
+// bannedTime are time-package functions that read the wall clock or
+// schedule against it.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// allowedRand are the seeded-generator constructors of math/rand and
+// math/rand/v2.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "spatialcrowd/") && path != "spatialcrowd" {
+		// Testdata packages: in scope unless they model a cmd/ package.
+		return !strings.HasPrefix(path, "cmd/") && !strings.Contains(path, "/cmd/")
+	}
+	for _, p := range replayPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. on an injected *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s on a replay path: wall-clock reads are nondeterministic across runs; carry timestamps in events, or waive with //lint:detsource <why>", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(sel.Pos(), "global %s.%s on a replay path: the process-wide source is seeded randomly; inject a seeded *rand.Rand, or waive with //lint:detsource <why>", pkgBase(fn.Pkg().Path()), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func pkgBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -1,0 +1,15 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"spatialcrowd/internal/analysis/analysistest"
+	"spatialcrowd/internal/analysis/passes/detsource"
+)
+
+func TestDetSource(t *testing.T) {
+	analysistest.Run(t, "testdata", detsource.Analyzer,
+		"detsrc/a",
+		"detsrc/cmd/tool",
+	)
+}

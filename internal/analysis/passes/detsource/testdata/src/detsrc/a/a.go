@@ -1,0 +1,34 @@
+// Package a exercises detsource: nondeterministic inputs on a replay path.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now on a replay path`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since on a replay path`
+}
+
+func jitter() int {
+	return rand.Intn(10) // want `global rand.Intn on a replay path`
+}
+
+// Seeded-generator construction is allowed everywhere.
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// Methods on an injected generator are allowed: the seed is the caller's.
+func draw(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// A justified waiver is the audit trail that the read never feeds pricing.
+func banner() time.Time {
+	return time.Now() //lint:detsource startup banner only, never feeds the pipeline
+}

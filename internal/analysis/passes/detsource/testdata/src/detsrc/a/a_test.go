@@ -1,0 +1,6 @@
+package a
+
+import "time"
+
+// _test.go files are allow-listed: tests may time themselves freely.
+func helperNow() time.Time { return time.Now() }

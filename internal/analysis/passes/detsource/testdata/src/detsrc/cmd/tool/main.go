@@ -1,0 +1,9 @@
+// Package main models an operational command; cmd/ paths are allow-listed
+// because tooling legitimately reads the clock.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}

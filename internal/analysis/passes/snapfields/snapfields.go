@@ -1,0 +1,329 @@
+// Package snapfields guards the persistence seams: it verifies that the
+// wire structs behind checkpoint/restore and stats serialization
+// (engine checkpointFile/shardCk/statsJSON, core StrategyState/CellSnapshot
+// and friends) have every field both populated before encoding and consumed
+// on decode, and that explicit marshal/snapshot method pairs cover every
+// field of their receiver. A field added to Stats but forgotten in
+// MarshalJSON, or added to a *Ck struct but never restored, is exactly the
+// silent persistence drop the engine's checkpoint exactness contract cannot
+// tolerate.
+//
+// Two rules:
+//
+//  1. Wire structs — package-level structs whose every field carries a json
+//     tag — must have each field written somewhere in the package
+//     (composite-literal key or field assignment) and read somewhere
+//     (selector use). Decode-only or encode-only fields are declared with a
+//     `//lint:snapfields <why>` waiver on the field.
+//
+//  2. Persistence methods — MarshalJSON, UnmarshalJSON, SnapshotState,
+//     RestoreState, and snapshot-prefixed capture methods — must reference every
+//     field of their receiver struct, directly or through same-package
+//     calls. Transient fields (config, per-call scratch) carry the waiver on
+//     their declaration, which documents in-source why they survive a
+//     restart without being serialized.
+//
+// Scope: internal/engine and internal/core, where the engine's persistence
+// formats live.
+package snapfields
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+
+	"spatialcrowd/internal/analysis"
+)
+
+// Analyzer is the snapfields pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapfields",
+	Doc: "verifies wire-struct and snapshot-method field coverage on the persistence " +
+		"seams so new fields cannot silently drop from checkpoints or stats JSON",
+	Run: run,
+}
+
+var scopePackages = []string{
+	"spatialcrowd/internal/engine",
+	"spatialcrowd/internal/core",
+}
+
+// persistMethod matches the method names making up the persistence seams:
+// the json.Marshaler/Unmarshaler pair, the core.StateSnapshotter pair, and
+// any snapshot-prefixed capture method (snapshotExact and friends). Restore
+// helpers other than RestoreState are deliberately not matched: generic
+// restore methods (Engine.Restore, shard.restore) rebuild runtime state
+// far beyond the serialized field set, and their wire shapes are already
+// covered by the wire-struct rule.
+var persistMethod = regexp.MustCompile(`^(MarshalJSON|UnmarshalJSON|SnapshotState|RestoreState|[Ss]napshot\w*)$`)
+
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "spatialcrowd/") && path != "spatialcrowd" {
+		return true // analysistest testdata
+	}
+	for _, p := range scopePackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.PkgPath) {
+		return nil
+	}
+	checkWireStructs(pass)
+	checkPersistMethods(pass)
+	return nil
+}
+
+// wireStruct returns the struct's fields when every one of them carries a
+// json tag (other than "-"), the marker of a serialization shape.
+func wireStruct(st *types.Struct) []*types.Var {
+	if st.NumFields() == 0 {
+		return nil
+	}
+	fields := make([]*types.Var, 0, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		name := reflect.StructTag(st.Tag(i)).Get("json")
+		if name == "" || name == "-" {
+			return nil
+		}
+		fields = append(fields, st.Field(i))
+	}
+	return fields
+}
+
+// checkWireStructs verifies rule 1: every field of every wire struct is
+// written and read somewhere in the package.
+func checkWireStructs(pass *analysis.Pass) {
+	type coverage struct{ written, read bool }
+	fieldCov := map[*types.Var]*coverage{}
+	var wireFields []*types.Var
+	wireOwner := map[*types.Var]string{}
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for _, f := range wireStruct(st) {
+			fieldCov[f] = &coverage{}
+			wireFields = append(wireFields, f)
+			wireOwner[f] = tn.Name()
+		}
+	}
+	if len(wireFields) == 0 {
+		return
+	}
+
+	// One walk marks writes (assignment LHS selectors, composite-literal
+	// keys, positional literals) and reads (every other selector use).
+	lhsTop := map[ast.Expr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, l := range x.Lhs {
+					lhsTop[ast.Unparen(l)] = true
+				}
+			case *ast.SelectorExpr:
+				sel, ok := pass.TypesInfo.Selections[x]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				fv, ok := sel.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				cov, tracked := fieldCov[fv]
+				if !tracked {
+					return true
+				}
+				if lhsTop[x] {
+					cov.written = true
+				} else {
+					cov.read = true
+				}
+			case *ast.CompositeLit:
+				t := pass.TypesInfo.TypeOf(x)
+				if t == nil {
+					return true
+				}
+				if p, ok := t.Underlying().(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				st, ok := t.Underlying().(*types.Struct)
+				if !ok {
+					return true
+				}
+				if len(x.Elts) > 0 {
+					if _, keyed := x.Elts[0].(*ast.KeyValueExpr); !keyed {
+						// Positional literal: every field is written.
+						for i := 0; i < st.NumFields(); i++ {
+							if cov, tracked := fieldCov[st.Field(i)]; tracked {
+								cov.written = true
+							}
+						}
+						return true
+					}
+				}
+				for _, el := range x.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					id, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if fv, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+						if cov, tracked := fieldCov[fv]; tracked {
+							cov.written = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range wireFields {
+		cov := fieldCov[f]
+		if !cov.written {
+			pass.Reportf(f.Pos(), "field %s of wire struct %s is never populated in this package: it will serialize as its zero value; fill it on the encode path, or waive with //lint:snapfields <why>", f.Name(), wireOwner[f])
+		}
+		if !cov.read {
+			pass.Reportf(f.Pos(), "field %s of wire struct %s is never consumed in this package: its serialized value is dropped on restore; read it on the decode path, or waive with //lint:snapfields <why>", f.Name(), wireOwner[f])
+		}
+	}
+}
+
+// checkPersistMethods verifies rule 2: each persistence method references
+// every field of its receiver struct, transitively through same-package
+// calls.
+func checkPersistMethods(pass *analysis.Pass) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	// missing aggregates (field -> methods that miss it) so one field
+	// yields one diagnostic.
+	type key struct {
+		field *types.Var
+		owner string
+	}
+	missing := map[key][]string{}
+
+	for fn, fd := range decls {
+		if fd.Recv == nil || !persistMethod.MatchString(fn.Name()) {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		recv := sig.Recv()
+		if recv == nil {
+			continue
+		}
+		rt := recv.Type()
+		if p, ok := rt.Underlying().(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		named, ok := rt.(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		want := map[*types.Var]bool{}
+		for i := 0; i < st.NumFields(); i++ {
+			want[st.Field(i)] = false
+		}
+		refs := referencedFields(pass, decls, fd)
+		for f := range want {
+			if !refs[f] {
+				k := key{field: f, owner: named.Obj().Name()}
+				missing[k] = append(missing[k], fn.Name())
+			}
+		}
+	}
+
+	for k, methods := range missing {
+		sort.Strings(methods)
+		pass.Reportf(k.field.Pos(), "field %s of %s is not referenced by persistence method(s) %s: it will be silently dropped from (or not restored into) the serialized state; include it, or mark it transient with //lint:snapfields <why>", k.field.Name(), k.owner, strings.Join(methods, ", "))
+	}
+}
+
+// referencedFields collects every struct field referenced by the function
+// body, following same-package calls to a fixed point.
+func referencedFields(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, root *ast.FuncDecl) map[*types.Var]bool {
+	refs := map[*types.Var]bool{}
+	visited := map[*ast.FuncDecl]bool{}
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if visited[fd] {
+			return
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+					if fv, ok := sel.Obj().(*types.Var); ok {
+						refs[fv] = true
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range x.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							if fv, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+								refs[fv] = true
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass, x); fn != nil {
+					if fd2, ok := decls[fn]; ok {
+						visit(fd2)
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(root)
+	return refs
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

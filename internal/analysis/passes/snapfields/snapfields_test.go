@@ -1,0 +1,12 @@
+package snapfields_test
+
+import (
+	"testing"
+
+	"spatialcrowd/internal/analysis/analysistest"
+	"spatialcrowd/internal/analysis/passes/snapfields"
+)
+
+func TestSnapFields(t *testing.T) {
+	analysistest.Run(t, "testdata", snapfields.Analyzer, "snap/a")
+}

@@ -1,0 +1,98 @@
+// Package a exercises snapfields: wire-struct coverage (rule 1) and
+// persistence-method field coverage (rule 2).
+package a
+
+import "encoding/json"
+
+// ckFile is a wire struct with every field written by save and read by
+// load: clean.
+type ckFile struct {
+	Version int   `json:"version"`
+	Cells   []int `json:"cells"`
+}
+
+func save(v int, cells []int) ([]byte, error) {
+	return json.Marshal(ckFile{Version: v, Cells: cells})
+}
+
+func load(b []byte) (int, []int, error) {
+	var f ckFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return 0, nil, err
+	}
+	return f.Version, f.Cells, nil
+}
+
+// staleFile has a field the decode path forgot: its serialized value is
+// silently dropped on restore.
+type staleFile struct {
+	Version int `json:"version"`
+	Extra   int `json:"extra"` // want `never consumed`
+}
+
+func saveStale(v, x int) ([]byte, error) {
+	return json.Marshal(staleFile{Version: v, Extra: x})
+}
+
+func loadStale(b []byte) (int, error) {
+	var f staleFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return 0, err
+	}
+	return f.Version, nil
+}
+
+// zeroFile has a field the encode path never fills: it always serializes as
+// zero.
+type zeroFile struct {
+	Version int `json:"version"`
+	Padding int `json:"padding"` // want `never populated`
+}
+
+func saveZero(v int) ([]byte, error) {
+	return json.Marshal(zeroFile{Version: v})
+}
+
+func loadZero(b []byte) (int, error) {
+	var f zeroFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return 0, err
+	}
+	return f.Version + f.Padding, nil
+}
+
+// counter has an explicit MarshalJSON/UnmarshalJSON pair that both miss one
+// field; the transient buffer carries a waiver.
+type counter struct {
+	total   int
+	hits    int   // want `not referenced by persistence method`
+	scratch []int //lint:snapfields per-call buffer, rebuilt lazily on first use
+}
+
+func (c *counter) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]int{"total": c.total})
+}
+
+func (c *counter) UnmarshalJSON(b []byte) error {
+	var m map[string]int
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	c.total = m["total"]
+	return nil
+}
+
+// gauge reaches its fields through a same-package helper: the transitive
+// walk must see them. Clean.
+type gauge struct {
+	level int
+	peak  int
+}
+
+func (g *gauge) SnapshotState() ([]byte, error) {
+	return json.Marshal(g.snap())
+}
+
+func (g *gauge) snap() map[string]int {
+	return map[string]int{"level": g.level, "peak": g.peak}
+}

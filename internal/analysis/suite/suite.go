@@ -1,0 +1,40 @@
+// Package suite is the authoritative list of spatiallint analyzers, shared
+// by the cmd/spatiallint standalone and vet-tool modes. New analyzers are
+// added here (and documented in internal/analysis/README.md).
+package suite
+
+import (
+	"spatialcrowd/internal/analysis"
+	"spatialcrowd/internal/analysis/passes/arenaescape"
+	"spatialcrowd/internal/analysis/passes/detmaprange"
+	"spatialcrowd/internal/analysis/passes/detsource"
+	"spatialcrowd/internal/analysis/passes/snapfields"
+)
+
+// All returns the spatiallint analyzer suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detmaprange.Analyzer,
+		detsource.Analyzer,
+		arenaescape.Analyzer,
+		snapfields.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers, or nil with false when a name is
+// unknown.
+func ByName(names []string) ([]*analysis.Analyzer, bool) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

@@ -1,0 +1,110 @@
+// Package unit implements the `go vet -vettool` protocol (the x/tools
+// "unitchecker" role): cmd/go invokes the tool once per package with a JSON
+// config file describing the package's sources and the export-data files of
+// its dependencies, plus two handshake flags (-flags, -V=full). Running
+// under vet gets spatiallint build-tag-correct file sets and per-package
+// caching for free.
+package unit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"spatialcrowd/internal/analysis"
+	"spatialcrowd/internal/analysis/checker"
+	"spatialcrowd/internal/analysis/load"
+)
+
+// vetConfig is the subset of cmd/go's vet.cfg the checker consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main handles one vet invocation if args match the protocol, returning
+// (exitCode, true); (0, false) means the arguments are not a vet handshake
+// and the caller should run its own CLI.
+func Main(analyzers []*analysis.Analyzer, args []string, stdout, stderr io.Writer) (int, bool) {
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			// No tool-specific flags; vet needs valid JSON here.
+			fmt.Fprintln(stdout, "[]")
+			return 0, true
+		case strings.HasPrefix(args[0], "-V="):
+			// The version string keys vet's result cache. It is static, so
+			// rebuilding the tool after changing an analyzer requires
+			// `go clean -cache` (or a fresh CI runner) to drop stale vet
+			// results; the standalone `spatiallint ./...` mode has no cache.
+			fmt.Fprintln(stdout, "spatiallint version 1")
+			return 0, true
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runCfg(analyzers, args[0], stderr), true
+		}
+	}
+	return 0, false
+}
+
+func runCfg(analyzers []*analysis.Analyzer, cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "spatiallint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// vet expects the facts output to exist even though spatiallint's
+	// analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: vet only wants facts, and we have none.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := load.ExportImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, err := load.TypeCheck(fset, imp, cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "spatiallint: %v\n", err)
+		return 1
+	}
+	findings, err := checker.Run(analyzers, []*load.Package{pkg})
+	if err != nil {
+		fmt.Fprintf(stderr, "spatiallint: %v\n", err)
+		return 1
+	}
+	if len(findings) > 0 {
+		checker.Print(stderr, findings)
+		return 2 // vet's "diagnostics reported" exit status
+	}
+	return 0
+}

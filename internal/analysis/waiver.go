@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// Waiver directives. A diagnostic is suppressed when the offending source
+// line — or the full-line comment immediately above it — carries
+//
+//	//lint:<analyzer> <justification>
+//
+// with a non-empty justification. `//lint:ordered <justification>` is the
+// conventional spelling for detmaprange (an order-dependence waiver reads
+// better at the loop than the analyzer's name). A bare `//lint:<analyzer>`
+// with no justification does NOT waive: the whole point of the directive is
+// that every escape from an invariant documents why it is safe.
+
+var waiverRe = regexp.MustCompile(`//lint:([a-z]+)\s+(\S.*)$`)
+
+// waiverNames returns the directive names that waive diagnostics from the
+// named analyzer.
+func waiverNames(analyzer string) []string {
+	if analyzer == "detmaprange" {
+		return []string{"detmaprange", "ordered"}
+	}
+	return []string{analyzer}
+}
+
+// Waivers scans source files for `//lint:` directives, caching by path.
+// The zero value is not usable; call NewWaivers.
+type Waivers struct {
+	lines map[string][]string
+}
+
+// NewWaivers returns an empty waiver cache.
+func NewWaivers() *Waivers {
+	return &Waivers{lines: make(map[string][]string)}
+}
+
+func (w *Waivers) fileLines(path string) []string {
+	if ls, ok := w.lines[path]; ok {
+		return ls
+	}
+	var ls []string
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+		for sc.Scan() {
+			ls = append(ls, sc.Text())
+		}
+		f.Close()
+	}
+	w.lines[path] = ls
+	return ls
+}
+
+// Waived reports whether a diagnostic from the named analyzer at
+// (path, line) is covered by a justified waiver directive. line is 1-based.
+func (w *Waivers) Waived(analyzer, path string, line int) bool {
+	ls := w.fileLines(path)
+	names := waiverNames(analyzer)
+	check := func(n int) bool { // n is 1-based
+		if n < 1 || n > len(ls) {
+			return false
+		}
+		m := waiverRe.FindStringSubmatch(ls[n-1])
+		if m == nil {
+			return false
+		}
+		for _, name := range names {
+			if m[1] == name {
+				return true
+			}
+		}
+		return false
+	}
+	if check(line) {
+		return true
+	}
+	// A full-line comment directly above the offending line also waives,
+	// so long justifications do not force overlong lines.
+	if prev := line - 1; prev >= 1 && prev <= len(ls) {
+		if strings.HasPrefix(strings.TrimSpace(ls[prev-1]), "//") {
+			return check(prev)
+		}
+	}
+	return false
+}

@@ -13,7 +13,7 @@ import "spatialcrowd/internal/stats"
 // but no supply is shared across grids, which is exactly the weakness the
 // paper's evaluation exposes.
 type CappedUCB struct {
-	P Params
+	P Params //lint:snapfields operator config injected at construction, not learned state
 
 	basePrice float64
 	ladder    []float64
@@ -22,11 +22,11 @@ type CappedUCB struct {
 	// counts per cell kept for the memory-profile parity with the paper
 	// ("CappedUCB needs to store more information such as the number of
 	// tasks and workers in each grid").
-	taskCount   map[int]int
-	workerCount map[int]int
+	taskCount   map[int]int //lint:snapfields memory-parity telemetry, rebuilt every window
+	workerCount map[int]int //lint:snapfields memory-parity telemetry, rebuilt every window
 
 	// ver counts price-relevant state changes; see PriceStateVersion.
-	ver uint64
+	ver uint64 //lint:snapfields cache-invalidation counter; RestoreState bumps it instead of restoring it
 }
 
 // NewCappedUCB builds the baseline around a base price fallback.
@@ -71,6 +71,7 @@ func (c *CappedUCB) Prices(ctx *PeriodContext) []float64 {
 	for cell, n := range workers {
 		c.workerCount[cell] = n
 	}
+	//lint:ordered each grid is priced independently; writes land in per-cell map keys and disjoint out indices
 	for cell, tasks := range ctx.Cells {
 		c.taskCount[cell] = len(tasks)
 		cs := c.cellStats(cell)

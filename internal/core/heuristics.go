@@ -37,6 +37,7 @@ func (s *SDR) Name() string { return "SDR" }
 func (s *SDR) Prices(ctx *PeriodContext) []float64 {
 	workers := countWorkersByCell(ctx)
 	out := make([]float64, len(ctx.Tasks))
+	//lint:ordered each grid is priced independently; writes go to disjoint out indices
 	for cell, tasks := range ctx.Cells {
 		nr, nw := len(tasks), workers[cell]
 		price := s.BasePrice
@@ -86,6 +87,7 @@ func (s *SDE) Name() string { return "SDE" }
 func (s *SDE) Prices(ctx *PeriodContext) []float64 {
 	workers := countWorkersByCell(ctx)
 	out := make([]float64, len(ctx.Tasks))
+	//lint:ordered each grid is priced independently; writes go to disjoint out indices
 	for cell, tasks := range ctx.Cells {
 		nr, nw := len(tasks), workers[cell]
 		price := s.BasePrice

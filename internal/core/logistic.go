@@ -95,6 +95,7 @@ func (pm *ParametricMAPS) fit(cell int) *LogisticDemand {
 // overwrites each touched cell's UCB statistics with pseudo-counts from the
 // logistic fit, so Algorithm 3's maximizer consumes the parametric curve.
 func (pm *ParametricMAPS) Prices(ctx *PeriodContext) []float64 {
+	//lint:ordered per-cell fit and per-key map write; no state crosses cells
 	for cell := range ctx.Cells {
 		f := pm.fit(cell)
 		if f.N() == 0 {

@@ -22,7 +22,7 @@ import (
 //
 // Grids without tasks are priced at the base price p_b.
 type MAPS struct {
-	P Params
+	P Params //lint:snapfields operator config injected at construction, not learned state
 
 	basePrice float64
 	ladder    []float64
@@ -32,7 +32,7 @@ type MAPS struct {
 	// supply (ablation A2 in DESIGN.md): every grid may claim up to |R^tg|
 	// workers regardless of the bipartite structure, as if supply were
 	// independent across grids. Real deployments must leave this false.
-	NoMatchingValidation bool
+	NoMatchingValidation bool //lint:snapfields ablation knob, part of config rather than learned state
 
 	// Smoothing in [0, 1) blends each grid's price toward its neighbors'
 	// average after the main pricing pass (Section 4.2.3's spatial smoothing
@@ -41,9 +41,9 @@ type MAPS struct {
 
 	// LastSupply exposes the n^{tg} chosen in the most recent Prices call
 	// (cell -> worker count); experiment ablations read it.
-	LastSupply map[int]int
+	LastSupply map[int]int //lint:snapfields per-window diagnostic output, rebuilt by the next Prices call
 	// LastPrices exposes the final per-grid prices of the last Prices call.
-	LastPrices map[int]float64
+	LastPrices map[int]float64 //lint:snapfields per-window diagnostic output, rebuilt by the next Prices call
 
 	// Per-period working state, reused across Prices calls (strategies
 	// serve one goroutine; the engine gives each shard a private instance).
@@ -51,21 +51,21 @@ type MAPS struct {
 	// rounds — allocate nothing in steady state; the returned price slice
 	// and the exported LastSupply/LastPrices maps are still fresh per call,
 	// because callers may retain them across periods.
-	pre       preMatcher
-	h         deltaHeap
-	rounds    map[int]*cellRound
-	roundFree []*cellRound
+	pre       preMatcher         //lint:snapfields per-period scratch, reset at the top of every Prices call
+	h         deltaHeap          //lint:snapfields per-period scratch, reset at the top of every Prices call
+	rounds    map[int]*cellRound //lint:snapfields per-period scratch, reset at the top of every Prices call
+	roundFree []*cellRound       //lint:snapfields buffer free-list; capacity cache only, never holds live state
 
 	// ver counts state changes that can alter future prices (Observe,
 	// SetLadder, snapshot restore); see PriceStateVersion.
-	ver uint64
+	ver uint64 //lint:snapfields cache-invalidation counter; RestoreState bumps it instead of restoring it
 
 	// Previous smoothing pass (raw input, smoothed output, weight), kept as
 	// private copies so SmoothPricesIncremental can skip cells whose
 	// neighborhood did not change between windows.
-	prevRaw    map[int]float64
-	prevSmooth map[int]float64
-	prevW      float64
+	prevRaw    map[int]float64 //lint:snapfields smoothing delta cache; restore clears it and the next window recomputes in full
+	prevSmooth map[int]float64 //lint:snapfields smoothing delta cache; restore clears it and the next window recomputes in full
+	prevW      float64         //lint:snapfields smoothing delta cache; restore clears it and the next window recomputes in full
 }
 
 // NewMAPS builds a MAPS strategy around a base price (typically
@@ -132,7 +132,18 @@ type heapEntry struct {
 // without the interface boxing that allocates one heap.Push per proposal.
 type deltaHeap []heapEntry
 
-func (h deltaHeap) less(i, j int) bool { return h[i].delta > h[j].delta }
+// less orders by Δ descending with cell ID as the tie-break. The tie-break
+// is load-bearing: equal deltas are common (every grid starts at Δ = ∞, and
+// retired grids all carry Δ = 0), the grids compete for a shared worker pool
+// through the pre-matching, and entries land in the heap in ctx.Cells map
+// order — without the tie-break, which grid wins a contested worker would
+// depend on map iteration order and replay would not be bit-identical.
+func (h deltaHeap) less(i, j int) bool {
+	if h[i].delta != h[j].delta {
+		return h[i].delta > h[j].delta
+	}
+	return h[i].cell < h[j].cell
+}
 
 func (h *deltaHeap) push(e heapEntry) {
 	*h = append(*h, e)
@@ -229,6 +240,7 @@ func (m *MAPS) Prices(ctx *PeriodContext) []float64 {
 		rounds = make(map[int]*cellRound, len(ctx.Cells))
 		m.rounds = rounds
 	}
+	//lint:ordered free-list order only decides which recycled buffer serves which cell, never the computed values
 	for c, cr := range rounds {
 		m.roundFree = append(m.roundFree, cr)
 		delete(rounds, c)
@@ -237,6 +249,7 @@ func (m *MAPS) Prices(ctx *PeriodContext) []float64 {
 	*h = (*h)[:0]
 	// Lines 3–4: one entry per grid with Δ = ∞ so every grid is evaluated
 	// once before any admission.
+	//lint:ordered heap pops are totally ordered by (delta, cell) regardless of push order; all other writes are keyed per cell
 	for cell, tasks := range ctx.Cells {
 		cr := m.takeRound()
 		cr.cellID = cell
@@ -317,6 +330,7 @@ func (m *MAPS) Prices(ctx *PeriodContext) []float64 {
 
 	// Emit per-task prices; task-free grids never appear in ctx.Cells and
 	// implicitly keep the base price.
+	//lint:ordered per-cell map writes whose values derive only from that cell's round
 	for cell, cr := range rounds {
 		m.LastSupply[cell] = cr.n
 		m.LastPrices[cell] = m.P.Clamp(cr.price)
@@ -334,6 +348,7 @@ func (m *MAPS) Prices(ctx *PeriodContext) []float64 {
 		m.prevSmooth = copyPriceMap(m.prevSmooth, m.LastPrices)
 		m.prevW = m.Smoothing
 	}
+	//lint:ordered writes go to disjoint task indices owned by each cell
 	for cell, cr := range rounds {
 		p := m.LastPrices[cell]
 		for _, ti := range cr.tasks {

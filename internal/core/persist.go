@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // The persistence format: learned demand statistics survive process
@@ -62,7 +63,7 @@ func (m *MAPS) SaveState(w io.Writer) error {
 	for c := range m.cells {
 		cells = append(cells, c)
 	}
-	sortInts(cells)
+	sort.Ints(cells)
 	for _, c := range cells {
 		snap.Cells = append(snap.Cells, m.cells[c].snapshot(c))
 	}
@@ -112,14 +113,4 @@ func (m *MAPS) LoadState(r io.Reader) error {
 		}
 	}
 	return nil
-}
-
-// sortInts is a minimal insertion sort; cell counts are small and this
-// avoids importing sort for one call site in a hot-free path.
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
-			xs[j-1], xs[j] = xs[j], xs[j-1]
-		}
-	}
 }

@@ -25,6 +25,7 @@ func SmoothPrices(space spatial.Space, prices map[int]float64, w float64) map[in
 		w = 0.999
 	}
 	var buf []int
+	//lint:ordered each cell's smoothed value reads the input map and writes only out[cell]
 	for cell, p := range prices {
 		sum, n := 0.0, 0
 		buf = space.NeighborsAppend(cell, buf[:0])
@@ -78,6 +79,7 @@ func SmoothPricesIncremental(space spatial.Space, prices, prevRaw, prevSmoothed 
 		}
 	}
 	var buf []int
+	//lint:ordered each cell's smoothed value reads the input maps and writes only out[cell]
 	for cell, p := range prices {
 		buf = space.NeighborsAppend(cell, buf[:0])
 		_, recompute := dirty[cell]
@@ -114,6 +116,7 @@ func SmoothPricesIncremental(space spatial.Space, prices, prevRaw, prevSmoothed 
 func PriceGap(space spatial.Space, prices map[int]float64) float64 {
 	gap := 0.0
 	var buf []int
+	//lint:ordered max accumulation commutes across visit orders
 	for cell, p := range prices {
 		buf = space.NeighborsAppend(cell, buf[:0])
 		for _, nb := range buf {

@@ -38,9 +38,9 @@ type CellStats struct {
 	total  int // N: requesters observed in this cell so far
 
 	// ChangeWindow is the number of outcomes between change checks.
-	ChangeWindow int
+	ChangeWindow int //lint:snapfields detector config; change detection restarts fresh after restore by design (see persist.go)
 	// Changes counts detected demand shifts (exposed for diagnostics).
-	Changes int
+	Changes int //lint:snapfields diagnostics counter, not learned pricing state
 }
 
 // NewCellStats builds learning state over the given candidate ladder.

@@ -460,3 +460,49 @@ func TestStrategyErrorSurfacedNotPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCheckpointByteStability pins checkpoint determinism at the byte
+// level: two independent engines fed the same stream must emit identical
+// checkpoint bytes. This is what the sorted-key serialization in
+// checkpoint.go and the (delta, cell) heap tie-break in core exist for —
+// any map-order leak into encoding or pricing shows up here as a diff.
+func TestCheckpointByteStability(t *testing.T) {
+	for name, in := range churnBackends(t) {
+		for _, shards := range []int{0, 4} {
+			in := in
+			shards := shards
+			t.Run(name+modeName(shards), func(t *testing.T) {
+				cut := in.Periods / 2
+				run := func() []byte {
+					e, err := New(ckConfig(t, in, shards, 2))
+					if err != nil {
+						t.Fatal(err)
+					}
+					var ck bytes.Buffer
+					_, err = ReplayWith(e, in, ReplayOpts{AfterPeriod: func(p int) error {
+						if p == cut-1 {
+							if err := e.Checkpoint(&ck); err != nil {
+								return err
+							}
+							return errCheckpointAbort
+						}
+						return nil
+					}})
+					if !errors.Is(err, errCheckpointAbort) || ck.Len() == 0 {
+						t.Fatalf("expected aborted replay with a written checkpoint (err=%v, len=%d)", err, ck.Len())
+					}
+					_ = e.Close()
+					return ck.Bytes()
+				}
+				a, b := run(), run()
+				if !bytes.Equal(a, b) {
+					i := 0
+					for i < len(a) && i < len(b) && a[i] == b[i] {
+						i++
+					}
+					t.Fatalf("checkpoints differ at byte %d of %d/%d: two runs of the same stream must serialize identically", i, len(a), len(b))
+				}
+			})
+		}
+	}
+}

@@ -195,8 +195,8 @@ func TestQuotedHeldPinsMigration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loc := geo.Point{X: 5, Y: 5}     // shard 0
-	away := geo.Point{X: 15, Y: 5}   // shard 1
+	loc := geo.Point{X: 5, Y: 5}   // shard 0
+	away := geo.Point{X: 15, Y: 5} // shard 1
 	mustSubmit(t, e,
 		Tick(0),
 		WorkerOnline(market.Worker{ID: 1, Loc: loc, Radius: 3, Duration: 100}),

@@ -112,7 +112,7 @@ func (s *shard) run() {
 	for ev := range s.in {
 		s.handle(ev)
 	}
-	s.finalizePending(time.Now())
+	s.finalizePending(time.Now()) //lint:detsource shutdown drain stamp feeds latency metrics only
 	s.flushNotes()
 }
 

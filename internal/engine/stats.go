@@ -79,8 +79,8 @@ type LifecycleStats struct {
 	// shard, or deterministic mode); Migrations counts completed cross-shard
 	// retire/admit handshakes; PinnedMoves counts cross-shard moves applied
 	// in place because a pending quoted batch held the worker.
-	Moves      int64
-	Migrations int64
+	Moves       int64
+	Migrations  int64
 	PinnedMoves int64
 	// Retirements by reason.
 	RetiredAssigned int64
@@ -99,9 +99,9 @@ type LifecycleStats struct {
 // event processing; batch-grain values are consistent with each other.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Events:      e.events.Load(),
-		TasksPriced: e.priced.Load(),
-		Quoted:      e.quoted.Load(),
+		Events:         e.events.Load(),
+		TasksPriced:    e.priced.Load(),
+		Quoted:         e.quoted.Load(),
 		Batches:        e.batches.Load(),
 		Late:           e.late.Load(),
 		StrategyErrors: e.stratErrs.Load(),
@@ -149,7 +149,7 @@ func (e *Engine) Stats() Stats {
 	}
 	e.latMu.Unlock()
 
-	end := time.Now()
+	end := time.Now() //lint:detsource wall-clock elapsed/throughput metrics only
 	if ns := e.stoppedNanos.Load(); ns != 0 {
 		end = time.Unix(0, ns)
 	}

@@ -29,11 +29,11 @@ type statsJSON struct {
 	ShardCache        []cacheJSON   `json:"shard_cache,omitempty"`
 	Lifecycle         lifecycleJSON `json:"lifecycle"`
 	P50LatencyNanos   int64         `json:"p50_latency_ns"`
-	P50Latency        string        `json:"p50_latency"`
+	P50Latency        string        `json:"p50_latency"` //lint:snapfields human-readable duplicate; decode reads the _ns field
 	P99LatencyNanos   int64         `json:"p99_latency_ns"`
-	P99Latency        string        `json:"p99_latency"`
+	P99Latency        string        `json:"p99_latency"` //lint:snapfields human-readable duplicate; decode reads the _ns field
 	ElapsedNanos      int64         `json:"elapsed_ns"`
-	Elapsed           string        `json:"elapsed"`
+	Elapsed           string        `json:"elapsed"` //lint:snapfields human-readable duplicate; decode reads the _ns field
 	EventsPerSec      float64       `json:"events_per_sec"`
 }
 

@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"reflect"
 	"sort"
 	"testing"
 	"time"
+	"unicode/utf8"
 )
 
 func fullStats() Stats {
@@ -177,4 +179,66 @@ func TestStatsJSONNilError(t *testing.T) {
 	if back.LastStrategyError != nil {
 		t.Errorf("nil error decoded as %v", back.LastStrategyError)
 	}
+}
+
+// FuzzStatsJSONRoundTrip drives the Stats wire format from two directions.
+// Structured: any encodable Stats must decode from its own encoding, and
+// re-encoding the decoded value must be a byte-level fixed point (this is
+// what the server's /stats scrape and the snapfields analyzer both assume).
+// Raw: any bytes UnmarshalJSON accepts must re-encode and decode again
+// without error, so a hostile or truncated scrape can never wedge the
+// format.
+func FuzzStatsJSONRoundTrip(f *testing.F) {
+	f.Add(int64(1), int64(2), 3.5, int64(4), int64(5), 6.25, "boom", []byte(`{"events":1}`))
+	f.Add(int64(0), int64(0), 0.0, int64(0), int64(-1), -2.5, "", []byte(`{"last_strategy_error":null}`))
+	f.Fuzz(func(t *testing.T, events, priced int64, revenue float64, late, p50 int64, shardRev float64, errMsg string, raw []byte) {
+		s := Stats{
+			Events:         events,
+			TasksPriced:    priced,
+			Revenue:        revenue,
+			Late:           late,
+			P50Latency:     time.Duration(p50),
+			ShardRevenue:   []float64{shardRev, revenue},
+			ShardTasks:     []int64{priced, events},
+			StrategyErrors: 1,
+		}
+		if errMsg != "" {
+			if !utf8.ValidString(errMsg) {
+				// encoding/json normalizes invalid UTF-8 to U+FFFD — escaped
+				// as \ufffd on the first encode but emitted raw thereafter —
+				// so the byte fixed point only holds for valid strings. Found
+				// by this fuzzer; the raw path below still covers such bytes.
+				t.Skip()
+			}
+			s.LastStrategyError = errors.New(errMsg)
+		}
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Skip() // NaN/Inf floats are not encodable; nothing to round-trip
+		}
+		var back Stats
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("decode of own encoding failed: %v\n%s", err, b)
+		}
+		b2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-encode after round trip failed: %v", err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("marshal is not a fixed point:\n first %s\n again %s", b, b2)
+		}
+
+		// Arbitrary input: acceptance implies a clean re-encode/decode.
+		var fromRaw Stats
+		if err := json.Unmarshal(raw, &fromRaw); err == nil {
+			b3, err := json.Marshal(fromRaw)
+			if err != nil {
+				t.Fatalf("re-encode of accepted input failed: %v (input %q)", err, raw)
+			}
+			var again Stats
+			if err := json.Unmarshal(b3, &again); err != nil {
+				t.Fatalf("decode of re-encoded input failed: %v\n%s", err, b3)
+			}
+		}
+	})
 }

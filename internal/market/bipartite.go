@@ -498,6 +498,7 @@ func GroupByCell(in *Instance, tasks []Task) map[int]*GridDemand {
 		}
 		gd.Tasks = append(gd.Tasks, ti)
 	}
+	//lint:ordered each bucket is sorted in place; buckets are disjoint
 	for _, gd := range out {
 		sort.Slice(gd.Tasks, func(i, j int) bool {
 			return tasks[gd.Tasks[i]].Distance > tasks[gd.Tasks[j]].Distance

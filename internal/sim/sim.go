@@ -259,4 +259,3 @@ func repositionWorkers(space spatial.Space, period int, workers []market.Worker,
 		}
 	}
 }
-

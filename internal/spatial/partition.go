@@ -25,7 +25,7 @@ func ModPartition(shards int) Partitioner {
 	return modPartition(shards)
 }
 
-func (m modPartition) Shards() int         { return int(m) }
+func (m modPartition) Shards() int          { return int(m) }
 func (m modPartition) ShardOf(cell int) int { return cell % int(m) }
 
 // blockPartition assigns contiguous cell-id runs of near-equal length.

@@ -99,7 +99,7 @@ func exampleBatch() ([]market.Task, []market.Worker, geo.Grid) {
 	grid := geo.SquareGrid(100, 10)
 	tasks := []market.Task{
 		{ID: 1, Origin: geo.Point{X: 11, Y: 11}, Distance: 3, Valuation: 5},
-		{ID: 2, Origin: geo.Point{X: 9, Y: 9}, Distance: 2, Valuation: 1}, // rejects price 2
+		{ID: 2, Origin: geo.Point{X: 9, Y: 9}, Distance: 2, Valuation: 1},   // rejects price 2
 		{ID: 3, Origin: geo.Point{X: 90, Y: 90}, Distance: 5, Valuation: 5}, // out of range
 	}
 	workers := []market.Worker{
