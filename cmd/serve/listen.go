@@ -39,6 +39,13 @@ func buildServer(o *options, s *setup) (*server.Server, []string, error) {
 		if o.restore != "" {
 			tc.RestoreFrom = o.restore
 		}
+		if o.walDir != "" {
+			// Each tenant owns its log: separate directory, independent
+			// recovery. Startup auto-recovers from the tenant's drain
+			// checkpoint (when present) plus the WAL tail past it.
+			tc.WALDir = filepath.Join(o.walDir, name)
+			tc.WALSyncEvery = o.walSync
+		}
 		scfg.Tenants = append(scfg.Tenants, tc)
 	}
 	srv, err := server.New(scfg)
@@ -76,6 +83,10 @@ func runListen(o *options) error {
 		spatial.BackendName(s.sp), s.sp.NumCells(), mode)
 	if o.ckptDir != "" {
 		fmt.Printf("drain checkpoints: %s/<tenant>.ckpt\n", o.ckptDir)
+	}
+	if o.walDir != "" {
+		fmt.Printf("durable wal: %s/<tenant>/ (fsync every %d appends + per-ack group commit)\n",
+			o.walDir, o.walSync)
 	}
 
 	hs := &http.Server{Handler: srv}

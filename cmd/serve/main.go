@@ -20,6 +20,7 @@
 //	serve -requests 100000 -workers 25000
 //	serve -checkpoint-every 100   # periodic crash-safe checkpoints to -checkpoint-file
 //	serve -restore serve.ckpt     # resume an interrupted replay from a checkpoint
+//	serve -wal-dir serve-wal      # durable write-ahead log: kill -9 anywhere, rerun to recover exactly
 //	serve -listen :8080           # network mode: one tenant city, HTTP ingestion
 //	serve -listen :8080 -tenants beijing,shanghai -checkpoint-dir /var/lib/spatialcrowd
 //	serve -selftest               # loopback smoke: server + load generator + revenue check
@@ -32,6 +33,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -44,6 +46,7 @@ import (
 	"spatialcrowd/internal/market"
 	"spatialcrowd/internal/server"
 	"spatialcrowd/internal/spatial"
+	"spatialcrowd/internal/wal"
 	"spatialcrowd/internal/workload"
 )
 
@@ -77,6 +80,8 @@ type options struct {
 	ckptEvery int
 	ckptFile  string
 	restore   string
+	walDir    string
+	walSync   int
 
 	listen   string
 	tenants  string
@@ -108,6 +113,8 @@ func main() {
 	flag.IntVar(&o.ckptEvery, "checkpoint-every", 0, "write a crash-safe engine checkpoint every k periods (0 disables; SIGINT/SIGTERM also snapshot when enabled)")
 	flag.StringVar(&o.ckptFile, "checkpoint-file", "serve.ckpt", "checkpoint path for -checkpoint-every and signal-triggered snapshots")
 	flag.StringVar(&o.restore, "restore", "", "restore the engine from this checkpoint and resume the replay after its last period")
+	flag.StringVar(&o.walDir, "wal-dir", "", "durable write-ahead log directory: every event is appended before it is applied and the run auto-recovers from the log (plus -restore snapshot) on restart; network mode gives each tenant <dir>/<tenant>/")
+	flag.IntVar(&o.walSync, "wal-sync", 64, "fsync the WAL after this many appends (group commit); 1 fsyncs every append")
 
 	flag.StringVar(&o.listen, "listen", "", "network mode: serve the dispatch HTTP API on this address (e.g. :8080) instead of replaying")
 	flag.StringVar(&o.tenants, "tenants", "city", "comma-separated tenant (city) names for -listen, one isolated engine each")
@@ -219,13 +226,71 @@ func runReplay(o *options) error {
 	}
 	cfg := engineConfig(o, s, true)
 	cfg.OnDecision = func(engine.Decision) {} // throughput run: discard the stream
+
+	// -wal-dir makes the replay durable: every event is appended (and
+	// group-commit fsynced) before it is applied, so a crash loses at most
+	// the unsynced tail and a restart recovers the rest from the log.
+	var wlog *wal.Log
+	if o.walDir != "" {
+		st, err := wal.NewFileStore(o.walDir)
+		if err != nil {
+			return err
+		}
+		wopt := wal.Options{}
+		if o.walSync > 1 {
+			wopt.Sync = wal.SyncBatch
+			wopt.BatchAppends = o.walSync
+		}
+		wlog, err = wal.Open(st, wopt)
+		if err != nil {
+			return err
+		}
+		defer wlog.Close()
+		cfg.WAL = wlog
+	}
 	eng, err := engine.New(cfg)
 	if err != nil {
 		return err
 	}
 
 	opts := engine.ReplayOpts{}
-	if o.restore != "" {
+	switch {
+	case wlog != nil:
+		// WAL recovery: snapshot (if any) plus the log tail past it. The
+		// recovered event count positions the resumed stream exactly —
+		// SkipEvents is event-granular where -restore alone is only
+		// period-granular. Without an explicit -restore, auto-recover from
+		// -checkpoint-file when it exists: periodic snapshots truncate the
+		// log past what they cover, so the snapshot is then mandatory (same
+		// auto-recovery the server's tenants do).
+		snapPath := o.restore
+		if snapPath == "" && o.ckptEvery > 0 {
+			if _, err := os.Stat(o.ckptFile); err == nil {
+				snapPath = o.ckptFile
+			}
+		}
+		var snap io.Reader
+		var sf *os.File
+		if snapPath != "" {
+			sf, err = os.Open(snapPath)
+			if err != nil {
+				return err
+			}
+			snap = sf
+		}
+		_, err = eng.RecoverWAL(snap)
+		if sf != nil {
+			sf.Close()
+		}
+		if err != nil {
+			return err
+		}
+		if recovered := int(eng.Stats().Events); recovered > 0 {
+			opts.SkipEvents = recovered
+			fmt.Printf("wal recovery: %d events restored (snapshot %q + log %s); resuming past them\n",
+				recovered, snapPath, o.walDir)
+		}
+	case o.restore != "":
 		f, err := os.Open(o.restore)
 		if err != nil {
 			return err
@@ -253,9 +318,27 @@ func runReplay(o *options) error {
 			signal.Stop(sigCh)
 			interrupted.Store(true)
 		}()
+		// snapshot writes the atomic checkpoint and, on a WAL-backed run,
+		// reclaims the log segments the snapshot now covers — recovery then
+		// replays only the tail past it.
+		snapshot := func() error {
+			var ckLSN uint64
+			if wlog != nil {
+				ckLSN = eng.WALLastLSN()
+			}
+			if err := writeCheckpoint(eng, o.ckptFile); err != nil {
+				return err
+			}
+			if wlog != nil {
+				if _, err := wlog.TruncateBefore(ckLSN + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 		opts.AfterPeriod = func(p int) error {
 			if interrupted.Load() {
-				if err := writeCheckpoint(eng, o.ckptFile); err != nil {
+				if err := snapshot(); err != nil {
 					return err
 				}
 				return errInterrupted
@@ -263,7 +346,7 @@ func runReplay(o *options) error {
 			if (p+1)%o.ckptEvery != 0 {
 				return nil
 			}
-			return writeCheckpoint(eng, o.ckptFile)
+			return snapshot()
 		}
 	}
 
@@ -296,6 +379,14 @@ func runReplay(o *options) error {
 		return err
 	}
 	st := eng.Stats()
+	if wlog != nil {
+		ws := wlog.Stats()
+		if cerr := wlog.Close(); cerr != nil && cerr != wal.ErrClosed {
+			return cerr
+		}
+		fmt.Printf("wal: %d..%d durable through %d (%d segments in %s)\n",
+			ws.FirstLSN, ws.LastLSN, ws.DurableLSN, ws.Segments, o.walDir)
+	}
 	if wasInterrupted {
 		fmt.Printf("interrupted: checkpoint written to %s (resume with -restore %s)\n", o.ckptFile, o.ckptFile)
 	}

@@ -44,6 +44,10 @@ var replayPackages = []string{
 	"spatialcrowd/internal/geo",
 	"spatialcrowd/internal/roadnet",
 	"spatialcrowd/internal/stats",
+	// The write-ahead log sits on the replay path twice over: records are
+	// framed during live submission and decoded during recovery, and both
+	// must be bit-identical runs of pure code.
+	"spatialcrowd/internal/wal",
 }
 
 // bannedTime are time-package functions that read the wall clock or

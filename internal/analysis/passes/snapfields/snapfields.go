@@ -49,6 +49,7 @@ var Analyzer = &analysis.Analyzer{
 var scopePackages = []string{
 	"spatialcrowd/internal/engine",
 	"spatialcrowd/internal/core",
+	"spatialcrowd/internal/wal",
 }
 
 // persistMethod matches the method names making up the persistence seams:

@@ -27,6 +27,7 @@ package engine
 // private valuations in AutoDecide (simulation replay) mode.
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 	"spatialcrowd/internal/core"
 	"spatialcrowd/internal/geo"
 	"spatialcrowd/internal/market"
+	"spatialcrowd/internal/wal"
 )
 
 const checkpointVersion = 1
@@ -51,6 +53,11 @@ type checkpointFile struct {
 	// same shard count but a different Partitioner is detected and re-homed
 	// instead of silently installing pools the new routing will never hit.
 	Partition uint64 `json:"partition_fingerprint"`
+	// WALLSN is the write-ahead-log position this snapshot covers: every
+	// event with LSN <= WALLSN is folded into the checkpointed state, so
+	// recovery replays the tail strictly past it (RecoverWAL). Zero when
+	// the engine ran without a WAL.
+	WALLSN uint64 `json:"wal_lsn,omitempty"`
 
 	RouterPeriod   int           `json:"router_period"`
 	TaskRotated    int           `json:"task_rotated,omitempty"`
@@ -198,7 +205,30 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		}
 		f = rep.file
 	}
-	return json.NewEncoder(w).Encode(f)
+	if e.wal != nil {
+		// No Submit runs concurrently (precondition), so the log's last LSN
+		// is exactly the log position the snapshot folds in. Force it
+		// durable before recording it: a snapshot must never claim coverage
+		// of records a crash could still lose, or recovery from this
+		// snapshot would skip replaying events whose effects it lacks.
+		f.WALLSN = e.wal.LastLSN()
+		if err := e.wal.Sync(); err != nil {
+			return fmt.Errorf("engine: wal sync before checkpoint: %w", err)
+		}
+	}
+	if err := json.NewEncoder(w).Encode(f); err != nil {
+		return err
+	}
+	if e.wal != nil {
+		// Drop a marker so the log itself records where snapshots were
+		// taken; recovery skips it (state travels in the checkpoint file).
+		var lsn [8]byte
+		binary.LittleEndian.PutUint64(lsn[:], f.WALLSN)
+		if _, err := e.wal.Append(wal.RecCheckpoint, lsn[:]); err != nil {
+			return fmt.Errorf("engine: wal checkpoint marker: %w", err)
+		}
+	}
+	return nil
 }
 
 // Restore loads a checkpoint into this engine. The engine must be freshly
@@ -208,7 +238,17 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 // checkpoint holds pending quoted batches. After Restore, resume the
 // stream from RestoredPeriod() + 1. On error the engine is partially
 // initialized and must be discarded, not retried or fed events.
-func (e *Engine) Restore(r io.Reader) error {
+//
+// Corrupt input — truncated files, bit flips, wrong versions — returns a
+// descriptive error, never a panic: every structural assumption is
+// validated before use, and a recover guard backstops whatever validation
+// cannot foresee (the corruption-matrix test drives both layers).
+func (e *Engine) Restore(r io.Reader) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("engine: corrupt checkpoint: restore panicked: %v", p)
+		}
+	}()
 	if e.closed.Load() {
 		return ErrClosed
 	}
@@ -270,6 +310,7 @@ func (e *Engine) Restore(r io.Reader) error {
 		return err
 	}
 	e.restoredPeriod = f.RouterPeriod
+	e.restoredWALLSN = f.WALLSN
 	return nil
 }
 
@@ -424,7 +465,14 @@ func (e *Engine) routerCheckpoint(req *ctlCheckpoint) {
 
 // routerRestore runs in the router goroutine: install the routing state and
 // forward each shard its section (re-homed first when the layout changed).
+// The panic guard turns corrupt-checkpoint surprises into a Restore error
+// instead of killing the router.
 func (e *Engine) routerRestore(req *ctlRestore) {
+	defer func() {
+		if p := recover(); p != nil {
+			req.reply <- fmt.Errorf("engine: corrupt checkpoint: router restore panicked: %v", p)
+		}
+	}()
 	f := req.file
 	exact := req.exact
 	e.routerPeriod = f.RouterPeriod
@@ -625,6 +673,12 @@ func (s *shard) restorePending(p *pendingCk) error {
 		inc.RemoveRight(r)
 	}
 	for _, pair := range p.Pairs {
+		// Bounds first: a corrupt checkpoint's indices must error, not
+		// panic the matcher.
+		if pair[0] < 0 || pair[0] >= n || pair[1] < 0 || pair[1] >= len(workers) {
+			return fmt.Errorf("engine: pending pairing (%d, %d) outside %d tasks x %d workers",
+				pair[0], pair[1], n, len(workers))
+		}
 		if !inc.RestorePair(pair[0], pair[1]) {
 			return fmt.Errorf("engine: pending pairing (%d, %d) does not fit the rebuilt batch", pair[0], pair[1])
 		}

@@ -43,6 +43,7 @@ import (
 	"spatialcrowd/internal/geo"
 	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/stats"
+	"spatialcrowd/internal/wal"
 	"spatialcrowd/internal/window"
 )
 
@@ -92,6 +93,15 @@ type Config struct {
 	// queue. It is called from shard goroutines and must be fast and
 	// concurrency-safe.
 	OnDecision func(Decision)
+	// WAL, when set, is the engine's durable write-ahead event log: every
+	// accepted public event is appended (and, per the log's sync policy,
+	// fsynced) before it is applied, so a crash loses nothing past the
+	// log's durable prefix. Attach a freshly opened wal.Log; if it already
+	// holds records, call RecoverWAL before submitting — Submit refuses to
+	// append after un-replayed history. Checkpoint records the covered LSN
+	// (and appends a marker record), making recovery = Restore + tail
+	// replay. See internal/wal and wal.go in this package.
+	WAL *wal.Log
 	// Amortize enables the executors' fingerprint-gated amortized-rebuild
 	// layer: pricing contexts, batch graphs, and (for core.PriceCacheable
 	// strategies) price vectors are reused across consecutive windows whose
@@ -189,6 +199,14 @@ type Engine struct {
 	// afterwards).
 	restored       bool
 	restoredPeriod int
+	restoredWALLSN uint64 // checkpoint's recorded WAL position (wal_lsn)
+
+	// Write-ahead log (Config.WAL). walMu serializes append + apply so the
+	// log order is the apply order; walReady (guarded by walMu) blocks
+	// Submit until a non-empty log has been replayed through RecoverWAL.
+	wal      *wal.Log
+	walMu    sync.Mutex
+	walReady bool
 
 	latMu sync.Mutex
 	p50   *stats.PSquare
@@ -232,6 +250,12 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{cfg: cfg, space: space, started: time.Now()} //lint:detsource process start time feeds throughput metrics only
 	e.p50, _ = stats.NewPSquare(0.5)
 	e.p99, _ = stats.NewPSquare(0.99)
+	if cfg.WAL != nil {
+		e.wal = cfg.WAL
+		// An empty log needs no recovery; one with history must be replayed
+		// (RecoverWAL) before new appends may extend it.
+		e.walReady = e.wal.LastLSN() == 0
+	}
 
 	if cfg.Shards <= 0 {
 		s := newShard(0, e, newStrat(0))
@@ -306,6 +330,9 @@ func (e *Engine) Submit(ev Event) error {
 		return ErrClosed
 	}
 	ev.at = time.Now() //lint:detsource arrival stamp feeds latency metrics; replay decisions carry event-time periods
+	if e.wal != nil {
+		return e.submitWAL(ev, true)
+	}
 	e.events.Add(1)
 	if e.det != nil {
 		e.det.handle(ev)
@@ -329,6 +356,9 @@ func (e *Engine) TrySubmit(ev Event) error {
 		return ErrClosed
 	}
 	ev.at = time.Now() //lint:detsource arrival stamp feeds latency metrics; replay decisions carry event-time periods
+	if e.wal != nil {
+		return e.submitWAL(ev, false)
+	}
 	if e.det != nil {
 		e.events.Add(1)
 		e.det.handle(ev)

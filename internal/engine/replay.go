@@ -49,6 +49,14 @@ type ReplayOpts struct {
 	// submitted — the hook cmd/serve uses to write periodic checkpoints. A
 	// returned error aborts the replay.
 	AfterPeriod func(period int) error
+	// SkipEvents suppresses the first N emitted events without changing the
+	// stream's shape: the event-exact resume half of WAL recovery. Where
+	// From resumes at a period boundary (a checkpoint's granularity),
+	// SkipEvents = Stats().Events resumes mid-period, exactly past what the
+	// log replayed — the stream is deterministic, so skipping what the
+	// engine already holds continues the trace without loss or duplication.
+	// AfterPeriod hooks still fire for fully-skipped periods.
+	SkipEvents int
 }
 
 // ReplayWith is the general replay driver: Replay and ReplayMobility are
@@ -81,6 +89,17 @@ func StreamEvents(in *market.Instance, window int, opts ReplayOpts, emit func(Ev
 	}
 	if window <= 0 {
 		window = 1
+	}
+	if opts.SkipEvents > 0 {
+		inner := emit
+		skip := opts.SkipEvents
+		emit = func(ev Event) error {
+			if skip > 0 {
+				skip--
+				return nil
+			}
+			return inner(ev)
+		}
 	}
 	tasksByPeriod := in.TasksByPeriod()
 	arrivals := in.WorkersByStart()

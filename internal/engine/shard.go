@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"time"
 
 	"spatialcrowd/internal/core"
@@ -141,8 +142,20 @@ func (s *shard) handle(ev Event) {
 		sub.done <- err
 	case kindRestore:
 		sub := ev.ctl.(*ctlShardRestore)
-		sub.done <- s.restore(sub.st)
+		sub.done <- s.restoreGuarded(sub.st)
 	}
+}
+
+// restoreGuarded backstops restore with a panic guard: a corrupt checkpoint
+// that slips past validation must surface as a Restore error, never kill
+// the shard goroutine.
+func (s *shard) restoreGuarded(st *shardCk) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("engine: corrupt checkpoint: shard %d restore panicked: %v", s.id, p)
+		}
+	}()
+	return s.restore(st)
 }
 
 // poolAppend admits a worker at the tail of the pool with a fresh arrival

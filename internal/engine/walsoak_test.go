@@ -1,0 +1,192 @@
+package engine
+
+// Randomized crash-recovery soak: where walcrash_test.go enumerates a fixed
+// grid of fault scenarios, this harness lets a seeded generator crash ONE
+// long-lived log many times in a row — random kill points, torn-write byte
+// budgets, and fsync faults, interleaved with randomly-cadenced checkpoints
+// that truncate the log mid-history — and demands that the final stitched
+// run is byte-identical to the uninterrupted reference. Every incarnation
+// recovers from whatever the previous crash left behind, so recovery bugs
+// that only show up on *already-recovered* state (double replay, checkpoint
+// of a restored engine, truncation after a lossy kill) have nowhere to hide.
+//
+// Environment knobs (CI pins them for reproduction):
+//
+//	SOAK_SEED          generator seed (default 1; shared with soak_test.go)
+//	SOAK_CRASHES       crash count per run (default 12; -short 5)
+//	SOAK_ARTIFACT_DIR  failing runs write soak-failure-seed.txt there
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"spatialcrowd/internal/wal"
+)
+
+func soakCrashes(t *testing.T) int {
+	if s := os.Getenv("SOAK_CRASHES"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	if testing.Short() {
+		return 5
+	}
+	return 12
+}
+
+func TestSoakCrashRecovery(t *testing.T) {
+	seed, crashes := soakSeed(), soakCrashes(t)
+	for _, shards := range []int{0, 4} {
+		shards := shards
+		t.Run("shards="+strconv.Itoa(shards), func(t *testing.T) {
+			reportFailureSeed(t, seed, crashes)
+			runCrashSoak(t, seed, crashes, shards)
+		})
+	}
+}
+
+func runCrashSoak(t *testing.T, seed int64, crashes, shards int) {
+	t.Helper()
+	in := churnBackends(t)["grid"]
+	cfg := func() Config {
+		c := ckConfig(t, in, shards, 2)
+		c.AutoDecide = false // quoted mode: crashes land mid-flight in open batches
+		return c
+	}
+	events := quotedStreamOf(in)
+
+	ref, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range events {
+		if err := ref.Submit(ev); err != nil {
+			t.Fatalf("reference event %d: %v", i, err)
+		}
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Stats()
+	if want.Revenue <= 0 {
+		t.Fatalf("reference run accrued no revenue: %+v", want)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	mem := wal.NewMemStore() // the "disk": survives every crash below
+	var ck []byte            // latest atomic snapshot, held outside the store
+	crashCount := 0
+	for k := 0; ; k++ {
+		// Scripted fault for this incarnation. The final one runs clean so
+		// the stream always finishes.
+		fpc := wal.Failpoints{LoseUnsynced: true}
+		pickKill := false
+		if final := k >= crashes; !final {
+			switch r := rng.Float64(); {
+			case r < 0.6:
+				pickKill = true // kill point chosen after recovery, below
+			case r < 0.85:
+				fpc.CrashAfterBytes = int64(512 + rng.Intn(100_000))
+			default:
+				fpc.FailSyncAt = 1 + rng.Intn(40)
+			}
+		}
+		fp := wal.NewFailpointStore(mem, fpc)
+		log, err := wal.Open(fp, walCrashOptions())
+		if err != nil {
+			t.Fatalf("incarnation %d: open: %v", k, err)
+		}
+		c := cfg()
+		c.WAL = log
+		eng, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap io.Reader
+		if ck != nil {
+			snap = bytes.NewReader(ck)
+		}
+		if _, err := eng.RecoverWAL(snap); err != nil {
+			t.Fatalf("incarnation %d: RecoverWAL: %v", k, err)
+		}
+		pos := int(eng.Stats().Events)
+		if pos > len(events) {
+			t.Fatalf("incarnation %d: recovered %d events, stream only has %d", k, pos, len(events))
+		}
+		killAt := -1
+		if pickKill {
+			killAt = pos + 1 + rng.Intn(len(events)-pos+1)
+		}
+		ckEvery := 0
+		if rng.Float64() < 0.7 {
+			ckEvery = 40 + rng.Intn(200)
+		}
+
+		crashed := false
+		for i := pos; i < len(events); i++ {
+			if i == killAt {
+				fp.Kill()
+				crashed = true
+				break
+			}
+			if err := eng.Submit(events[i]); err != nil {
+				if !errors.Is(err, wal.ErrInjected) {
+					t.Fatalf("incarnation %d event %d: non-injected error: %v", k, i, err)
+				}
+				crashed = true
+				break
+			}
+			if ckEvery > 0 && (i+1-pos)%ckEvery == 0 {
+				ckLSN := eng.WALLastLSN()
+				var buf bytes.Buffer
+				if err := eng.Checkpoint(&buf); err != nil {
+					if !errors.Is(err, wal.ErrInjected) {
+						t.Fatalf("incarnation %d event %d: checkpoint: %v", k, i, err)
+					}
+					crashed = true
+					break
+				}
+				ck = buf.Bytes()
+				if _, err := log.TruncateBefore(ckLSN + 1); err != nil && !errors.Is(err, wal.ErrInjected) {
+					t.Fatalf("incarnation %d event %d: truncate: %v", k, i, err)
+				}
+			}
+		}
+		if k >= crashes && !crashed {
+			// Clean final incarnation: close, then demand exactness.
+			if err := eng.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got := eng.Stats()
+			t.Logf("soak shards=%d seed=%d: %d crashes over %d incarnations, %d events, revenue %.1f",
+				shards, seed, crashCount, k+1, len(events), got.Revenue)
+			if got.Revenue != want.Revenue {
+				t.Fatalf("stitched revenue %v != uninterrupted %v (exact equality required)",
+					got.Revenue, want.Revenue)
+			}
+			if ledgerOf(got) != ledgerOf(want) {
+				t.Fatalf("lifecycle ledger mismatch:\nstitched      %+v\nuninterrupted %+v",
+					got.Lifecycle, want.Lifecycle)
+			}
+			if got.Events != want.Events || got.TasksPriced != want.TasksPriced ||
+				got.Accepted != want.Accepted || got.Served != want.Served || got.Batches != want.Batches {
+				t.Fatalf("funnel mismatch: stitched %d/%d/%d/%d/%d, uninterrupted %d/%d/%d/%d/%d",
+					got.Events, got.TasksPriced, got.Accepted, got.Served, got.Batches,
+					want.Events, want.TasksPriced, want.Accepted, want.Served, want.Batches)
+			}
+			log.Close()
+			return
+		}
+		if crashed {
+			crashCount++
+		}
+		fp.Kill() // idempotent; also downs incarnations whose fault never fired
+		_ = eng.Close()
+	}
+}

@@ -157,6 +157,18 @@ var metricFamilies = []metricFamily{
 		func(_ *Tenant, st engine.Stats, _ engine.QueueDepths) float64 { return float64(st.Cache.KDRebuilds) }),
 	counter("spatialcrowd_quote_stream_dropped_total", "SSE frames dropped on slow quote-stream subscribers.",
 		func(t *Tenant, _ engine.Stats, _ engine.QueueDepths) float64 { return float64(t.hub.Dropped()) }),
+	gauge("spatialcrowd_wal_last_lsn", "Last LSN appended to the tenant's write-ahead log (0 without a WAL).",
+		func(t *Tenant, _ engine.Stats, _ engine.QueueDepths) float64 { return float64(t.eng.WALLastLSN()) }),
+	gauge("spatialcrowd_wal_durable_lsn", "Last WAL LSN covered by a successful fsync (0 without a WAL).",
+		func(t *Tenant, _ engine.Stats, _ engine.QueueDepths) float64 { return float64(t.eng.WALDurableLSN()) }),
+	gauge("spatialcrowd_wal_segments", "Live segment files in the tenant's write-ahead log.",
+		func(t *Tenant, _ engine.Stats, _ engine.QueueDepths) float64 {
+			return float64(t.eng.WALStats().Segments)
+		}),
+	gauge("spatialcrowd_wal_active_segment_bytes", "Bytes in the write-ahead log's active segment.",
+		func(t *Tenant, _ engine.Stats, _ engine.QueueDepths) float64 {
+			return float64(t.eng.WALStats().ActiveSize)
+		}),
 	gauge("spatialcrowd_events_per_second", "Engine event throughput since start.",
 		func(_ *Tenant, st engine.Stats, _ engine.QueueDepths) float64 { return st.EventsPerSec }),
 	gauge("spatialcrowd_uptime_seconds", "Engine lifetime (start to close, or to now).",

@@ -55,11 +55,14 @@ type Config struct {
 // IngestResult is the JSON body of every ingest response. Accepted counts
 // events durably handed to the engine in this request; a client that gets
 // 429 resumes its stream after skipping that many events — the retry
-// protocol that makes backpressure lossless end to end.
+// protocol that makes backpressure lossless end to end. For WAL-backed
+// tenants the handlers fsync before answering, so Accepted events are
+// crash-durable and DurableLSN is the log position that covers them.
 type IngestResult struct {
 	Accepted     int     `json:"accepted"`
 	Error        string  `json:"error,omitempty"`
 	RetryAfterMS float64 `json:"retry_after_ms,omitempty"`
+	DurableLSN   uint64  `json:"durable_lsn,omitempty"`
 }
 
 // Server hosts the tenant registry and implements http.Handler.
@@ -221,9 +224,9 @@ func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
 	}
 	switch err := s.submitAdmitted(t, ev); err {
 	case nil:
-		writeJSON(w, http.StatusAccepted, IngestResult{Accepted: 1})
+		s.finishIngest(w, t, http.StatusAccepted, IngestResult{Accepted: 1})
 	case engine.ErrBusy:
-		s.writeBusy(w, IngestResult{})
+		s.writeBusy(w, t, IngestResult{})
 	case errDraining, engine.ErrClosed:
 		writeJSON(w, http.StatusServiceUnavailable, IngestResult{Error: "draining"})
 	default:
@@ -247,13 +250,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if err := dec.Decode(&we); err == io.EOF {
 			break
 		} else if err != nil {
-			writeJSON(w, http.StatusBadRequest,
+			s.finishIngest(w, t, http.StatusBadRequest,
 				IngestResult{Accepted: accepted, Error: fmt.Sprintf("event %d: %v", accepted+1, err)})
 			return
 		}
 		ev, err := we.Event()
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest,
+			s.finishIngest(w, t, http.StatusBadRequest,
 				IngestResult{Accepted: accepted, Error: fmt.Sprintf("event %d: %v", accepted+1, err)})
 			return
 		}
@@ -261,22 +264,42 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		case nil:
 			accepted++
 		case engine.ErrBusy:
-			s.writeBusy(w, IngestResult{Accepted: accepted})
+			s.writeBusy(w, t, IngestResult{Accepted: accepted})
 			return
 		case errDraining, engine.ErrClosed:
-			writeJSON(w, http.StatusServiceUnavailable, IngestResult{Accepted: accepted, Error: "draining"})
+			s.finishIngest(w, t, http.StatusServiceUnavailable, IngestResult{Accepted: accepted, Error: "draining"})
 			return
 		default:
-			writeJSON(w, http.StatusBadRequest,
+			s.finishIngest(w, t, http.StatusBadRequest,
 				IngestResult{Accepted: accepted, Error: fmt.Sprintf("event %d: %v", accepted+1, err)})
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, IngestResult{Accepted: accepted})
+	s.finishIngest(w, t, http.StatusOK, IngestResult{Accepted: accepted})
 }
 
-// writeBusy answers 429 with the advisory Retry-After.
-func (s *Server) writeBusy(w http.ResponseWriter, res IngestResult) {
+// finishIngest writes an ingest response whose Accepted count a client may
+// act on as a resume cursor — so for WAL-backed tenants it first runs the
+// group-commit barrier, downgrading to 500 if durability cannot be
+// promised. Every terminal path of the ingest handlers funnels through
+// here: an acknowledged event count is never weaker than an fsync.
+func (s *Server) finishIngest(w http.ResponseWriter, t *Tenant, code int, res IngestResult) {
+	if res.Accepted > 0 {
+		if err := t.syncDurable(); err != nil {
+			res.Error = err.Error()
+			writeJSON(w, http.StatusInternalServerError, res)
+			return
+		}
+		res.DurableLSN = t.durableLSN()
+	}
+	writeJSON(w, code, res)
+}
+
+// writeBusy answers 429 with the advisory Retry-After. The Accepted count
+// in a 429 is precisely the client's resume offset, so it passes through
+// the same durability barrier as a success: on a WAL-backed tenant the
+// offset is backed by an fsynced LSN before the client ever sees it.
+func (s *Server) writeBusy(w http.ResponseWriter, t *Tenant, res IngestResult) {
 	res.Error = "ingest queue full"
 	res.RetryAfterMS = float64(s.retryAfter) / float64(time.Millisecond)
 	secs := int(s.retryAfter / time.Second)
@@ -284,7 +307,7 @@ func (s *Server) writeBusy(w http.ResponseWriter, res IngestResult) {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeJSON(w, http.StatusTooManyRequests, res)
+	s.finishIngest(w, t, http.StatusTooManyRequests, res)
 }
 
 // handleQuote long-polls the decision for one task ID. ?timeout_ms bounds

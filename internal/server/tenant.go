@@ -2,12 +2,15 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sync"
 	"sync/atomic"
 
 	"spatialcrowd/internal/engine"
+	"spatialcrowd/internal/wal"
 )
 
 // tenantNameRE constrains tenant names to characters that are safe in URL
@@ -34,6 +37,19 @@ type TenantConfig struct {
 	// QuoteCache overrides the per-generation recent-quote cache size
 	// (default 65536 entries; two generations live at once).
 	QuoteCache int
+	// WALDir, when non-empty, gives the tenant a durable write-ahead log in
+	// that directory: every accepted event is appended (and group-commit
+	// fsynced) before the HTTP response, so an acknowledged event survives
+	// a crash. On startup the tenant auto-recovers — the newest checkpoint
+	// (RestoreFrom, or CheckpointPath if it exists on disk) plus the WAL
+	// tail replayed past it.
+	WALDir string
+	// WALSyncEvery batches fsyncs: the log syncs after this many appends
+	// (and at every ingest acknowledgement — the group-commit barrier).
+	// <= 1 fsyncs every append.
+	WALSyncEvery int
+	// WALSegmentBytes caps segment size before rotation (default 16 MiB).
+	WALSegmentBytes int64
 }
 
 // Tenant is one running city: engine + quote hub + ingest accounting.
@@ -42,6 +58,7 @@ type Tenant struct {
 	eng      *engine.Engine
 	hub      *quoteHub
 	ckptPath string
+	wlog     *wal.Log // nil without WALDir; owned by the tenant, closed on drain
 
 	// ingestMu serializes ingestion against drain: handlers hold it shared
 	// around Submit calls; Drain takes it exclusively so the checkpoint
@@ -75,12 +92,61 @@ func newTenant(cfg TenantConfig) (*Tenant, error) {
 			chained(d)
 		}
 	}
+	if cfg.WALDir != "" {
+		st, err := wal.NewFileStore(cfg.WALDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %q: wal dir: %w", cfg.Name, err)
+		}
+		opt := wal.Options{SegmentBytes: cfg.WALSegmentBytes}
+		if cfg.WALSyncEvery > 1 {
+			opt.Sync = wal.SyncBatch
+			opt.BatchAppends = cfg.WALSyncEvery
+		}
+		log, err := wal.Open(st, opt)
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %q: opening wal: %w", cfg.Name, err)
+		}
+		t.wlog = log
+		ecfg.WAL = log
+	}
 	eng, err := engine.New(ecfg)
 	if err != nil {
+		t.closeWAL()
 		return nil, fmt.Errorf("server: tenant %q: %w", cfg.Name, err)
 	}
-	if cfg.RestoreFrom != "" {
-		f, err := os.Open(cfg.RestoreFrom)
+
+	// Pick the snapshot to start from: an explicit RestoreFrom wins;
+	// otherwise a WAL-backed tenant auto-recovers from its own last
+	// checkpoint when one exists on disk.
+	snapPath := cfg.RestoreFrom
+	if snapPath == "" && t.wlog != nil && cfg.CheckpointPath != "" {
+		if _, err := os.Stat(cfg.CheckpointPath); err == nil {
+			snapPath = cfg.CheckpointPath
+		}
+	}
+	if t.wlog != nil {
+		var snap io.Reader
+		var f *os.File
+		if snapPath != "" {
+			f, err = os.Open(snapPath)
+			if err != nil {
+				eng.Close()
+				t.closeWAL()
+				return nil, fmt.Errorf("server: tenant %q: %w", cfg.Name, err)
+			}
+			snap = f
+		}
+		_, err = eng.RecoverWAL(snap)
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			eng.Close()
+			t.closeWAL()
+			return nil, fmt.Errorf("server: tenant %q: wal recovery (snapshot %q): %w", cfg.Name, snapPath, err)
+		}
+	} else if snapPath != "" {
+		f, err := os.Open(snapPath)
 		if err != nil {
 			eng.Close()
 			return nil, fmt.Errorf("server: tenant %q: %w", cfg.Name, err)
@@ -89,12 +155,20 @@ func newTenant(cfg TenantConfig) (*Tenant, error) {
 		f.Close()
 		if err != nil {
 			eng.Close()
-			return nil, fmt.Errorf("server: tenant %q: restoring %s: %w", cfg.Name, cfg.RestoreFrom, err)
+			return nil, fmt.Errorf("server: tenant %q: restoring %s: %w", cfg.Name, snapPath, err)
 		}
 	}
 	t.eng = eng
 	t.det = eng.Shards() == 0
 	return t, nil
+}
+
+// closeWAL releases the tenant's log handle (nil-safe, idempotent enough
+// for the error paths that call it before the tenant ever served).
+func (t *Tenant) closeWAL() {
+	if t.wlog != nil {
+		t.wlog.Close()
+	}
 }
 
 // Name reports the tenant's routing name.
@@ -132,7 +206,32 @@ func (t *Tenant) submit(ev engine.Event) error {
 	return nil
 }
 
-var errDraining = fmt.Errorf("server: tenant draining")
+// syncDurable is the group-commit barrier handlers place before answering
+// an ingest request that accepted events: on return every acknowledged
+// event is fsynced, so "accepted" always means "survives a crash". Nil
+// without a WAL. Concurrent requests coalesce — one fsync covers every
+// append racing with it.
+func (t *Tenant) syncDurable() error {
+	if t.wlog == nil {
+		return nil
+	}
+	if err := t.eng.SyncWAL(); err != nil {
+		return fmt.Errorf("%w: %v", errWALSync, err)
+	}
+	return nil
+}
+
+// durableLSN reports the tenant's last fsynced WAL position (0 without a
+// WAL) — the resume cursor ingest responses hand back to clients.
+func (t *Tenant) durableLSN() uint64 { return t.eng.WALDurableLSN() }
+
+var (
+	errDraining = fmt.Errorf("server: tenant draining")
+	// errWALSync marks a failed durability barrier: the engine applied the
+	// events but could not make them crash-safe. The tenant's log is
+	// poisoned (all later appends fail) — it needs a drain + recovery.
+	errWALSync = fmt.Errorf("server: wal sync failed")
+)
 
 // drain quiesces the tenant: new ingestion is refused (503), in-flight
 // submits finish, a checkpoint is written while the engine still runs (the
@@ -148,10 +247,24 @@ func (t *Tenant) drain() error {
 	defer t.ingestMu.Unlock()
 	var err error
 	if t.ckptPath != "" {
+		ckLSN := t.eng.WALLastLSN()
 		err = writeCheckpointAtomic(t.eng, t.ckptPath)
+		if err == nil && t.wlog != nil {
+			// The snapshot now covers everything up to ckLSN; reclaim the
+			// sealed segments below it. Startup recovery replays only the
+			// tail past the snapshot.
+			if _, terr := t.wlog.TruncateBefore(ckLSN + 1); terr != nil {
+				err = terr
+			}
+		}
 	}
 	if cerr := t.eng.Close(); cerr != nil && cerr != engine.ErrClosed && err == nil {
 		err = cerr
+	}
+	if t.wlog != nil {
+		if werr := t.wlog.Close(); werr != nil && werr != wal.ErrClosed && err == nil {
+			err = werr
+		}
 	}
 	t.hub.Close()
 	if err != nil {
@@ -162,8 +275,13 @@ func (t *Tenant) drain() error {
 
 // writeCheckpointAtomic replaces path with a fresh engine checkpoint via
 // the write-temp-then-rename dance, so a crash mid-write cannot corrupt the
-// last good checkpoint. Shared with cmd/serve's periodic and
-// signal-triggered checkpoints.
+// last good checkpoint. The temp file is fsynced before the rename and the
+// parent directory after it: without the first, the rename can install a
+// name whose bytes are still in the page cache (a crash then leaves a
+// corrupt "good" checkpoint); without the second, the rename itself can
+// vanish and resurrect a stale snapshot — fatal once the WAL has been
+// truncated past it. Shared with cmd/serve's periodic and signal-triggered
+// checkpoints.
 func writeCheckpointAtomic(eng *engine.Engine, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -175,11 +293,25 @@ func writeCheckpointAtomic(eng *engine.Engine, path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
 }
 
 // WriteCheckpointAtomic is the exported form of the atomic checkpoint

@@ -1,0 +1,174 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spatialcrowd/internal/engine"
+	"spatialcrowd/internal/server"
+)
+
+// ingestChunks drives evs through POST /ingest in fixed-size chunks,
+// resuming after 429 from the durable Accepted offset — the client half of
+// the lossless-backpressure protocol. It also asserts that every
+// event-accepting response on a WAL-backed tenant carries a DurableLSN.
+func ingestChunks(t *testing.T, baseURL, tenant string, evs []engine.Event, wantLSN bool) {
+	t.Helper()
+	const chunk = 400
+	i := 0
+	for i < len(evs) {
+		end := i + chunk
+		if end > len(evs) {
+			end = len(evs)
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, ev := range evs[i:end] {
+			we, err := server.FromEvent(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := enc.Encode(we); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp, err := http.Post(baseURL+"/v1/"+tenant+"/ingest", "application/x-ndjson", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res server.IngestResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if res.Accepted != end-i {
+				t.Fatalf("200 with %d/%d accepted", res.Accepted, end-i)
+			}
+		case http.StatusTooManyRequests:
+			time.Sleep(2 * time.Millisecond)
+		default:
+			t.Fatalf("ingest status %d: %s", resp.StatusCode, res.Error)
+		}
+		if wantLSN && res.Accepted > 0 && res.DurableLSN == 0 {
+			t.Fatalf("accepted %d events but response carries no durable LSN", res.Accepted)
+		}
+		i += res.Accepted
+	}
+}
+
+// TestWALRecoveryOverHTTP proves the server-level durability contract in
+// both failure modes:
+//
+//   - crash: the first server is abandoned mid-stream with NO drain and no
+//     checkpoint; a second server on the same WAL directory must rebuild
+//     every acknowledged event by replaying the log alone.
+//   - drain: the first server drains (atomic checkpoint + WAL truncation);
+//     the second recovers from snapshot + tail.
+//
+// In both modes the stitched run must reproduce the uninterrupted run's
+// revenue and lifecycle counters exactly.
+func TestWALRecoveryOverHTTP(t *testing.T) {
+	in := testInstance(t, 1500, 500, 60)
+	want := inProcessStats(t, flatEngineConfig(in, 0), in, engine.ReplayOpts{})
+	if want.Revenue <= 0 {
+		t.Fatalf("reference revenue %v, want > 0", want.Revenue)
+	}
+
+	// Collect the canonical stream with the same window the tenant engine
+	// will use, so the HTTP run submits the identical event sequence.
+	probe, err := engine.New(flatEngineConfig(in, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []engine.Event
+	if err := engine.StreamEvents(in, probe.Window(), engine.ReplayOpts{}, func(ev engine.Event) error {
+		events = append(events, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	probe.Close()
+	cut := len(events) / 2
+
+	for _, mode := range []string{"crash", "drain"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			walDir := filepath.Join(dir, "wal")
+			ckpt := filepath.Join(dir, "city.ckpt")
+			tcfg := func() server.TenantConfig {
+				return server.TenantConfig{
+					Name:           "city",
+					Engine:         flatEngineConfig(in, 0),
+					CheckpointPath: ckpt,
+					WALDir:         walDir,
+					WALSyncEvery:   16,
+					// Tiny segments so the run rotates several times and the
+					// drain-time truncation actually reclaims files.
+					WALSegmentBytes: 8 << 10,
+				}
+			}
+
+			srv1, err := server.New(server.Config{Tenants: []server.TenantConfig{tcfg()}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs1 := httptest.NewServer(srv1)
+			ingestChunks(t, hs1.URL, "city", events[:cut], true)
+			hs1.Close()
+			if mode == "drain" {
+				if err := srv1.Drain(); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := os.Stat(ckpt); err != nil {
+					t.Fatalf("drain left no checkpoint: %v", err)
+				}
+			}
+			// In crash mode srv1 is simply abandoned: no drain, no
+			// checkpoint, engines still holding their state in memory. The
+			// only thing the second server can use is the WAL directory.
+
+			srv2, err := server.New(server.Config{Tenants: []server.TenantConfig{tcfg()}})
+			if err != nil {
+				t.Fatalf("recovery startup: %v", err)
+			}
+			tn, _ := srv2.Tenant("city")
+			if got := tn.Engine().Stats().Events; got != int64(cut) {
+				t.Fatalf("recovered %d events, acknowledged %d", got, cut)
+			}
+			hs2 := httptest.NewServer(srv2)
+			ingestChunks(t, hs2.URL, "city", events[cut:], true)
+			hs2.Close()
+			if err := srv2.Drain(); err != nil {
+				t.Fatal(err)
+			}
+
+			got := tn.Engine().Stats()
+			if got.Revenue != want.Revenue {
+				t.Errorf("recovered revenue %.9f != uninterrupted %.9f", got.Revenue, want.Revenue)
+			}
+			if got.Events != want.Events || got.Served != want.Served || got.Accepted != want.Accepted {
+				t.Errorf("events/served/accepted %d/%d/%d != %d/%d/%d",
+					got.Events, got.Served, got.Accepted, want.Events, want.Served, want.Accepted)
+			}
+			if got.Lifecycle != want.Lifecycle {
+				t.Errorf("lifecycle mismatch:\nrecovered     %+v\nuninterrupted %+v", got.Lifecycle, want.Lifecycle)
+			}
+			if mode == "drain" {
+				// The drain truncated the log past the checkpoint: the
+				// retained history must start after LSN 1.
+				if st := tn.Engine().WALStats(); st.FirstLSN <= 1 {
+					t.Errorf("drain did not truncate the WAL: stats %+v", st)
+				}
+			}
+		})
+	}
+}

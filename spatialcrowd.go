@@ -54,6 +54,7 @@ import (
 	"spatialcrowd/internal/sim"
 	"spatialcrowd/internal/spatial"
 	"spatialcrowd/internal/stats"
+	"spatialcrowd/internal/wal"
 	"spatialcrowd/internal/window"
 	"spatialcrowd/internal/workload"
 )
@@ -253,6 +254,32 @@ type (
 // it runs deterministically in the caller's goroutine; otherwise events fan
 // out to per-shard goroutines that each own a subset of grid cells.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// WAL is the segmented, CRC32C-framed write-ahead event log. Attach one via
+// EngineConfig.WAL and every submitted event is appended (group-commit
+// fsynced per WALSyncEvery) before it is applied; after a crash, reopen the
+// directory, attach the log to a fresh engine, and call Engine.RecoverWAL
+// (optionally with a checkpoint reader) to rebuild the acknowledged state
+// exactly — then resume the stream with ReplayOpts.SkipEvents set to the
+// recovered Stats().Events. The dispatch server does all of this per tenant
+// automatically via TenantConfig.WALDir.
+type WAL = wal.Log
+
+// OpenFileWAL opens (creating if needed) a durable on-disk WAL in dir.
+// syncEvery > 1 batches fsyncs every that many appends (call Sync for a
+// durability barrier sooner); <= 1 fsyncs every append.
+func OpenFileWAL(dir string, syncEvery int) (*WAL, error) {
+	st, err := wal.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	opt := wal.Options{}
+	if syncEvery > 1 {
+		opt.Sync = wal.SyncBatch
+		opt.BatchAppends = syncEvery
+	}
+	return wal.Open(st, opt)
+}
 
 // ReplayInstance feeds a complete instance into the engine as the canonical
 // event stream (per period: a Tick, worker arrivals, task arrivals) and
