@@ -34,7 +34,9 @@ spatiallint:
 	$(GO) build -o $(CURDIR)/.bin/spatiallint ./cmd/spatiallint
 	$(GO) vet -vettool=$(CURDIR)/.bin/spatiallint ./...
 
-# fuzz gives the stats wire format a short adversarial shake; CI runs the
-# same leg on every push.
+# fuzz gives the wire formats a short adversarial shake — the stats JSON
+# round trip and the binary ingest frame decoder; CI runs the same legs on
+# every push.
 fuzz:
 	$(GO) test ./internal/engine -run FuzzStatsJSONRoundTrip -fuzz FuzzStatsJSONRoundTrip -fuzztime 10s
+	$(GO) test ./internal/wire -run FuzzWireFrameRoundTrip -fuzz FuzzWireFrameRoundTrip -fuzztime 10s

@@ -32,13 +32,16 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. bytes_per_op and allocs_per_op are
+// recorded unconditionally: omitempty on a float64 silently drops a
+// legitimate measured 0 (the zero-allocation benchmarks this gate exists to
+// protect), making the baseline indistinguishable from "not measured".
 type Result struct {
 	Name        string             `json:"name"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -82,7 +85,7 @@ func main() {
 
 	if *writePath != "" {
 		out := Baseline{
-			Note:    "committed perf baseline; regenerate with: go test -run xxx -bench 'EngineThroughput|ShardBatch|BipartiteBuild' -benchmem -benchtime 5x ./... | go run ./cmd/benchgate -write BENCH_engine.json",
+			Note:    "committed perf baseline; regenerate with: go test -run xxx -bench 'EngineThroughput$|ShardBatch$|BipartiteBuild|RoadSpaceDistContended$|RoadSpaceDistCached$|LowChurnWindow|KDIncremental|WALAppend|IngestLoopback' -benchmem -benchtime 0.5s ./... | go run ./cmd/benchgate -write BENCH_engine.json",
 			Results: results,
 		}
 		data, err := json.MarshalIndent(out, "", "  ")

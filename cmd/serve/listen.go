@@ -32,6 +32,7 @@ func buildServer(o *options, s *setup) (*server.Server, []string, error) {
 		tc := server.TenantConfig{
 			Name:   name,
 			Engine: engineConfig(o, s, !o.quoted),
+			Codec:  o.codec, // "" accepts both wire codecs
 		}
 		if o.ckptDir != "" {
 			tc.CheckpointPath = filepath.Join(o.ckptDir, name+".ckpt")
@@ -79,8 +80,12 @@ func runListen(o *options) error {
 	fmt.Printf("dispatch service on http://%s\n", ln.Addr())
 	fmt.Printf("tenants: %s (one engine each: %d shards, window %d, %s strategy)\n",
 		strings.Join(names, ", "), cfg.Shards, o.window, o.strategy)
-	fmt.Printf("spatial backend: %s (%d cells), mode: %s\n",
-		spatial.BackendName(s.sp), s.sp.NumCells(), mode)
+	codec := "json + binary"
+	if o.codec != "" {
+		codec = o.codec + " only"
+	}
+	fmt.Printf("spatial backend: %s (%d cells), mode: %s, ingest codec: %s\n",
+		spatial.BackendName(s.sp), s.sp.NumCells(), mode, codec)
 	if o.ckptDir != "" {
 		fmt.Printf("drain checkpoints: %s/<tenant>.ckpt\n", o.ckptDir)
 	}
@@ -174,10 +179,24 @@ func runSelftest(o *options) error {
 			refStats.Revenue, altStats.Revenue, refStats.Served, altStats.Served)
 	}
 
-	srv, err := server.New(server.Config{Tenants: []server.TenantConfig{{
-		Name:   "selftest",
-		Engine: engineConfig(o, s, true),
-	}}})
+	// One codec-restricted tenant per wire codec: the same trace streams
+	// over loopback twice, once as chunked NDJSON and once as binary batch
+	// frames, and BOTH must land on exactly the in-process revenue — which
+	// also proves the two codecs equal each other bit for bit.
+	codecs := []string{"json", "binary"}
+	primary := o.codec
+	if primary == "" {
+		primary = "json"
+	}
+	scfg := server.Config{}
+	for _, c := range codecs {
+		scfg.Tenants = append(scfg.Tenants, server.TenantConfig{
+			Name:   "selftest-" + c,
+			Engine: engineConfig(o, s, true),
+			Codec:  c,
+		})
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		return err
 	}
@@ -189,17 +208,23 @@ func runSelftest(o *options) error {
 	go hs.Serve(ln)
 	base := "http://" + ln.Addr().String()
 
-	fmt.Printf("selftest: %s, %d tasks / %d workers / %d periods, chunk %d\n",
-		base, len(s.in.Tasks), len(s.in.Workers), s.in.Periods, o.genChunk)
+	fmt.Printf("selftest: %s, %d tasks / %d workers / %d periods, chunk %d, codecs %s (primary %s)\n",
+		base, len(s.in.Tasks), len(s.in.Workers), s.in.Periods, o.genChunk,
+		strings.Join(codecs, "+"), primary)
 
-	rep, err := loadgen.Run(loadgen.Config{
-		BaseURL:     base,
-		Tenant:      "selftest",
-		ChunkEvents: o.genChunk,
-		Window:      o.window,
-	}, s.in)
-	if err != nil {
-		return fmt.Errorf("load generator: %w", err)
+	reps := make(map[string]loadgen.Report, len(codecs))
+	for _, c := range codecs {
+		rep, err := loadgen.Run(loadgen.Config{
+			BaseURL:     base,
+			Tenant:      "selftest-" + c,
+			Codec:       c,
+			ChunkEvents: o.genChunk,
+			Window:      o.window,
+		}, s.in)
+		if err != nil {
+			return fmt.Errorf("load generator (%s): %w", c, err)
+		}
+		reps[c] = rep
 	}
 
 	if err := srv.Drain(); err != nil {
@@ -211,20 +236,26 @@ func runSelftest(o *options) error {
 		return err
 	}
 
-	t, _ := srv.Tenant("selftest")
-	st := t.Engine().Stats()
-	fmt.Printf("selftest: %d events over loopback in %v (%.0f events/s, %d posts, %d rejections)\n",
-		rep.Events, rep.Duration.Round(time.Millisecond), rep.EventsPerSec, rep.Posts, rep.Rejections)
-	fmt.Printf("selftest: revenue http=%.6f in-process=%.6f, served %d/%d\n",
-		st.Revenue, refStats.Revenue, st.Served, refStats.Served)
-
-	if int64(rep.Events) != st.Events {
-		return fmt.Errorf("selftest: loadgen sent %d events, engine counted %d", rep.Events, st.Events)
+	for _, c := range codecs {
+		t, _ := srv.Tenant("selftest-" + c)
+		st := t.Engine().Stats()
+		rep := reps[c]
+		fmt.Printf("selftest[%s]: %d events over loopback in %v (%.0f events/s, %d posts, %d rejections)\n",
+			c, rep.Events, rep.Duration.Round(time.Millisecond), rep.EventsPerSec, rep.Posts, rep.Rejections)
+		fmt.Printf("selftest[%s]: revenue http=%.6f in-process=%.6f, served %d/%d\n",
+			c, st.Revenue, refStats.Revenue, st.Served, refStats.Served)
+		if int64(rep.Events) != st.Events {
+			return fmt.Errorf("selftest[%s]: loadgen sent %d events, engine counted %d", c, rep.Events, st.Events)
+		}
+		if st.Revenue != refStats.Revenue || st.Served != refStats.Served {
+			return fmt.Errorf("selftest[%s]: HTTP-ingested run diverged from in-process replay: revenue %.9f vs %.9f, served %d vs %d",
+				c, st.Revenue, refStats.Revenue, st.Served, refStats.Served)
+		}
 	}
-	if st.Revenue != refStats.Revenue || st.Served != refStats.Served {
-		return fmt.Errorf("selftest: HTTP-ingested run diverged from in-process replay: revenue %.9f vs %.9f, served %d vs %d",
-			st.Revenue, refStats.Revenue, st.Served, refStats.Served)
+	if j, b := reps["json"], reps["binary"]; j.EventsPerSec > 0 {
+		fmt.Printf("selftest: binary/json ingest speedup %.2fx (%s is the -codec primary)\n",
+			b.EventsPerSec/j.EventsPerSec, primary)
 	}
-	fmt.Println("selftest: PASS (exact revenue match, clean drain)")
+	fmt.Println("selftest: PASS (both codecs, exact revenue match, clean drain)")
 	return nil
 }

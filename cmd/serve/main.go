@@ -89,6 +89,7 @@ type options struct {
 	ckptDir  string
 	selftest bool
 	genChunk int
+	codec    string
 }
 
 func main() {
@@ -120,9 +121,16 @@ func main() {
 	flag.StringVar(&o.tenants, "tenants", "city", "comma-separated tenant (city) names for -listen, one isolated engine each")
 	flag.BoolVar(&o.quoted, "quoted", false, "network mode: quote prices and wait for decision events instead of auto-deciding from valuations")
 	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "network mode: write <dir>/<tenant>.ckpt on graceful drain (empty disables)")
-	flag.BoolVar(&o.selftest, "selftest", false, "loopback smoke test: start a server on a random port, drive it with the load generator, verify revenue against an in-process replay")
+	flag.BoolVar(&o.selftest, "selftest", false, "loopback smoke test: start a server on a random port, drive it with the load generator over BOTH wire codecs, verify revenue against an in-process replay")
 	flag.IntVar(&o.genChunk, "loadgen-chunk", 5000, "selftest load-generator events per POST")
+	flag.StringVar(&o.codec, "codec", "", "ingest wire codec: json | binary (network mode restricts every tenant to it — empty accepts both; selftest always verifies both and reports the selected one)")
 	flag.Parse()
+
+	switch o.codec {
+	case "", "json", "binary":
+	default:
+		fatal(fmt.Errorf("unknown -codec %q (want json or binary)", o.codec))
+	}
 
 	switch strings.ToLower(*amortize) {
 	case "on":

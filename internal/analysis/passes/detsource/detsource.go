@@ -48,6 +48,9 @@ var replayPackages = []string{
 	// framed during live submission and decoded during recovery, and both
 	// must be bit-identical runs of pure code.
 	"spatialcrowd/internal/wal",
+	// The canonical event codec underpins both the WAL and network ingest:
+	// encode/decode must be a pure bit-identical round trip.
+	"spatialcrowd/internal/wire",
 }
 
 // bannedTime are time-package functions that read the wall clock or

@@ -50,6 +50,7 @@ var scopePackages = []string{
 	"spatialcrowd/internal/engine",
 	"spatialcrowd/internal/core",
 	"spatialcrowd/internal/wal",
+	"spatialcrowd/internal/wire",
 }
 
 // persistMethod matches the method names making up the persistence seams:

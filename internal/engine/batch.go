@@ -1,0 +1,219 @@
+package engine
+
+// Batched submission: the ingest fast path hands a decoded batch of events
+// to the engine in ONE bounded-channel operation instead of N. A kindBatch
+// envelope carries the accepted events across the router channel; the router
+// unpacks it in order, so a batch is indistinguishable from the same events
+// submitted singly — same routing, same WAL order, same decisions.
+//
+// Admission stays bounded at batch granularity: an envelope occupies one
+// channel slot but represents many events, so the engine tracks the events
+// of not-yet-unpacked envelopes in batchPending and admits at most
+//
+//	cap(in) - len(in) - batchPending
+//
+// events per call. A batch that does not fit is accepted as a prefix —
+// TrySubmitBatch reports how many events were taken alongside ErrBusy, the
+// exact contract the HTTP server's 429-resume protocol exposes to clients
+// (the accepted count is the resume cursor).
+
+import (
+	"fmt"
+	"time"
+
+	"spatialcrowd/internal/wal"
+)
+
+// batchChunk caps how many events one envelope carries. A larger submitted
+// batch is split across envelopes: the router interleaves Tick broadcasts
+// and checkpoint barriers between envelopes, so one huge batch cannot stall
+// the control plane, and pooled envelope slices stay small enough to recycle.
+const batchChunk = 1024
+
+func (e *Engine) getBatchSlice() *[]Event {
+	if p, ok := e.batchPool.Get().(*[]Event); ok {
+		return p
+	}
+	s := make([]Event, 0, batchChunk)
+	return &s
+}
+
+// dispatchBatch unpacks one kindBatch envelope in the router goroutine:
+// events dispatch in submission order, then the envelope's budget is
+// released and its slice recycled.
+func (e *Engine) dispatchBatch(ev Event) {
+	p := ev.ctl.(*[]Event)
+	for _, sub := range *p {
+		e.dispatch(sub)
+	}
+	e.batchPending.Add(-int64(len(*p)))
+	*p = (*p)[:0]
+	e.batchPool.Put(p)
+}
+
+// TrySubmitBatch submits up to len(evs) events in one engine operation and
+// reports how many were accepted — always a prefix of evs, applied in order.
+// When the router's budget cannot take the whole batch it accepts what fits
+// and returns the count with ErrBusy (0 when nothing fit), so the caller
+// resumes from evs[accepted:] after backing off; with a WAL attached every
+// accepted event is logged (append-before-apply) before the call returns,
+// exactly like single-event submission. Deterministic mode processes inline
+// and never reports ErrBusy. An invalid kind anywhere in evs rejects the
+// whole batch before any event is accepted.
+func (e *Engine) TrySubmitBatch(evs []Event) (int, error) {
+	return e.submitBatch(evs, false)
+}
+
+// SubmitBatch is TrySubmitBatch without ErrBusy: it blocks until every event
+// is accepted (or the engine closes), retrying the unaccepted suffix as
+// router budget frees up.
+func (e *Engine) SubmitBatch(evs []Event) error {
+	_, err := e.submitBatch(evs, true)
+	return err
+}
+
+func (e *Engine) submitBatch(evs []Event, block bool) (int, error) {
+	for i := range evs {
+		if evs[i].Kind == 0 || evs[i].Kind > KindTick {
+			return 0, fmt.Errorf("engine: batch event %d has invalid kind %d", i, evs[i].Kind)
+		}
+	}
+	accepted := 0
+	for accepted < len(evs) {
+		chunk := evs[accepted:]
+		if len(chunk) > batchChunk {
+			chunk = chunk[:batchChunk]
+		}
+		n, err := e.submitChunk(chunk)
+		accepted += n
+		switch {
+		case err != nil && err != ErrBusy:
+			return accepted, err
+		case n == len(chunk):
+			// Full chunk accepted; on to the next envelope.
+		case !block:
+			return accepted, ErrBusy
+		case n == 0:
+			// Budget exhausted: wait for the router to drain. The sleep is
+			// backpressure pacing, not a correctness timing source.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	return accepted, nil
+}
+
+// submitChunk admits one envelope's worth of events (len(chunk) <=
+// batchChunk), returning the accepted prefix length.
+func (e *Engine) submitChunk(chunk []Event) (int, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	if len(chunk) == 0 {
+		return 0, nil
+	}
+	now := time.Now() //lint:detsource arrival stamp feeds latency metrics; replay decisions carry event-time periods
+	if e.wal != nil {
+		return e.submitChunkWAL(chunk, now)
+	}
+	if e.det != nil {
+		for _, ev := range chunk {
+			ev.at = now
+			e.det.handle(ev)
+		}
+		e.events.Add(int64(len(chunk)))
+		return len(chunk), nil
+	}
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	n := e.batchBudget(len(chunk))
+	if n == 0 {
+		return 0, ErrBusy
+	}
+	p := e.getBatchSlice()
+	*p = append(*p, chunk[:n]...)
+	for i := range *p {
+		(*p)[i].at = now
+	}
+	e.batchPending.Add(int64(n))
+	select {
+	case e.in <- Event{Kind: kindBatch, ctl: p}:
+		e.events.Add(int64(n))
+		return n, nil
+	default:
+		// A single-event submitter took the last channel slot between the
+		// budget check and the send: roll back and report busy.
+		e.batchPending.Add(-int64(n))
+		*p = (*p)[:0]
+		e.batchPool.Put(p)
+		return 0, ErrBusy
+	}
+}
+
+// submitChunkWAL is submitChunk under Config.WAL: append every accepted
+// event before any applies, under the same append-order-is-apply-order lock
+// as single-event submission. walMu guarantees the envelope's channel slot
+// cannot be stolen between the budget check and the send (all WAL-mode
+// submitters hold walMu; the router only drains), so a logged event is
+// always delivered.
+func (e *Engine) submitChunkWAL(chunk []Event, now time.Time) (int, error) {
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	if !e.walReady {
+		return 0, fmt.Errorf("engine: WAL holds unreplayed records; run RecoverWAL before submitting")
+	}
+	if e.det != nil {
+		for i, ev := range chunk {
+			ev.at = now
+			if _, err := e.wal.Append(wal.RecEvent, encodeEvent(ev)); err != nil {
+				// Events before i were logged AND applied: the accepted
+				// prefix stays consistent with the log.
+				return i, fmt.Errorf("engine: wal append: %w", err)
+			}
+			e.events.Add(1)
+			e.det.handle(ev)
+		}
+		return len(chunk), nil
+	}
+	n := e.batchBudget(len(chunk))
+	if n == 0 {
+		return 0, ErrBusy
+	}
+	p := e.getBatchSlice()
+	var apErr error
+	for i := 0; i < n; i++ {
+		ev := chunk[i]
+		ev.at = now
+		if _, err := e.wal.Append(wal.RecEvent, encodeEvent(ev)); err != nil {
+			// Truncate the accepted prefix to what was logged, so the log
+			// and the applied stream stay identical.
+			apErr = fmt.Errorf("engine: wal append: %w", err)
+			n = i
+			break
+		}
+		*p = append(*p, ev)
+	}
+	if n == 0 {
+		*p = (*p)[:0]
+		e.batchPool.Put(p)
+		return 0, apErr
+	}
+	e.batchPending.Add(int64(n))
+	e.events.Add(int64(n))
+	e.in <- Event{Kind: kindBatch, ctl: p}
+	return n, apErr
+}
+
+// batchBudget reports how many of want events the router can take now:
+// free channel slots minus events still packed in undispatched envelopes,
+// and at least one slot for this call's own envelope (callers hold batchMu
+// or walMu, so no other batch can spend the same budget).
+func (e *Engine) batchBudget(want int) int {
+	avail := cap(e.in) - len(e.in) - int(e.batchPending.Load())
+	if avail <= 0 {
+		return 0
+	}
+	if want > avail {
+		want = avail
+	}
+	return want
+}

@@ -208,6 +208,16 @@ type Engine struct {
 	walMu    sync.Mutex
 	walReady bool
 
+	// Batched ingest (TrySubmitBatch). batchMu serializes admission so two
+	// batch submitters cannot both spend the same budget; batchPending counts
+	// events accepted into kindBatch envelopes the router has not yet
+	// unpacked, keeping total buffered events bounded even though an envelope
+	// occupies one channel slot. batchPool recycles envelope slices so a
+	// steady ingest stream allocates no per-batch memory.
+	batchMu      sync.Mutex
+	batchPending atomic.Int64
+	batchPool    sync.Pool
+
 	latMu sync.Mutex
 	p50   *stats.PSquare
 	p99   *stats.PSquare
@@ -435,66 +445,77 @@ func (e *Engine) route() {
 	// flush at ticks).
 	e.routerPeriod = math.MinInt
 	for ev := range e.in {
-		switch ev.Kind {
-		case KindTick:
-			if ev.Period > e.routerPeriod {
-				e.routerPeriod = ev.Period
-			}
-			e.pruneRoutes(ev.Period)
-			for _, s := range e.shards {
-				s.in <- ev
-			}
-		case KindTaskArrival:
-			si := e.shardOfCell(e.space.CellOf(ev.Task.Origin))
-			if !e.cfg.AutoDecide {
-				e.taskShardCur[ev.Task.ID] = si
-			}
-			e.shards[si].in <- ev
-		case KindWorkerOnline:
-			si := e.shardOfCell(e.space.CellOf(ev.Worker.Loc))
-			if prev, dup := e.workers.online(ev.Worker.ID, si, e.routerPeriod); dup {
-				// Duplicate online: the worker is (still) attributed to a
-				// shard. Retire the stale copy there before admitting the
-				// fresh one, so no ghost supply survives in the old shard;
-				// a same-shard duplicate is replaced in place by the shard.
-				e.late.Add(1)
-				e.lcDuplicates.Add(1)
-				if prev.shard != si {
-					e.shards[prev.shard].in <- Event{Kind: kindEvict, WorkerID: ev.Worker.ID, at: ev.at}
-				}
-			}
-			e.syncTableGauges()
-			e.shards[si].in <- ev
-		case KindWorkerOffline:
-			if ent, ok := e.workers.get(ev.WorkerID); ok {
-				e.workers.retire(ev.WorkerID)
-				e.syncTableGauges()
-				e.shards[ent.shard].in <- ev
-			} else {
-				e.late.Add(1)
-			}
-		case KindWorkerMove:
-			e.routeMove(ev)
-		case KindAcceptDecision:
-			si, ok := e.taskShardCur[ev.TaskID]
-			if ok {
-				delete(e.taskShardCur, ev.TaskID)
-			} else if si, ok = e.taskShardPrev[ev.TaskID]; ok {
-				delete(e.taskShardPrev, ev.TaskID)
-			}
-			if ok {
-				e.shards[si].in <- ev
-			} else {
-				e.late.Add(1)
-			}
-		case kindCheckpoint:
-			e.routerCheckpoint(ev.ctl.(*ctlCheckpoint))
-		case kindRestore:
-			e.routerRestore(ev.ctl.(*ctlRestore))
+		if ev.Kind == kindBatch {
+			e.dispatchBatch(ev)
+			continue
 		}
+		e.dispatch(ev)
 	}
 	for _, s := range e.shards {
 		close(s.in)
+	}
+}
+
+// dispatch forwards one event to the shard(s) owning it (router goroutine
+// only): the per-event half of route, shared by the single-event path and
+// the kindBatch envelope unpacker.
+func (e *Engine) dispatch(ev Event) {
+	switch ev.Kind {
+	case KindTick:
+		if ev.Period > e.routerPeriod {
+			e.routerPeriod = ev.Period
+		}
+		e.pruneRoutes(ev.Period)
+		for _, s := range e.shards {
+			s.in <- ev
+		}
+	case KindTaskArrival:
+		si := e.shardOfCell(e.space.CellOf(ev.Task.Origin))
+		if !e.cfg.AutoDecide {
+			e.taskShardCur[ev.Task.ID] = si
+		}
+		e.shards[si].in <- ev
+	case KindWorkerOnline:
+		si := e.shardOfCell(e.space.CellOf(ev.Worker.Loc))
+		if prev, dup := e.workers.online(ev.Worker.ID, si, e.routerPeriod); dup {
+			// Duplicate online: the worker is (still) attributed to a
+			// shard. Retire the stale copy there before admitting the
+			// fresh one, so no ghost supply survives in the old shard;
+			// a same-shard duplicate is replaced in place by the shard.
+			e.late.Add(1)
+			e.lcDuplicates.Add(1)
+			if prev.shard != si {
+				e.shards[prev.shard].in <- Event{Kind: kindEvict, WorkerID: ev.Worker.ID, at: ev.at}
+			}
+		}
+		e.syncTableGauges()
+		e.shards[si].in <- ev
+	case KindWorkerOffline:
+		if ent, ok := e.workers.get(ev.WorkerID); ok {
+			e.workers.retire(ev.WorkerID)
+			e.syncTableGauges()
+			e.shards[ent.shard].in <- ev
+		} else {
+			e.late.Add(1)
+		}
+	case KindWorkerMove:
+		e.routeMove(ev)
+	case KindAcceptDecision:
+		si, ok := e.taskShardCur[ev.TaskID]
+		if ok {
+			delete(e.taskShardCur, ev.TaskID)
+		} else if si, ok = e.taskShardPrev[ev.TaskID]; ok {
+			delete(e.taskShardPrev, ev.TaskID)
+		}
+		if ok {
+			e.shards[si].in <- ev
+		} else {
+			e.late.Add(1)
+		}
+	case kindCheckpoint:
+		e.routerCheckpoint(ev.ctl.(*ctlCheckpoint))
+	case kindRestore:
+		e.routerRestore(ev.ctl.(*ctlRestore))
 	}
 }
 

@@ -55,6 +55,10 @@ const (
 	// kindRestore installs a previously checkpointed state, before any
 	// market event has been submitted.
 	kindRestore
+	// kindBatch is an envelope carrying a slice of public events accepted by
+	// one TrySubmitBatch call: N events cross the router channel in one send,
+	// and the router unpacks them in order (see batch.go).
+	kindBatch
 )
 
 // Event is one element of the engine's input stream. Use the constructors;

@@ -13,146 +13,43 @@ package engine
 // every injected fault point.
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 	"time"
 
-	"spatialcrowd/internal/geo"
-	"spatialcrowd/internal/market"
 	"spatialcrowd/internal/wal"
+	"spatialcrowd/internal/wire"
 )
 
-// Fixed frame sizes per kind (1 tag byte + little-endian fields).
-const (
-	walTaskArrivalLen    = 1 + 8*8 // id, period, origin, dest, distance, valuation
-	walWorkerOnlineLen   = 1 + 6*8 // id, period, loc, radius, duration
-	walWorkerOfflineLen  = 1 + 8   // id
-	walWorkerMoveLen     = 1 + 3*8 // id, to
-	walAcceptDecisionLen = 1 + 8 + 1
-	walTickLen           = 1 + 8
-)
-
-// encodeEvent serializes a public event into a WAL record payload. The
-// encoding is fixed-width little-endian with floats as IEEE-754 bits, so a
-// replayed event is bit-identical to the submitted one — the property the
-// exact-recovery guarantee rests on.
+// encodeEvent serializes a public event into a WAL record payload using the
+// shared canonical codec (internal/wire): fixed-width little-endian with
+// floats as IEEE-754 bits, so a replayed event is bit-identical to the
+// submitted one — the property the exact-recovery guarantee rests on. The
+// same bytes are what a binary ingest frame carries, so WAL and network
+// agree on every event's one encoding.
 func encodeEvent(ev Event) []byte {
-	switch ev.Kind {
-	case KindTaskArrival:
-		b := make([]byte, walTaskArrivalLen)
-		b[0] = byte(ev.Kind)
-		putI64(b[1:], int64(ev.Task.ID))
-		putI64(b[9:], int64(ev.Task.Period))
-		putF64(b[17:], ev.Task.Origin.X)
-		putF64(b[25:], ev.Task.Origin.Y)
-		putF64(b[33:], ev.Task.Dest.X)
-		putF64(b[41:], ev.Task.Dest.Y)
-		putF64(b[49:], ev.Task.Distance)
-		putF64(b[57:], ev.Task.Valuation)
-		return b
-	case KindWorkerOnline:
-		b := make([]byte, walWorkerOnlineLen)
-		b[0] = byte(ev.Kind)
-		putI64(b[1:], int64(ev.Worker.ID))
-		putI64(b[9:], int64(ev.Worker.Period))
-		putF64(b[17:], ev.Worker.Loc.X)
-		putF64(b[25:], ev.Worker.Loc.Y)
-		putF64(b[33:], ev.Worker.Radius)
-		putI64(b[41:], int64(ev.Worker.Duration))
-		return b
-	case KindWorkerOffline:
-		b := make([]byte, walWorkerOfflineLen)
-		b[0] = byte(ev.Kind)
-		putI64(b[1:], int64(ev.WorkerID))
-		return b
-	case KindWorkerMove:
-		b := make([]byte, walWorkerMoveLen)
-		b[0] = byte(ev.Kind)
-		putI64(b[1:], int64(ev.WorkerID))
-		putF64(b[9:], ev.Loc.X)
-		putF64(b[17:], ev.Loc.Y)
-		return b
-	case KindAcceptDecision:
-		b := make([]byte, walAcceptDecisionLen)
-		b[0] = byte(ev.Kind)
-		putI64(b[1:], int64(ev.TaskID))
-		if ev.Accept {
-			b[9] = 1
-		}
-		return b
-	case KindTick:
-		b := make([]byte, walTickLen)
-		b[0] = byte(ev.Kind)
-		putI64(b[1:], int64(ev.Period))
-		return b
+	b, err := wire.AppendEvent(nil, ev.Wire())
+	if err != nil {
+		// Submit validated the kind before appending; internal kinds never log.
+		panic(fmt.Sprintf("engine: encodeEvent: %v", err))
 	}
-	// Submit validated the kind before appending; internal kinds never log.
-	panic(fmt.Sprintf("engine: encodeEvent on kind %d", ev.Kind))
+	return b
 }
 
-// decodeEvent is encodeEvent's inverse. It validates the tag and the frame
-// length, so a corrupt record fails the replay descriptively instead of
-// reviving a malformed event.
+// decodeEvent is encodeEvent's inverse. The wire codec validates the tag and
+// the frame length, so a corrupt record fails the replay descriptively
+// instead of reviving a malformed event; a WAL record must hold exactly one
+// event.
 func decodeEvent(b []byte) (Event, error) {
-	if len(b) == 0 {
-		return Event{}, fmt.Errorf("engine: empty wal event record")
+	w, n, err := wire.DecodeEvent(b)
+	if err != nil {
+		return Event{}, fmt.Errorf("engine: wal event record: %w", err)
 	}
-	kind := Kind(b[0])
-	want := 0
-	switch kind {
-	case KindTaskArrival:
-		want = walTaskArrivalLen
-	case KindWorkerOnline:
-		want = walWorkerOnlineLen
-	case KindWorkerOffline:
-		want = walWorkerOfflineLen
-	case KindWorkerMove:
-		want = walWorkerMoveLen
-	case KindAcceptDecision:
-		want = walAcceptDecisionLen
-	case KindTick:
-		want = walTickLen
-	default:
-		return Event{}, fmt.Errorf("engine: wal event record has unknown kind %d", b[0])
+	if n != len(b) {
+		return Event{}, fmt.Errorf("engine: wal event record has %d trailing bytes", len(b)-n)
 	}
-	if len(b) != want {
-		return Event{}, fmt.Errorf("engine: wal %v record is %d bytes, want %d", kind, len(b), want)
-	}
-	switch kind {
-	case KindTaskArrival:
-		return TaskArrival(market.Task{
-			ID:        int(getI64(b[1:])),
-			Period:    int(getI64(b[9:])),
-			Origin:    geo.Point{X: getF64(b[17:]), Y: getF64(b[25:])},
-			Dest:      geo.Point{X: getF64(b[33:]), Y: getF64(b[41:])},
-			Distance:  getF64(b[49:]),
-			Valuation: getF64(b[57:]),
-		}), nil
-	case KindWorkerOnline:
-		return WorkerOnline(market.Worker{
-			ID:       int(getI64(b[1:])),
-			Period:   int(getI64(b[9:])),
-			Loc:      geo.Point{X: getF64(b[17:]), Y: getF64(b[25:])},
-			Radius:   getF64(b[33:]),
-			Duration: int(getI64(b[41:])),
-		}), nil
-	case KindWorkerOffline:
-		return WorkerOffline(int(getI64(b[1:]))), nil
-	case KindWorkerMove:
-		return WorkerMove(int(getI64(b[1:])), geo.Point{X: getF64(b[9:]), Y: getF64(b[17:])}), nil
-	case KindAcceptDecision:
-		return AcceptDecision(int(getI64(b[1:])), b[9] == 1), nil
-	default: // KindTick; the switch above excluded everything else
-		return Tick(int(getI64(b[1:]))), nil
-	}
+	return EventFromWire(w), nil
 }
-
-func putI64(b []byte, v int64)   { binary.LittleEndian.PutUint64(b, uint64(v)) }
-func getI64(b []byte) int64      { return int64(binary.LittleEndian.Uint64(b)) }
-func putF64(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
-func getF64(b []byte) float64    { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
 
 // submitWAL is the append-before-apply submit path (Config.WAL set). One
 // mutex serializes append + apply across all submitters, so the log order

@@ -1,13 +1,16 @@
 // Package loadgen drives a market instance through the dispatch server
 // over real sockets: it renders the canonical event stream of the instance
 // (engine.StreamEvents — the exact order the in-process replay driver
-// submits) as NDJSON and posts it in chunks to /v1/{tenant}/ingest,
-// honoring the server's backpressure protocol: a 429 response carries the
-// number of events the server accepted, so the generator resumes the chunk
-// after that prefix once Retry-After elapses — no event is lost or
-// duplicated across retries. Because the stream is sent on one connection
-// in order, a deterministic tenant ingests exactly the in-process replay,
-// which is what makes HTTP revenue comparable bit for bit.
+// submits) as NDJSON lines or binary wire frames (Config.Codec) and posts
+// it in chunks to /v1/{tenant}/ingest, honoring the server's backpressure
+// protocol: a 429 response carries the number of events the server
+// accepted, so the generator resumes the chunk after that prefix once
+// Retry-After elapses — no event is lost or duplicated across retries.
+// Both codecs resume by byte offset within the encoded chunk (binary
+// events are self-delimiting, so the tail just gets a fresh frame header).
+// Because the stream is sent on one connection in order, a deterministic
+// tenant ingests exactly the in-process replay, which is what makes HTTP
+// revenue comparable bit for bit across codecs.
 package loadgen
 
 import (
@@ -22,6 +25,7 @@ import (
 	"spatialcrowd/internal/engine"
 	"spatialcrowd/internal/market"
 	"spatialcrowd/internal/server"
+	"spatialcrowd/internal/wire"
 )
 
 // Config parameterizes a load-generation run.
@@ -35,6 +39,14 @@ type Config struct {
 	Client *http.Client
 	// ChunkEvents is the number of events per POST (default 5000).
 	ChunkEvents int
+	// Codec selects the wire encoding: "" or "json" renders NDJSON lines,
+	// "binary" renders one wire batch frame per chunk. Either way a 429
+	// resume slices the chunk at the accepted event's byte offset — binary
+	// events are self-delimiting, so the tail is re-framed without
+	// re-encoding anything. (Binary chunks must stay under
+	// wire.MaxFrameBytes; the default chunk size is three orders of
+	// magnitude below it.)
+	Codec string
 	// Window is the tenant engine's pricing window (positions the final
 	// flushing tick); default 1.
 	Window int
@@ -75,6 +87,10 @@ func Run(cfg Config, in *market.Instance) (Report, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	cd, err := codecFor(cfg.Codec)
+	if err != nil {
+		return Report{}, err
+	}
 	url := cfg.BaseURL + "/v1/" + cfg.Tenant + "/ingest"
 
 	var rep Report
@@ -85,20 +101,15 @@ func Run(cfg Config, in *market.Instance) (Report, error) {
 		if chunk.events() == 0 {
 			return nil
 		}
-		if err := postChunk(client, url, chunk, cfg.MaxRetries, &rep); err != nil {
+		if err := postChunk(client, url, cd, chunk, cfg.MaxRetries, &rep); err != nil {
 			return err
 		}
 		chunk.reset()
 		return nil
 	}
-	enc := json.NewEncoder(&chunk.buf)
+	encode := cd.encoder(chunk)
 	emit := func(ev engine.Event) error {
-		we, err := server.FromEvent(ev)
-		if err != nil {
-			return err
-		}
-		chunk.markStart()
-		if err := enc.Encode(we); err != nil { // Encode appends the NDJSON newline
+		if err := encode(ev); err != nil {
 			return err
 		}
 		if chunk.events() >= cfg.ChunkEvents {
@@ -117,6 +128,76 @@ func Run(cfg Config, in *market.Instance) (Report, error) {
 		rep.EventsPerSec = float64(rep.Events) / secs
 	}
 	return rep, nil
+}
+
+// codec renders events into a chunk and chunk tails into request bodies.
+type codec interface {
+	contentType() string
+	// encoder returns the per-event append function writing into c.
+	encoder(c *chunk) func(engine.Event) error
+	// body wraps the unaccepted tail of a chunk's encoded bytes into a
+	// request body (identity for NDJSON; header + CRC framing for binary).
+	body(tail []byte) []byte
+}
+
+func codecFor(name string) (codec, error) {
+	switch name {
+	case "", "json":
+		return &jsonCodec{}, nil
+	case "binary":
+		return &binaryCodec{}, nil
+	}
+	return nil, fmt.Errorf("loadgen: unknown codec %q (want json or binary)", name)
+}
+
+type jsonCodec struct{}
+
+func (*jsonCodec) contentType() string     { return "application/x-ndjson" }
+func (*jsonCodec) body(tail []byte) []byte { return tail }
+func (*jsonCodec) encoder(c *chunk) func(engine.Event) error {
+	enc := json.NewEncoder(&c.buf)
+	return func(ev engine.Event) error {
+		we, err := server.FromEvent(ev)
+		if err != nil {
+			return err
+		}
+		c.markStart()
+		return enc.Encode(we) // Encode appends the NDJSON newline
+	}
+}
+
+// binaryCodec streams wire batch frames: the chunk buffer holds the bare
+// concatenated event encodings (the frame payload), and body() prepends a
+// freshly computed header — so resuming at an event's byte offset is a
+// slice plus one cheap CRC, never a re-encode.
+type binaryCodec struct {
+	scratch []byte // one event's encoding, reused
+	frame   []byte // header + payload tail, reused per POST
+}
+
+func (*binaryCodec) contentType() string { return wire.ContentType }
+
+func (b *binaryCodec) encoder(c *chunk) func(engine.Event) error {
+	return func(ev engine.Event) error {
+		var err error
+		if b.scratch, err = wire.AppendEvent(b.scratch[:0], ev.Wire()); err != nil {
+			return err
+		}
+		c.markStart()
+		c.buf.Write(b.scratch)
+		return nil
+	}
+}
+
+func (b *binaryCodec) body(tail []byte) []byte {
+	need := wire.HeaderLen + len(tail)
+	if cap(b.frame) < need {
+		b.frame = make([]byte, need)
+	}
+	b.frame = b.frame[:need]
+	copy(b.frame[wire.HeaderLen:], tail)
+	wire.PutFrameHeader(b.frame[:wire.HeaderLen], wire.FrameBatch, b.frame[wire.HeaderLen:])
+	return b.frame
 }
 
 // chunk accumulates encoded NDJSON lines plus the byte offset where each
@@ -145,15 +226,15 @@ func (c *chunk) tail(fromEvent int) []byte {
 
 // postChunk sends the chunk, resuming on 429 from the server's accepted
 // count. Any other non-2xx status is a hard error.
-func postChunk(client *http.Client, url string, c *chunk, maxRetries int, rep *Report) error {
+func postChunk(client *http.Client, url string, cd codec, c *chunk, maxRetries int, rep *Report) error {
 	sent := 0 // events of this chunk the server has accepted
 	for retry := 0; ; retry++ {
-		body := c.tail(sent)
+		body := cd.body(c.tail(sent))
 		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
-		req.Header.Set("Content-Type", "application/x-ndjson")
+		req.Header.Set("Content-Type", cd.contentType())
 		resp, err := client.Do(req)
 		if err != nil {
 			return err

@@ -68,6 +68,26 @@ var metricFamilies = []metricFamily{
 		func(_ *Tenant, st engine.Stats, _ engine.QueueDepths) float64 { return float64(st.Events) }),
 	counter("spatialcrowd_http_ingested_total", "Events accepted over HTTP ingestion.",
 		func(t *Tenant, _ engine.Stats, _ engine.QueueDepths) float64 { return float64(t.Ingested()) }),
+	{
+		name: "spatialcrowd_codec_ingested_events_total", typ: "counter",
+		help: "Events accepted over HTTP per wire codec.",
+		sample: func(b *strings.Builder, tenant string, t *Tenant, _ engine.Stats, _ engine.QueueDepths) {
+			for c := 0; c < numCodecs; c++ {
+				writeSample(b, "spatialcrowd_codec_ingested_events_total", tenant,
+					[]string{"codec", codecName(c)}, float64(t.codecEvents[c].Load()))
+			}
+		},
+	},
+	{
+		name: "spatialcrowd_codec_ingested_bytes_total", typ: "counter",
+		help: "Ingest wire bytes consumed per codec (JSON body bytes; binary frame payload bytes).",
+		sample: func(b *strings.Builder, tenant string, t *Tenant, _ engine.Stats, _ engine.QueueDepths) {
+			for c := 0; c < numCodecs; c++ {
+				writeSample(b, "spatialcrowd_codec_ingested_bytes_total", tenant,
+					[]string{"codec", codecName(c)}, float64(t.codecBytes[c].Load()))
+			}
+		},
+	},
 	counter("spatialcrowd_rejected_events_total", "Events refused by admission control with 429 (ingest queue full).",
 		func(t *Tenant, _ engine.Stats, _ engine.QueueDepths) float64 { return float64(t.Rejected()) }),
 	counter("spatialcrowd_tasks_priced_total", "Tasks run through a pricing strategy.",

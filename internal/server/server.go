@@ -76,6 +76,10 @@ type Server struct {
 	maxBody    int64
 	mux        *http.ServeMux
 	draining   bool
+
+	// binPool recycles the binary ingest path's per-request decode state
+	// (frame buffer + event slices) across connections; see binary.go.
+	binPool sync.Pool
 }
 
 // New builds a server and starts every configured tenant's engine.
@@ -205,13 +209,26 @@ func (s *Server) submitAdmitted(t *Tenant, ev engine.Event) error {
 	return engine.ErrBusy
 }
 
-// handleEvent ingests one JSON event.
+// handleEvent ingests one JSON event. The endpoint is JSON-only — binary
+// frames are batch-shaped and go to /ingest — so any other Content-Type
+// (including the frame codec's) is 415.
 func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
 	t, ok := s.tenantOf(w, r)
 	if !ok {
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	codec, ok := s.checkCodec(w, r, t)
+	if !ok {
+		return
+	}
+	if codec != codecJSON {
+		writeJSON(w, http.StatusUnsupportedMediaType,
+			IngestResult{Error: "binary frames are accepted on /ingest only"})
+		return
+	}
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.maxBody)}
+	accepted := 0
+	defer func() { t.noteCodecTraffic(codecJSON, accepted, body.n) }()
 	var we WireEvent
 	if err := json.NewDecoder(body).Decode(&we); err != nil {
 		writeJSON(w, http.StatusBadRequest, IngestResult{Error: "decoding event: " + err.Error()})
@@ -224,6 +241,7 @@ func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
 	}
 	switch err := s.submitAdmitted(t, ev); err {
 	case nil:
+		accepted = 1
 		s.finishIngest(w, t, http.StatusAccepted, IngestResult{Accepted: 1})
 	case engine.ErrBusy:
 		s.writeBusy(w, t, IngestResult{})
@@ -234,17 +252,29 @@ func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleIngest ingests an NDJSON stream of events, stopping at the first
-// refusal. The response's Accepted count tells the client exactly how far
-// the stream got, so a 429 retry resumes without loss or duplication.
+// handleIngest ingests a bulk event stream, stopping at the first refusal.
+// Content-Type selects the codec: NDJSON (default) decodes WireEvents one
+// at a time; wire.ContentType switches to the binary frame fast path
+// (binary.go). Either way the response's Accepted count tells the client
+// exactly how far the stream got, so a 429 retry resumes without loss or
+// duplication.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	t, ok := s.tenantOf(w, r)
 	if !ok {
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	codec, ok := s.checkCodec(w, r, t)
+	if !ok {
+		return
+	}
+	if codec == codecBinary {
+		s.handleIngestBinary(w, t, http.MaxBytesReader(w, r.Body, s.maxBody))
+		return
+	}
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.maxBody)}
 	dec := json.NewDecoder(body)
 	accepted := 0
+	defer func() { t.noteCodecTraffic(codecJSON, accepted, body.n) }()
 	for {
 		var we WireEvent
 		if err := dec.Decode(&we); err == io.EOF {

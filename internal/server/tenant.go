@@ -50,6 +50,10 @@ type TenantConfig struct {
 	WALSyncEvery int
 	// WALSegmentBytes caps segment size before rotation (default 16 MiB).
 	WALSegmentBytes int64
+	// Codec restricts which ingest codec the tenant accepts: "json",
+	// "binary", or "" for both. A request in the refused codec gets 415, the
+	// lever that pins a replay-exact tenant to one canonical wire path.
+	Codec string
 }
 
 // Tenant is one running city: engine + quote hub + ingest accounting.
@@ -75,6 +79,13 @@ type Tenant struct {
 	ingested atomic.Int64 // events accepted over HTTP
 	rejected atomic.Int64 // events refused with 429 (admission control)
 	draining atomic.Bool
+
+	// codec, when non-empty, is the only wire codec the tenant accepts.
+	codec string
+	// Per-codec ingest traffic, indexed by codecJSON/codecBinary: events
+	// accepted and request-body bytes consumed.
+	codecEvents [numCodecs]atomic.Int64
+	codecBytes  [numCodecs]atomic.Int64
 }
 
 // newTenant validates the config, builds the engine (restoring a checkpoint
@@ -83,7 +94,12 @@ func newTenant(cfg TenantConfig) (*Tenant, error) {
 	if !tenantNameRE.MatchString(cfg.Name) {
 		return nil, fmt.Errorf("server: invalid tenant name %q (want [a-zA-Z0-9_-]{1,64})", cfg.Name)
 	}
-	t := &Tenant{name: cfg.Name, hub: newQuoteHub(cfg.QuoteCache), ckptPath: cfg.CheckpointPath}
+	switch cfg.Codec {
+	case "", "json", "binary":
+	default:
+		return nil, fmt.Errorf("server: tenant %q: invalid Codec %q (want json, binary, or empty for both)", cfg.Name, cfg.Codec)
+	}
+	t := &Tenant{name: cfg.Name, hub: newQuoteHub(cfg.QuoteCache), ckptPath: cfg.CheckpointPath, codec: cfg.Codec}
 	ecfg := cfg.Engine
 	chained := ecfg.OnDecision
 	ecfg.OnDecision = func(d engine.Decision) {
@@ -182,6 +198,22 @@ func (t *Tenant) Engine() *engine.Engine { return t.eng }
 func (t *Tenant) Ingested() int64 { return t.ingested.Load() }
 func (t *Tenant) Rejected() int64 { return t.rejected.Load() }
 
+// allowsCodec reports whether the tenant admits the given wire codec.
+func (t *Tenant) allowsCodec(codec int) bool {
+	return t.codec == "" || t.codec == codecName(codec)
+}
+
+// noteCodecTraffic records one ingest request's per-codec accounting:
+// events accepted and body bytes consumed.
+func (t *Tenant) noteCodecTraffic(codec int, events int, bytes int64) {
+	if events > 0 {
+		t.codecEvents[codec].Add(int64(events))
+	}
+	if bytes > 0 {
+		t.codecBytes[codec].Add(bytes)
+	}
+}
+
 // submit runs one event through admission control: a non-blocking TrySubmit
 // against the engine's bounded ingest queue. engine.ErrBusy propagates to
 // the handler, which converts it into 429 + Retry-After — the queue never
@@ -204,6 +236,29 @@ func (t *Tenant) submit(ev engine.Event) error {
 	}
 	t.ingested.Add(1)
 	return nil
+}
+
+// submitBatch is submit at batch granularity: one TrySubmitBatch hands the
+// whole decoded batch to the engine in a single bounded-channel operation,
+// and the accepted-prefix count propagates to the handler as the client's
+// resume cursor — the same lossless 429 contract as per-event ingest, paid
+// once per batch instead of once per event.
+func (t *Tenant) submitBatch(evs []engine.Event) (int, error) {
+	t.ingestMu.RLock()
+	defer t.ingestMu.RUnlock()
+	if t.draining.Load() {
+		return 0, errDraining
+	}
+	if t.det {
+		t.detMu.Lock()
+		defer t.detMu.Unlock()
+	}
+	n, err := t.eng.TrySubmitBatch(evs)
+	t.ingested.Add(int64(n))
+	if err == engine.ErrBusy {
+		t.rejected.Add(int64(len(evs) - n))
+	}
+	return n, err
 }
 
 // syncDurable is the group-commit barrier handlers place before answering

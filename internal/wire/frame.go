@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame format: a length-prefixed, CRC-checked envelope
+//
+//	[len u32 LE | type u8 | crc u32 LE | payload]
+//
+// where len covers everything after the length field itself (type + crc +
+// payload, so len = HeaderLen - 4 + len(payload)) and crc is the CRC-32C
+// (Castagnoli) of the payload — the same polynomial the WAL's segment frames
+// use. A batch frame's payload is events concatenated (AppendEvents /
+// DecodeEvents); events are self-delimiting, so resuming a partially
+// accepted batch is slicing the payload at the accepted prefix's byte
+// offset and re-framing the tail.
+
+const (
+	// FrameBatch carries a batch of concatenated events: the only frame type
+	// the ingest fast path accepts today. New types extend the protocol
+	// without changing the envelope.
+	FrameBatch byte = 1
+
+	// HeaderLen is the fixed envelope prefix: len u32 + type u8 + crc u32.
+	HeaderLen = 4 + 1 + 4
+
+	// MaxFrameBytes caps a frame's declared length. A stream announcing a
+	// larger frame is rejected before any allocation — the guard that keeps
+	// a hostile length prefix from ballooning server memory.
+	MaxFrameBytes = 16 << 20
+
+	// ContentType selects the binary ingest fast path on the server's
+	// ingest endpoints.
+	ContentType = "application/x-spatialcrowd-frame"
+)
+
+// Frame decode errors. FrameReader wraps them with stream position context;
+// use errors.Is to classify.
+var (
+	// ErrFrameTooLarge marks a length prefix beyond MaxFrameBytes.
+	ErrFrameTooLarge = errors.New("wire: frame length exceeds limit")
+	// ErrFrameCRC marks a payload whose checksum does not match its header.
+	ErrFrameCRC = errors.New("wire: frame crc mismatch")
+	// ErrFrameTruncated marks a stream that ended mid-frame.
+	ErrFrameTruncated = errors.New("wire: truncated frame")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// PutFrameHeader writes the frame envelope for the given payload into hdr,
+// which must be at least HeaderLen bytes. Split out from AppendFrame so a
+// caller that already holds the payload bytes (the load generator resuming
+// a batch tail) can frame them without copying.
+func PutFrameHeader(hdr []byte, typ byte, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr, uint32(1+4+len(payload)))
+	hdr[4] = typ
+	binary.LittleEndian.PutUint32(hdr[5:], crc32.Checksum(payload, castagnoli))
+}
+
+// AppendFrame appends a complete frame (header + payload) to dst.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	var hdr [HeaderLen]byte
+	PutFrameHeader(hdr[:], typ, payload)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// AppendBatchFrame encodes evs as one batch frame appended to dst.
+func AppendBatchFrame(dst []byte, evs []Event) ([]byte, error) {
+	payload, err := AppendEvents(nil, evs)
+	if err != nil {
+		return dst, err
+	}
+	return AppendFrame(dst, FrameBatch, payload), nil
+}
+
+// FrameReader decodes a stream of frames from an io.Reader into one
+// reusable buffer: after the first few frames, Next performs zero
+// allocations regardless of how many frames follow. The payload it returns
+// aliases the internal buffer and is valid only until the next call.
+type FrameReader struct {
+	r       io.Reader
+	hdr     [HeaderLen]byte
+	buf     []byte
+	max     int
+	frames  int
+	payload int64
+}
+
+// NewFrameReader wraps r. maxFrame caps the accepted frame length
+// (<= 0 selects MaxFrameBytes).
+func NewFrameReader(r io.Reader, maxFrame int) *FrameReader {
+	fr := &FrameReader{max: maxFrame}
+	if fr.max <= 0 || fr.max > MaxFrameBytes {
+		fr.max = MaxFrameBytes
+	}
+	fr.Reset(r)
+	return fr
+}
+
+// Reset re-targets the reader at a new stream, keeping the payload buffer —
+// the hook that lets a pool recycle readers across connections.
+func (fr *FrameReader) Reset(r io.Reader) {
+	fr.r = r
+	fr.frames = 0
+	fr.payload = 0
+}
+
+// Frames reports how many frames Next has decoded since the last Reset;
+// PayloadBytes reports their cumulative payload size.
+func (fr *FrameReader) Frames() int { return fr.frames }
+
+// PayloadBytes reports the cumulative payload bytes decoded since Reset.
+func (fr *FrameReader) PayloadBytes() int64 { return fr.payload }
+
+// Next reads and verifies one frame. It returns io.EOF at a clean stream
+// end (between frames); a stream ending anywhere inside a frame is
+// ErrFrameTruncated, a checksum failure ErrFrameCRC, an oversized length
+// prefix ErrFrameTooLarge — corruption is always an explicit rejection,
+// never a silent drop.
+func (fr *FrameReader) Next() (typ byte, payload []byte, err error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:4]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: stream ended inside the length prefix of frame %d", ErrFrameTruncated, fr.frames)
+	}
+	length := binary.LittleEndian.Uint32(fr.hdr[:4])
+	if length < HeaderLen-4 {
+		return 0, nil, fmt.Errorf("wire: frame %d declares %d bytes, below the %d-byte envelope minimum", fr.frames, length, HeaderLen-4)
+	}
+	if int64(length) > int64(fr.max) {
+		return 0, nil, fmt.Errorf("%w: frame %d declares %d bytes (limit %d)", ErrFrameTooLarge, fr.frames, length, fr.max)
+	}
+	if _, err := io.ReadFull(fr.r, fr.hdr[4:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: stream ended inside the header of frame %d", ErrFrameTruncated, fr.frames)
+	}
+	typ = fr.hdr[4]
+	n := int(length) - (HeaderLen - 4)
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	payload = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: stream ended inside the %d-byte payload of frame %d", ErrFrameTruncated, n, fr.frames)
+	}
+	want := crc32.Checksum(payload, castagnoli)
+	if got := binary.LittleEndian.Uint32(fr.hdr[5:]); got != want {
+		return 0, nil, fmt.Errorf("%w: frame %d header %08x, payload %08x", ErrFrameCRC, fr.frames, got, want)
+	}
+	fr.frames++
+	fr.payload += int64(n)
+	return typ, payload, nil
+}

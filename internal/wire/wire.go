@@ -1,0 +1,227 @@
+// Package wire is the canonical binary encoding of engine events: one
+// fixed-width little-endian codec shared by the durable write-ahead log
+// (internal/engine's WAL records) and the network ingest fast path
+// (internal/server's binary frames), so an event has exactly one byte-level
+// representation wherever it travels. Floats are IEEE-754 bits, so a decoded
+// event is bit-identical to the encoded one — the property both the WAL's
+// exact-recovery guarantee and the server's replay-equivalence contract rest
+// on.
+//
+// Two layers:
+//
+//   - Event codec: AppendEvent / DecodeEvent serialize one event as a
+//     1-byte kind tag followed by the kind's fixed-width fields. Events are
+//     self-delimiting, so a batch payload is simply events concatenated —
+//     which is what makes mid-batch resume a byte-offset slice instead of a
+//     re-encode.
+//   - Frame format: a length-prefixed, CRC-checked envelope
+//     [len u32 | type u8 | crc32c u32 | payload] carrying a batch of events
+//     per frame. FrameReader decodes a stream of frames into a reusable
+//     buffer with zero per-event allocations in steady state.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/market"
+)
+
+// Kind discriminates the event union. The values are pinned to the engine's
+// public event kinds (engine.Kind) — the WAL format and the network frames
+// depend on them never changing.
+type Kind uint8
+
+const (
+	KindTaskArrival Kind = iota + 1
+	KindWorkerOnline
+	KindWorkerOffline
+	KindWorkerMove
+	KindAcceptDecision
+	KindTick
+)
+
+// Event is the codec's neutral event form: the union of every public engine
+// event's payload, without the engine's runtime-only fields (arrival stamps,
+// control payloads). internal/engine converts to and from its own Event with
+// Event.Wire / engine.EventFromWire.
+type Event struct {
+	Kind     Kind
+	Task     market.Task   // KindTaskArrival
+	Worker   market.Worker // KindWorkerOnline
+	WorkerID int           // KindWorkerOffline, KindWorkerMove
+	Loc      geo.Point     // KindWorkerMove
+	TaskID   int           // KindAcceptDecision
+	Accept   bool          // KindAcceptDecision
+	Period   int           // KindTick
+}
+
+// Fixed frame sizes per kind (1 tag byte + little-endian fields).
+const (
+	taskArrivalLen    = 1 + 8*8 // id, period, origin, dest, distance, valuation
+	workerOnlineLen   = 1 + 6*8 // id, period, loc, radius, duration
+	workerOfflineLen  = 1 + 8   // id
+	workerMoveLen     = 1 + 3*8 // id, to
+	acceptDecisionLen = 1 + 8 + 1
+	tickLen           = 1 + 8
+)
+
+// EventLen reports the encoded size of an event of the given kind, or false
+// for an unknown kind.
+func EventLen(k Kind) (int, bool) {
+	switch k {
+	case KindTaskArrival:
+		return taskArrivalLen, true
+	case KindWorkerOnline:
+		return workerOnlineLen, true
+	case KindWorkerOffline:
+		return workerOfflineLen, true
+	case KindWorkerMove:
+		return workerMoveLen, true
+	case KindAcceptDecision:
+		return acceptDecisionLen, true
+	case KindTick:
+		return tickLen, true
+	}
+	return 0, false
+}
+
+// AppendEvent appends the event's canonical encoding to dst and returns the
+// extended slice. Unknown kinds error (dst is returned unchanged).
+func AppendEvent(dst []byte, ev Event) ([]byte, error) {
+	switch ev.Kind {
+	case KindTaskArrival:
+		dst = append(dst, byte(ev.Kind))
+		dst = appendI64(dst, int64(ev.Task.ID))
+		dst = appendI64(dst, int64(ev.Task.Period))
+		dst = appendF64(dst, ev.Task.Origin.X)
+		dst = appendF64(dst, ev.Task.Origin.Y)
+		dst = appendF64(dst, ev.Task.Dest.X)
+		dst = appendF64(dst, ev.Task.Dest.Y)
+		dst = appendF64(dst, ev.Task.Distance)
+		return appendF64(dst, ev.Task.Valuation), nil
+	case KindWorkerOnline:
+		dst = append(dst, byte(ev.Kind))
+		dst = appendI64(dst, int64(ev.Worker.ID))
+		dst = appendI64(dst, int64(ev.Worker.Period))
+		dst = appendF64(dst, ev.Worker.Loc.X)
+		dst = appendF64(dst, ev.Worker.Loc.Y)
+		dst = appendF64(dst, ev.Worker.Radius)
+		return appendI64(dst, int64(ev.Worker.Duration)), nil
+	case KindWorkerOffline:
+		dst = append(dst, byte(ev.Kind))
+		return appendI64(dst, int64(ev.WorkerID)), nil
+	case KindWorkerMove:
+		dst = append(dst, byte(ev.Kind))
+		dst = appendI64(dst, int64(ev.WorkerID))
+		dst = appendF64(dst, ev.Loc.X)
+		return appendF64(dst, ev.Loc.Y), nil
+	case KindAcceptDecision:
+		dst = append(dst, byte(ev.Kind))
+		dst = appendI64(dst, int64(ev.TaskID))
+		if ev.Accept {
+			return append(dst, 1), nil
+		}
+		return append(dst, 0), nil
+	case KindTick:
+		dst = append(dst, byte(ev.Kind))
+		return appendI64(dst, int64(ev.Period)), nil
+	}
+	return dst, fmt.Errorf("wire: cannot encode unknown event kind %d", ev.Kind)
+}
+
+// DecodeEvent decodes one event from the front of b and reports how many
+// bytes it consumed, so concatenated events (a batch payload, a WAL record
+// sequence) decode by repeated calls. A short buffer, an unknown kind, or a
+// malformed trailer byte is an error — corrupt input is rejected, never
+// silently skipped.
+func DecodeEvent(b []byte) (Event, int, error) {
+	if len(b) == 0 {
+		return Event{}, 0, errors.New("wire: empty event record")
+	}
+	kind := Kind(b[0])
+	want, ok := EventLen(kind)
+	if !ok {
+		return Event{}, 0, fmt.Errorf("wire: unknown event kind %d", b[0])
+	}
+	if len(b) < want {
+		return Event{}, 0, fmt.Errorf("wire: truncated %d-kind event: %d bytes, want %d", kind, len(b), want)
+	}
+	switch kind {
+	case KindTaskArrival:
+		return Event{Kind: kind, Task: market.Task{
+			ID:        int(getI64(b[1:])),
+			Period:    int(getI64(b[9:])),
+			Origin:    geo.Point{X: getF64(b[17:]), Y: getF64(b[25:])},
+			Dest:      geo.Point{X: getF64(b[33:]), Y: getF64(b[41:])},
+			Distance:  getF64(b[49:]),
+			Valuation: getF64(b[57:]),
+		}}, want, nil
+	case KindWorkerOnline:
+		return Event{Kind: kind, Worker: market.Worker{
+			ID:       int(getI64(b[1:])),
+			Period:   int(getI64(b[9:])),
+			Loc:      geo.Point{X: getF64(b[17:]), Y: getF64(b[25:])},
+			Radius:   getF64(b[33:]),
+			Duration: int(getI64(b[41:])),
+		}}, want, nil
+	case KindWorkerOffline:
+		return Event{Kind: kind, WorkerID: int(getI64(b[1:]))}, want, nil
+	case KindWorkerMove:
+		return Event{
+			Kind:     kind,
+			WorkerID: int(getI64(b[1:])),
+			Loc:      geo.Point{X: getF64(b[9:]), Y: getF64(b[17:])},
+		}, want, nil
+	case KindAcceptDecision:
+		if b[9] > 1 {
+			return Event{}, 0, fmt.Errorf("wire: accept-decision flag byte %d, want 0 or 1", b[9])
+		}
+		return Event{Kind: kind, TaskID: int(getI64(b[1:])), Accept: b[9] == 1}, want, nil
+	default: // KindTick; EventLen excluded everything else
+		return Event{Kind: kind, Period: int(getI64(b[1:]))}, want, nil
+	}
+}
+
+// AppendEvents appends the concatenated encoding of evs to dst: a batch
+// frame's payload. The first unknown kind aborts with an error.
+func AppendEvents(dst []byte, evs []Event) ([]byte, error) {
+	for i, ev := range evs {
+		var err error
+		if dst, err = AppendEvent(dst, ev); err != nil {
+			return dst, fmt.Errorf("wire: event %d: %w", i, err)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeEvents decodes a concatenation of events (a batch payload),
+// appending into dst — pass a reused slice for zero steady-state
+// allocations. Any malformed or truncated event fails the whole batch.
+func DecodeEvents(payload []byte, dst []Event) ([]Event, error) {
+	for i := 0; len(payload) > 0; i++ {
+		ev, n, err := DecodeEvent(payload)
+		if err != nil {
+			return dst, fmt.Errorf("wire: batch event %d: %w", i, err)
+		}
+		payload = payload[n:]
+		dst = append(dst, ev)
+	}
+	return dst, nil
+}
+
+func appendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func getI64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+func getF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"spatialcrowd/internal/geo"
+	"spatialcrowd/internal/market"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindTaskArrival, Task: market.Task{
+			ID: 12345, Period: 7,
+			Origin:   geo.Point{X: 1.25, Y: -3.75},
+			Dest:     geo.Point{X: math.Pi, Y: math.SmallestNonzeroFloat64},
+			Distance: 4.5, Valuation: 17.125,
+		}},
+		{Kind: KindWorkerOnline, Worker: market.Worker{
+			ID: -9, Period: 3,
+			Loc: geo.Point{X: 0, Y: math.MaxFloat64}, Radius: 2.5, Duration: 40,
+		}},
+		{Kind: KindWorkerOffline, WorkerID: 1 << 40},
+		{Kind: KindWorkerMove, WorkerID: 77, Loc: geo.Point{X: -0.5, Y: 0.5}},
+		{Kind: KindAcceptDecision, TaskID: 13, Accept: true},
+		{Kind: KindAcceptDecision, TaskID: 14, Accept: false},
+		{Kind: KindTick, Period: 1 << 30},
+	}
+}
+
+// TestEventRoundTrip pins the codec: every kind survives encode -> decode
+// bit-identically, and the consumed length equals EventLen.
+func TestEventRoundTrip(t *testing.T) {
+	for _, ev := range sampleEvents() {
+		b, err := AppendEvent(nil, ev)
+		if err != nil {
+			t.Fatalf("AppendEvent(%d): %v", ev.Kind, err)
+		}
+		want, _ := EventLen(ev.Kind)
+		if len(b) != want {
+			t.Errorf("kind %d encoded to %d bytes, EventLen says %d", ev.Kind, len(b), want)
+		}
+		got, n, err := DecodeEvent(b)
+		if err != nil {
+			t.Fatalf("DecodeEvent(%d): %v", ev.Kind, err)
+		}
+		if n != len(b) {
+			t.Errorf("kind %d consumed %d of %d bytes", ev.Kind, n, len(b))
+		}
+		if got != ev {
+			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", ev, got)
+		}
+	}
+}
+
+// TestEventRejectsMalformed: truncation, unknown kinds, and an off-range
+// accept flag are explicit errors, never zero-value decodes.
+func TestEventRejectsMalformed(t *testing.T) {
+	if _, _, err := DecodeEvent(nil); err == nil {
+		t.Error("DecodeEvent(nil) accepted")
+	}
+	if _, _, err := DecodeEvent([]byte{0}); err == nil {
+		t.Error("kind 0 accepted")
+	}
+	if _, _, err := DecodeEvent([]byte{byte(KindTick) + 1}); err == nil {
+		t.Error("kind past KindTick accepted")
+	}
+	full, err := AppendEvent(nil, sampleEvents()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := DecodeEvent(full[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	accept, err := AppendEvent(nil, Event{Kind: KindAcceptDecision, TaskID: 1, Accept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept[len(accept)-1] = 2
+	if _, _, err := DecodeEvent(accept); err == nil {
+		t.Error("accept flag byte 2 accepted")
+	}
+	if _, err := AppendEvent(nil, Event{Kind: 0}); err == nil {
+		t.Error("AppendEvent encoded kind 0")
+	}
+}
+
+// TestBatchFrameRoundTrip drives the full envelope: N events -> one batch
+// frame -> FrameReader -> DecodeEvents, plus multi-frame streams and the
+// byte-offset tail-resume path the load generator uses.
+func TestBatchFrameRoundTrip(t *testing.T) {
+	evs := sampleEvents()
+	frame, err := AppendBatchFrame(nil, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two frames back to back decode independently.
+	stream := append(append([]byte(nil), frame...), frame...)
+	fr := NewFrameReader(bytes.NewReader(stream), 0)
+	for i := 0; i < 2; i++ {
+		typ, payload, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != FrameBatch {
+			t.Fatalf("frame %d type %d", i, typ)
+		}
+		got, err := DecodeEvents(payload, nil)
+		if err != nil {
+			t.Fatalf("frame %d payload: %v", i, err)
+		}
+		if len(got) != len(evs) {
+			t.Fatalf("frame %d decoded %d events, want %d", i, len(got), len(evs))
+		}
+		for j := range got {
+			if got[j] != evs[j] {
+				t.Errorf("frame %d event %d mismatch: %+v != %+v", i, j, got[j], evs[j])
+			}
+		}
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("after both frames: %v, want io.EOF", err)
+	}
+	if fr.Frames() != 2 || fr.PayloadBytes() != 2*int64(len(frame)-HeaderLen) {
+		t.Errorf("reader counters: %d frames, %d payload bytes", fr.Frames(), fr.PayloadBytes())
+	}
+
+	// Tail resume: slice the payload at event k's byte offset and re-frame;
+	// the re-framed tail must decode to exactly the remaining events.
+	payload := frame[HeaderLen:]
+	off := 0
+	for k := 0; k < len(evs); k++ {
+		tail := payload[off:]
+		var hdr [HeaderLen]byte
+		PutFrameHeader(hdr[:], FrameBatch, tail)
+		refr := NewFrameReader(io.MultiReader(bytes.NewReader(hdr[:]), bytes.NewReader(tail)), 0)
+		_, p, err := refr.Next()
+		if err != nil {
+			t.Fatalf("resume at event %d: %v", k, err)
+		}
+		got, err := DecodeEvents(p, nil)
+		if err != nil {
+			t.Fatalf("resume at event %d: %v", k, err)
+		}
+		if len(got) != len(evs)-k {
+			t.Fatalf("resume at event %d decoded %d events, want %d", k, len(got), len(evs)-k)
+		}
+		n, _ := EventLen(evs[k].Kind)
+		off += n
+	}
+}
+
+// TestFrameRejects pins the rejection taxonomy: truncation anywhere inside
+// a frame, a flipped payload byte, and a hostile length prefix each fail
+// with their classified error.
+func TestFrameRejects(t *testing.T) {
+	frame, err := AppendBatchFrame(nil, sampleEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(frame); cut++ {
+		fr := NewFrameReader(bytes.NewReader(frame[:cut]), 0)
+		if _, _, err := fr.Next(); !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("cut at %d: %v, want ErrFrameTruncated", cut, err)
+		}
+	}
+	for i := HeaderLen; i < len(frame); i++ {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		fr := NewFrameReader(bytes.NewReader(bad), 0)
+		if _, _, err := fr.Next(); !errors.Is(err, ErrFrameCRC) {
+			t.Fatalf("payload flip at %d: %v, want ErrFrameCRC", i, err)
+		}
+	}
+	huge := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(huge, MaxFrameBytes+1)
+	fr := NewFrameReader(bytes.NewReader(huge), 0)
+	if _, _, err := fr.Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized len: %v, want ErrFrameTooLarge", err)
+	}
+	tiny := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(tiny, 3) // below the type+crc minimum
+	fr = NewFrameReader(bytes.NewReader(tiny), 0)
+	if _, _, err := fr.Next(); err == nil {
+		t.Fatal("sub-envelope len accepted")
+	}
+}
+
+// FuzzWireFrameRoundTrip shakes the frame decoder with arbitrary bytes: it
+// must never panic, must reject (not silently drop) corrupt frames, and
+// every frame it does accept must re-encode byte-identically — so the
+// decoder can never invent events a sender did not frame.
+func FuzzWireFrameRoundTrip(f *testing.F) {
+	valid, err := AppendBatchFrame(nil, sampleEvents())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(append(append([]byte(nil), valid...), valid...))
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	short := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(short, 2)
+	f.Add(short)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data), 1<<20)
+		var scratch []Event
+		for {
+			typ, payload, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Rejection is fine; the reader must stop (a corrupt stream
+				// cannot be resynchronized without a length anchor).
+				return
+			}
+			// Accepted frame: the payload survived its CRC; it must re-frame
+			// byte-identically.
+			refr := AppendFrame(nil, typ, payload)
+			var hdr [HeaderLen]byte
+			PutFrameHeader(hdr[:], typ, payload)
+			if !bytes.Equal(refr[:HeaderLen], hdr[:]) {
+				t.Fatalf("AppendFrame and PutFrameHeader disagree")
+			}
+			if typ != FrameBatch {
+				continue
+			}
+			evs, err := DecodeEvents(payload, scratch[:0])
+			if err != nil {
+				continue // reject, not a drop: caller sees the error
+			}
+			scratch = evs
+			re, err := AppendEvents(nil, evs)
+			if err != nil {
+				t.Fatalf("decoded batch failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("batch round trip not byte-identical:\n in: %x\nout: %x", payload, re)
+			}
+		}
+	})
+}
